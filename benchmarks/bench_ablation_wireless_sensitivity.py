@@ -1,0 +1,97 @@
+"""Ablation — sensitivity of the search outcome to the design-time throughput.
+
+LENS's central premise is that the expected wireless conditions belong in the
+design-time objectives.  This ablation runs the partition-aware evaluation of
+a fixed set of candidate architectures under several design-time throughput
+expectations and device/radio pairings, and reports how the preferred
+deployment mix and the achievable energy floor change — the library-level
+generalisation of Table I from a single hand-designed model (AlexNet) to the
+search space itself.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from conftest import save_table
+
+from repro.hardware.device import jetson_tx2_cpu, jetson_tx2_gpu
+from repro.hardware.predictors import OracleLayerPredictor
+from repro.partition.partitioner import PartitionAnalyzer
+from repro.utils.serialization import format_table
+from repro.wireless.channel import WirelessChannel
+
+#: Design-time throughput expectations swept by the ablation (Mbps).
+UPLINKS_MBPS = (0.7, 3.0, 7.5, 16.1, 30.0)
+NUM_CANDIDATES = 40
+
+
+def run_sensitivity(search_space):
+    candidates = [
+        search_space.decode_for_performance(search_space.sample(seed))
+        for seed in range(NUM_CANDIDATES)
+    ]
+    configurations = [
+        ("GPU/WiFi", OracleLayerPredictor(jetson_tx2_gpu()), "wifi"),
+        ("CPU/LTE", OracleLayerPredictor(jetson_tx2_cpu()), "lte"),
+    ]
+    rows = []
+    for label, predictor, technology in configurations:
+        for uplink in UPLINKS_MBPS:
+            channel = WirelessChannel.create(technology, uplink, 0.01)
+            analyzer = PartitionAnalyzer(predictor, channel)
+            evaluations = [analyzer.evaluate(arch) for arch in candidates]
+            energy_winners = Counter(e.best_energy.option.kind for e in evaluations)
+            latency_winners = Counter(e.best_latency.option.kind for e in evaluations)
+            best_energy_mj = min(e.best_energy.energy_j for e in evaluations) * 1e3
+            rows.append(
+                {
+                    "configuration": label,
+                    "uplink_mbps": uplink,
+                    "energy_pref_split": energy_winners.get("split", 0),
+                    "energy_pref_all_edge": energy_winners.get("all_edge", 0),
+                    "energy_pref_all_cloud": energy_winners.get("all_cloud", 0),
+                    "latency_pref_split": latency_winners.get("split", 0),
+                    "latency_pref_all_edge": latency_winners.get("all_edge", 0),
+                    "latency_pref_all_cloud": latency_winners.get("all_cloud", 0),
+                    "best_energy_mj": best_energy_mj,
+                }
+            )
+    return rows
+
+
+def test_ablation_design_time_throughput_sensitivity(benchmark, search_space):
+    """How the best-deployment mix over the search space shifts with the expected tu."""
+    rows = benchmark.pedantic(run_sensitivity, args=(search_space,), rounds=1, iterations=1)
+
+    table_rows = [
+        [
+            row["configuration"],
+            row["uplink_mbps"],
+            f"{row['energy_pref_all_edge']}/{row['energy_pref_split']}/{row['energy_pref_all_cloud']}",
+            f"{row['latency_pref_all_edge']}/{row['latency_pref_split']}/{row['latency_pref_all_cloud']}",
+            round(row["best_energy_mj"], 1),
+        ]
+        for row in rows
+    ]
+    headers = [
+        "config",
+        "expected tu (Mbps)",
+        "energy winners edge/split/cloud",
+        "latency winners edge/split/cloud",
+        "energy floor (mJ)",
+    ]
+    text = (
+        f"Ablation — deployment preferences of {NUM_CANDIDATES} sampled candidates "
+        "vs the design-time throughput expectation\n" + format_table(table_rows, headers)
+    )
+    print("\n" + text)
+    save_table("ablation_wireless_sensitivity", text, {"rows": rows})
+
+    gpu_rows = {row["uplink_mbps"]: row for row in rows if row["configuration"] == "GPU/WiFi"}
+    # Offloading (split or cloud) should become more attractive as tu grows.
+    offload_low = gpu_rows[0.7]["energy_pref_split"] + gpu_rows[0.7]["energy_pref_all_cloud"]
+    offload_high = gpu_rows[30.0]["energy_pref_split"] + gpu_rows[30.0]["energy_pref_all_cloud"]
+    assert offload_high >= offload_low
+    # The reachable energy floor can only improve (or stay) as tu grows.
+    assert gpu_rows[30.0]["best_energy_mj"] <= gpu_rows[0.7]["best_energy_mj"] + 1e-6

@@ -1,0 +1,58 @@
+"""Figure 1 — AlexNet per-layer feature-map sizes and latency shares.
+
+The paper's motivational example plots, for every AlexNet layer, the size of
+its output feature map and the percentage of the total execution latency it
+accounts for, and observes that (a) the three fully-connected layers take
+about half of the execution time and (b) only layers from Pool5 onward emit
+less data than the raw input.  This benchmark regenerates those rows on the
+simulated TX2-GPU predictor.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+
+from repro.analysis.per_layer import latency_share_by_type, per_layer_report
+from repro.utils.serialization import format_table
+
+
+def build_rows(alexnet, predictor):
+    rows = []
+    for entry in per_layer_report(alexnet, predictor):
+        rows.append(
+            [
+                entry.name,
+                entry.layer_type,
+                round(entry.output_kilobytes, 1),
+                round(entry.latency_s * 1e3, 3),
+                round(entry.latency_share_percent, 1),
+                "yes" if entry.smaller_than_input else "no",
+            ]
+        )
+    return rows
+
+
+def test_fig1_per_layer_breakdown(benchmark, alexnet, gpu_oracle):
+    """Regenerate the Fig. 1 rows and time the per-layer analysis."""
+    rows = benchmark(build_rows, alexnet, gpu_oracle)
+    headers = ["layer", "type", "out_kB", "latency_ms", "latency_%", "viable split"]
+    shares = latency_share_by_type(alexnet, gpu_oracle)
+    text = (
+        "Figure 1 — AlexNet per-layer output sizes and latency shares (TX2-GPU)\n"
+        + format_table(rows, headers)
+        + "\n\nLatency share by layer family: "
+        + ", ".join(f"{family}={share:.1f}%" for family, share in sorted(shares.items()))
+        + f"\nInput size: {alexnet.input_bytes / 1024:.1f} kB"
+    )
+    print("\n" + text)
+    save_table(
+        "fig1_alexnet_layers",
+        text,
+        {"rows": rows, "headers": headers, "latency_share_by_type": shares},
+    )
+
+    # Paper shape checks: FC layers ~half of the latency, splits viable from pool5 on.
+    assert 35.0 < shares["fc"] < 75.0
+    viable = [row[0] for row in rows if row[5] == "yes"]
+    assert viable[0] == "pool5"
+    assert "conv3" not in viable

@@ -1,0 +1,64 @@
+"""Figure 2 — best AlexNet deployment vs upload throughput.
+
+The paper sweeps the upload throughput for two device/radio configurations
+(GPU with WiFi, CPU with LTE) and shows that the deployment option minimising
+latency or energy changes with the throughput — e.g. for GPU/WiFi latency the
+30 Mbps case prefers splitting after Pool5 while lower throughputs prefer
+All-Edge.  This benchmark regenerates the winning option for every
+(configuration, throughput, metric) cell.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+
+from repro.analysis.deployment_sweep import DeploymentConfiguration, sweep_deployments
+from repro.utils.serialization import format_table
+
+#: Throughputs swept by the figure (Mbps).
+UPLINKS_MBPS = (0.5, 1.0, 3.0, 7.5, 16.1, 30.0)
+
+
+def run_sweep(alexnet, gpu_oracle, cpu_oracle):
+    configurations = [
+        DeploymentConfiguration("GPU/WiFi", gpu_oracle, "wifi"),
+        DeploymentConfiguration("CPU/LTE", cpu_oracle, "lte"),
+    ]
+    return sweep_deployments(alexnet, configurations, UPLINKS_MBPS, ("latency", "energy"))
+
+
+def test_fig2_deployment_preferences_vs_throughput(
+    benchmark, alexnet, gpu_oracle, cpu_oracle
+):
+    """Regenerate the Fig. 2 preference map and time the sweep."""
+    rows = benchmark(run_sweep, alexnet, gpu_oracle, cpu_oracle)
+    table_rows = [
+        [
+            row.configuration,
+            row.uplink_mbps,
+            row.metric,
+            row.best_option,
+            round(row.best_value * (1e3 if row.metric == "latency" else 1e3), 2),
+            round(row.all_edge_value * 1e3, 2),
+            round(row.all_cloud_value * 1e3, 2),
+        ]
+        for row in rows
+    ]
+    headers = [
+        "config", "tu_Mbps", "metric", "best option",
+        "best (ms|mJ)", "All-Edge (ms|mJ)", "All-Cloud (ms|mJ)",
+    ]
+    text = (
+        "Figure 2 — best AlexNet deployment option vs upload throughput\n"
+        + format_table(table_rows, headers)
+    )
+    print("\n" + text)
+    save_table("fig2_deployment_sweep", text, {"rows": [r.to_dict() for r in rows]})
+
+    # Paper shape: GPU/WiFi latency prefers All-Edge at low tu and a split at 30 Mbps;
+    # CPU/LTE prefers offloading (split or cloud) once the uplink is fast.
+    by_cell = {(r.configuration, r.uplink_mbps, r.metric): r.best_option for r in rows}
+    assert by_cell[("GPU/WiFi", 1.0, "latency")] == "All-Edge"
+    assert by_cell[("GPU/WiFi", 30.0, "latency")] != "All-Edge"
+    assert by_cell[("CPU/LTE", 16.1, "latency")] in ("All-Cloud", "Split@pool5")
+    assert by_cell[("CPU/LTE", 0.5, "latency")] == "All-Edge"

@@ -1,0 +1,67 @@
+"""Figure 7 — partition within vs after the optimization.
+
+The paper counts how many of the explored architectures satisfy accuracy /
+energy criteria (Err < 25, Err < 20, Ergy < 250 mJ, Ergy < 200 mJ and the
+conjunction Err < 25 & Ergy < 250) when partitioning is applied *within* the
+optimization objectives (LENS) versus *after* it (Traditional, with every
+explored candidate re-costed post hoc).  Partitioning within the optimization
+steers the search toward energy-efficient regions, so the energy criteria
+counts increase.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+
+from repro.analysis.criteria import compare_criteria, paper_criteria
+from repro.utils.serialization import format_table
+
+
+def count_criteria(lens_result, partitioned_all):
+    return compare_criteria(lens_result, partitioned_all, paper_criteria())
+
+
+def test_fig7_partition_within_vs_after(benchmark, lens_run, traditional_run):
+    """Regenerate the Fig. 7 criterion counts."""
+    lens_result = lens_run["result"]
+    partitioned_all = traditional_run["partitioned_all"]
+    comparisons = benchmark.pedantic(
+        count_criteria, args=(lens_result, partitioned_all), rounds=1, iterations=1
+    )
+
+    rows = []
+    for comparison in comparisons:
+        change = comparison.percent_change
+        rows.append(
+            [
+                comparison.criterion.label,
+                comparison.count_a,
+                comparison.count_b,
+                "inf" if change == float("inf") else round(change, 1),
+            ]
+        )
+    headers = [
+        "criterion",
+        "partition within (LENS)",
+        "partition after (Traditional)",
+        "change %",
+    ]
+    text = (
+        "Figure 7 — architectures satisfying each criterion "
+        f"(out of {len(lens_result)} explored per method)\n"
+        + format_table(rows, headers)
+    )
+    print("\n" + text)
+    save_table(
+        "fig7_criteria_counts",
+        text,
+        {"comparisons": [c.to_dict() for c in comparisons], "explored": len(lens_result)},
+    )
+
+    by_label = {c.criterion.label: c for c in comparisons}
+    # Paper shape: partition-within explores at least as many low-energy
+    # architectures as partition-after for the energy criteria.
+    assert by_label["Ergy < 250"].count_a >= by_label["Ergy < 250"].count_b
+    # Both strategies explore some accurate architectures.
+    assert by_label["Err < 25"].count_a > 0
+    assert by_label["Err < 25"].count_b > 0

@@ -1,0 +1,62 @@
+"""Quickstart: run a small LENS search and inspect its Pareto-optimal models.
+
+LENS searches for architectures for a two-tier edge-cloud deployment, costing
+every candidate according to its best layer-partitioning option under the
+*expected* wireless conditions.  This example runs a reduced-budget search
+(the paper uses 300 evaluations; here we use 60 so the script finishes in a
+few seconds) and prints the resulting error/energy Pareto frontier together
+with each model's preferred deployment.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import LensConfig, LensSearch
+from repro.utils.serialization import format_table
+
+
+def main() -> None:
+    config = LensConfig(
+        wireless_technology="wifi",     # the radio the edge device will use
+        expected_uplink_mbps=3.0,       # the design-time throughput expectation
+        round_trip_s=0.01,              # measured average round-trip time
+        device="jetson-tx2-gpu",        # edge device profile
+        num_initial=15,                 # random initialisation budget
+        num_iterations=45,              # Bayesian-optimization budget
+        seed=0,
+    )
+    search = LensSearch(config=config)
+    print("Running LENS search "
+          f"({config.num_initial + config.num_iterations} evaluations, "
+          f"{config.wireless_technology} @ {config.expected_uplink_mbps} Mbps)...")
+    result = search.run()
+
+    front = result.pareto_candidates(("error_percent", "energy_j"))
+    front = sorted(front, key=lambda c: c.error_percent)
+    rows = [
+        [
+            candidate.architecture_name,
+            round(candidate.error_percent, 2),
+            round(candidate.energy_mj, 1),
+            round(candidate.latency_ms, 1),
+            candidate.best_energy_option.label,
+            round(candidate.all_edge_energy_j * 1e3, 1),
+        ]
+        for candidate in front
+    ]
+    headers = ["model", "error %", "energy mJ", "latency ms", "best deployment", "All-Edge mJ"]
+    print(f"\nExplored {len(result)} architectures; "
+          f"{len(front)} are Pareto-optimal on (error, energy):\n")
+    print(format_table(rows, headers))
+
+    best_energy = result.best_by("energy_j")
+    print(
+        f"\nMost energy-efficient model: {best_energy.architecture_name} at "
+        f"{best_energy.energy_mj:.1f} mJ using {best_energy.best_energy_option.label} "
+        f"(All-Edge would cost {best_energy.all_edge_energy_j * 1e3:.1f} mJ)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Train a sampled candidate architecture with the numpy CNN substrate.
+
+The NAS experiments use the analytic accuracy surrogate for speed, but the
+library also ships a complete from-scratch training path (im2col convolution,
+max pooling, dense layers, softmax cross-entropy, SGD with momentum).  This
+example samples a small candidate from a reduced search space, decodes it for
+a 16x16 synthetic image dataset, trains it for a few epochs and reports the
+learning curve — demonstrating that decoded architectures are genuinely
+executable, not just cost-model stand-ins.
+
+Run with:  python examples/train_candidate_cnn.py
+"""
+
+from __future__ import annotations
+
+from repro.accuracy.dataset import SyntheticImageDataset
+from repro.accuracy.network import NumpyCNN
+from repro.accuracy.trainer import SGDTrainer
+from repro.nn.search_space import LensSearchSpace
+from repro.utils.serialization import format_table
+
+
+def main() -> None:
+    # A reduced space so the decoded model is small enough to train on a CPU
+    # in seconds: two blocks, thin filters, one small FC layer.
+    space = LensSearchSpace(
+        num_blocks=2,
+        layers_per_block=(1, 2),
+        kernel_sizes=(3,),
+        filter_counts=(8, 16),
+        fc_units=(32, 64),
+        min_pool_layers=2,
+        num_classes=4,
+        accuracy_input_shape=(3, 16, 16),
+    )
+    genotype = space.sample(7)
+    architecture = space.decode_for_accuracy(genotype)
+    print("Sampled candidate architecture:\n")
+    print(architecture.describe())
+
+    dataset = SyntheticImageDataset.generate(
+        num_classes=4, num_train=240, num_test=80, image_shape=(3, 16, 16), seed=1
+    )
+    network = NumpyCNN(architecture, seed=0)
+    print(
+        f"\nTraining on the synthetic dataset "
+        f"({dataset.num_train} train / {dataset.num_test} test images, "
+        f"{network.num_parameters():,} parameters)..."
+    )
+    trainer = SGDTrainer(learning_rate=0.02, momentum=0.9, batch_size=32, epochs=6, seed=0)
+    history = trainer.fit(network, dataset)
+
+    rows = [
+        [epoch + 1, round(loss, 4), round(train_error, 1), round(test_error, 1)]
+        for epoch, (loss, train_error, test_error) in enumerate(
+            zip(history.losses, history.train_errors, history.test_errors)
+        )
+    ]
+    print()
+    print(format_table(rows, ["epoch", "train loss", "train error %", "test error %"]))
+    chance = 100.0 * (1 - 1 / dataset.num_classes)
+    print(
+        f"\nFinal test error {history.final_test_error:.1f}% "
+        f"(chance level {chance:.0f}%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — reproduction of LENS (DAC 2021).
+
+LENS is a multi-objective Neural Architecture Search methodology for
+edge-cloud hierarchies: candidate architectures are evaluated according to
+their best layer-partitioning option under the *expected* wireless conditions,
+so the search discovers models whose best deployment may be a split between
+the edge device and the cloud.
+
+The public API is organised by substrate:
+
+* :mod:`repro.nn` — architecture IR, reference models, the VGG-derived search
+  space;
+* :mod:`repro.hardware` — edge-device profiles, the layer-cost simulator and
+  the per-layer latency/power regression predictors;
+* :mod:`repro.wireless` — radio power models, channel model, regional
+  throughput catalogue, throughput traces and the online tracker;
+* :mod:`repro.partition` — deployment options and the Algorithm 1
+  partitioning engine;
+* :mod:`repro.optim` — Gaussian processes, acquisitions, Pareto tools and the
+  MOBO loop;
+* :mod:`repro.accuracy` — numpy CNN training and the accuracy surrogate;
+* :mod:`repro.core` — the LENS search, the Traditional baseline, and runtime
+  adaptation;
+* :mod:`repro.analysis` — figure/table-level analyses built on the above.
+
+Quickstart::
+
+    from repro import LensConfig, LensSearch
+
+    config = LensConfig(wireless_technology="wifi", expected_uplink_mbps=3.0,
+                        num_initial=8, num_iterations=20, seed=0)
+    result = LensSearch(config=config).run()
+    for candidate in result.pareto_candidates(("error_percent", "energy_j")):
+        print(candidate.architecture_name, candidate.error_percent,
+              candidate.energy_mj, candidate.best_energy_option.label)
+"""
+
+from repro.core.lens import LensConfig, LensSearch
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.core.runtime import ThresholdAnalysis, simulate_runtime
+from repro.core.traditional import TraditionalSearch
+from repro.hardware.device import jetson_tx2_cpu, jetson_tx2_gpu
+from repro.hardware.predictors import LayerPerformancePredictor, OracleLayerPredictor
+from repro.nn.alexnet import build_alexnet
+from repro.nn.search_space import LensSearchSpace
+from repro.nn.vgg import build_vgg16
+from repro.partition.partitioner import PartitionAnalyzer
+from repro.wireless.channel import WirelessChannel
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "LensConfig",
+    "LensSearch",
+    "CandidateEvaluation",
+    "SearchResult",
+    "ThresholdAnalysis",
+    "simulate_runtime",
+    "TraditionalSearch",
+    "jetson_tx2_cpu",
+    "jetson_tx2_gpu",
+    "LayerPerformancePredictor",
+    "OracleLayerPredictor",
+    "build_alexnet",
+    "LensSearchSpace",
+    "build_vgg16",
+    "PartitionAnalyzer",
+    "WirelessChannel",
+    "__version__",
+]

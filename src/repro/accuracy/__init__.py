@@ -1,0 +1,16 @@
+"""Accuracy estimation substrate: numpy CNN training and analytic surrogate."""
+
+from repro.accuracy.dataset import SyntheticImageDataset
+from repro.accuracy.network import NumpyCNN
+from repro.accuracy.surrogate import AccuracyModel, AccuracySurrogate
+from repro.accuracy.trainer import SGDTrainer, TrainedAccuracyEvaluator, TrainingHistory
+
+__all__ = [
+    "SyntheticImageDataset",
+    "NumpyCNN",
+    "AccuracyModel",
+    "AccuracySurrogate",
+    "SGDTrainer",
+    "TrainedAccuracyEvaluator",
+    "TrainingHistory",
+]

@@ -1,0 +1,223 @@
+"""Executable numpy CNN built from an :class:`~repro.nn.architecture.Architecture`.
+
+The IR layers (:mod:`repro.nn.layers`) describe *what* a network looks like;
+this module instantiates actual weight tensors for those descriptions and
+runs forward/backward passes with the kernels in
+:mod:`repro.accuracy.tensor_ops`.  Batch normalisation recorded in the IR is
+folded away (it only matters for training stability of much larger models);
+ReLU activations are honoured, and the final softmax layer pairs with the
+cross-entropy loss during training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.accuracy import tensor_ops as ops
+from repro.nn.architecture import Architecture
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class _ExecutableLayer:
+    """Base class for instantiated layers with parameters and gradients."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def forward(self, inputs: np.ndarray, training: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _ConvLayer(_ExecutableLayer):
+    def __init__(self, spec: Conv2D, in_channels: int, rng: np.random.Generator):
+        super().__init__(spec.name)
+        self.stride = spec.stride
+        self.kernel = spec.kernel_size
+        self.pad = spec.padding_pixels
+        fan_in = in_channels * spec.kernel_size**2
+        scale = np.sqrt(2.0 / fan_in)
+        self.params["weights"] = rng.normal(
+            0.0, scale, size=(spec.out_channels, in_channels, spec.kernel_size, spec.kernel_size)
+        )
+        self.params["bias"] = np.zeros(spec.out_channels)
+        self.activation = spec.activation
+        self._cache: Optional[Tuple] = None
+        self._relu_mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool) -> np.ndarray:
+        output, self._cache = ops.conv2d_forward(
+            inputs, self.params["weights"], self.params["bias"], self.stride, self.pad
+        )
+        if self.activation == "relu":
+            output, self._relu_mask = ops.relu_forward(output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            grad_output = ops.relu_backward(grad_output, self._relu_mask)
+        grad_input, grad_weights, grad_bias = ops.conv2d_backward(grad_output, self._cache)
+        self.grads["weights"] = grad_weights
+        self.grads["bias"] = grad_bias
+        return grad_input
+
+
+class _MaxPoolLayer(_ExecutableLayer):
+    def __init__(self, spec: MaxPool2D):
+        super().__init__(spec.name)
+        self.pool_size = spec.pool_size
+        self.stride = spec.effective_stride
+        self._cache: Optional[Tuple] = None
+
+    def forward(self, inputs: np.ndarray, training: bool) -> np.ndarray:
+        output, self._cache = ops.maxpool_forward(inputs, self.pool_size, self.stride)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return ops.maxpool_backward(grad_output, self._cache)
+
+
+class _FlattenLayer(_ExecutableLayer):
+    def __init__(self, spec: Flatten):
+        super().__init__(spec.name)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(self._input_shape)
+
+
+class _DenseLayer(_ExecutableLayer):
+    def __init__(self, spec: Dense, in_features: int, rng: np.random.Generator):
+        super().__init__(spec.name)
+        scale = np.sqrt(2.0 / in_features)
+        self.params["weights"] = rng.normal(0.0, scale, size=(in_features, spec.units))
+        self.params["bias"] = np.zeros(spec.units)
+        self.activation = spec.activation
+        self._cache: Optional[Tuple] = None
+        self._relu_mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool) -> np.ndarray:
+        output, self._cache = ops.dense_forward(
+            inputs, self.params["weights"], self.params["bias"]
+        )
+        if self.activation == "relu":
+            output, self._relu_mask = ops.relu_forward(output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            grad_output = ops.relu_backward(grad_output, self._relu_mask)
+        grad_input, grad_weights, grad_bias = ops.dense_backward(grad_output, self._cache)
+        self.grads["weights"] = grad_weights
+        self.grads["bias"] = grad_bias
+        return grad_input
+
+
+class _DropoutLayer(_ExecutableLayer):
+    def __init__(self, spec: Dropout, rng: np.random.Generator):
+        super().__init__(spec.name)
+        self.rate = spec.rate
+        self._rng = rng
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class NumpyCNN:
+    """A trainable numpy network instantiated from an architecture IR.
+
+    Parameters
+    ----------
+    architecture:
+        The IR description; its ``input_shape`` defines the expected image
+        size (use the accuracy input shape, e.g. CIFAR-like 32x32).
+    seed:
+        Seed for weight initialisation (and dropout masks).
+    """
+
+    def __init__(self, architecture: Architecture, seed: SeedLike = 0):
+        self.architecture = architecture
+        rng = ensure_rng(seed)
+        self.layers: List[_ExecutableLayer] = []
+        current_shape = architecture.input_shape
+        for spec, summary in zip(architecture.layers, architecture.summarize()):
+            if isinstance(spec, Conv2D):
+                self.layers.append(_ConvLayer(spec, current_shape[0], rng))
+            elif isinstance(spec, MaxPool2D):
+                self.layers.append(_MaxPoolLayer(spec))
+            elif isinstance(spec, Flatten):
+                self.layers.append(_FlattenLayer(spec))
+            elif isinstance(spec, Dense):
+                in_features = int(np.prod(current_shape))
+                self.layers.append(_DenseLayer(spec, in_features, rng))
+            elif isinstance(spec, Dropout):
+                self.layers.append(_DropoutLayer(spec, rng))
+            else:
+                raise TypeError(f"unsupported layer type for execution: {type(spec)!r}")
+            current_shape = summary.output_shape
+
+    # ------------------------------------------------------------------ execution
+    def forward(self, images: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the network and return the raw logits of the final layer."""
+        if images.ndim != 4:
+            raise ValueError(f"expected a (N, C, H, W) batch, got shape {images.shape}")
+        activations = images
+        for layer in self.layers:
+            activations = layer.forward(activations, training)
+        return activations
+
+    def loss_and_gradients(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Forward + backward pass; gradients are stored on each layer."""
+        logits = self.forward(images, training=True)
+        loss, grad = ops.softmax_cross_entropy(logits, labels)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return loss
+
+    def predict(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Predicted class indices for a batch of images."""
+        predictions = []
+        for start in range(0, images.shape[0], batch_size):
+            logits = self.forward(images[start : start + batch_size], training=False)
+            predictions.append(np.argmax(logits, axis=1))
+        return np.concatenate(predictions)
+
+    def error_rate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Classification error in percent on the given dataset."""
+        predictions = self.predict(images)
+        return float(np.mean(predictions != labels) * 100.0)
+
+    # ------------------------------------------------------------------ parameters
+    def parameters(self) -> List[Tuple[_ExecutableLayer, str]]:
+        """(layer, parameter-name) pairs for every trainable tensor."""
+        return [
+            (layer, name) for layer in self.layers for name in layer.params
+        ]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars actually instantiated."""
+        return sum(
+            layer.params[name].size for layer, name in self.parameters()
+        )

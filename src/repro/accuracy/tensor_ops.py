@@ -1,0 +1,199 @@
+"""Minimal numpy tensor operations for training small CNNs.
+
+The paper trains every sampled architecture for ten epochs on CIFAR-10 using
+a GPU framework; offline we provide a from-scratch numpy implementation of
+the forward and backward passes of every layer family the search space can
+produce (convolution, max pooling, dense, ReLU, softmax cross-entropy).  It
+is intended for *small* models and datasets — enough to exercise the full
+training path in examples and tests — while the NAS experiments use the
+analytic accuracy surrogate (see :mod:`repro.accuracy.surrogate`).
+
+Data layout is channels-first: activations are ``(N, C, H, W)`` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold image patches into rows for matrix-multiplication convolution.
+
+    Returns the ``(N * out_h * out_w, C * kernel * kernel)`` patch matrix and
+    the output spatial dimensions.
+    """
+    batch, channels, height, width = images.shape
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride} and pad {pad} does not fit "
+            f"input of spatial size {height}x{width}"
+        )
+    padded = np.pad(
+        images, [(0, 0), (0, 0), (pad, pad), (pad, pad)], mode="constant"
+    )
+    columns = np.zeros((batch, channels, kernel, kernel, out_h, out_w), dtype=images.dtype)
+    for dy in range(kernel):
+        y_end = dy + stride * out_h
+        for dx in range(kernel):
+            x_end = dx + stride * out_w
+            columns[:, :, dy, dx, :, :] = padded[:, :, dy:y_end:stride, dx:x_end:stride]
+    columns = columns.transpose(0, 4, 5, 1, 2, 3).reshape(batch * out_h * out_w, -1)
+    return columns, out_h, out_w
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold patch-gradient rows back into an image-shaped gradient (im2col adjoint)."""
+    batch, channels, height, width = input_shape
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    columns = columns.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    columns = columns.transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad, width + 2 * pad), dtype=columns.dtype
+    )
+    for dy in range(kernel):
+        y_end = dy + stride * out_h
+        for dx in range(kernel):
+            x_end = dx + stride * out_w
+            padded[:, :, dy:y_end:stride, dx:x_end:stride] += columns[:, :, dy, dx, :, :]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad : pad + height, pad : pad + width]
+
+
+def conv2d_forward(
+    images: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+) -> Tuple[np.ndarray, Tuple]:
+    """Convolution forward pass.
+
+    ``weights`` has shape ``(out_channels, in_channels, kernel, kernel)``.
+    Returns the output and a cache for the backward pass.
+    """
+    out_channels, _, kernel, _ = weights.shape
+    columns, out_h, out_w = im2col(images, kernel, stride, pad)
+    weight_matrix = weights.reshape(out_channels, -1).T
+    output = columns @ weight_matrix + bias
+    batch = images.shape[0]
+    output = output.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    cache = (images.shape, columns, weights, stride, pad)
+    return output, cache
+
+
+def conv2d_backward(
+    grad_output: np.ndarray, cache: Tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convolution backward pass.
+
+    Returns gradients with respect to the input, the weights and the bias.
+    """
+    input_shape, columns, weights, stride, pad = cache
+    out_channels = weights.shape[0]
+    kernel = weights.shape[2]
+    grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+    grad_bias = grad_flat.sum(axis=0)
+    grad_weights = (columns.T @ grad_flat).T.reshape(weights.shape)
+    grad_columns = grad_flat @ weights.reshape(out_channels, -1)
+    grad_input = col2im(grad_columns, input_shape, kernel, stride, pad)
+    return grad_input, grad_weights, grad_bias
+
+
+def maxpool_forward(
+    images: np.ndarray, pool_size: int, stride: int
+) -> Tuple[np.ndarray, Tuple]:
+    """Max-pooling forward pass (no padding)."""
+    batch, channels, height, width = images.shape
+    out_h = (height - pool_size) // stride + 1
+    out_w = (width - pool_size) // stride + 1
+    columns, _, _ = im2col(images, pool_size, stride, 0)
+    columns = columns.reshape(-1, channels, pool_size * pool_size)
+    # im2col groups features as (channel, ky, kx); regroup per channel window.
+    arg_max = columns.argmax(axis=2)
+    output = columns.max(axis=2)
+    output = output.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+    cache = (images.shape, arg_max, pool_size, stride)
+    return output, cache
+
+
+def maxpool_backward(grad_output: np.ndarray, cache: Tuple) -> np.ndarray:
+    """Max-pooling backward pass: route gradients to the argmax positions."""
+    input_shape, arg_max, pool_size, stride = cache
+    batch, channels, height, width = input_shape
+    out_h = (height - pool_size) // stride + 1
+    out_w = (width - pool_size) // stride + 1
+    grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, channels)
+    grad_columns = np.zeros((grad_flat.shape[0], channels, pool_size * pool_size))
+    rows = np.arange(grad_flat.shape[0])[:, None]
+    cols = np.arange(channels)[None, :]
+    grad_columns[rows, cols, arg_max] = grad_flat
+    grad_columns = grad_columns.reshape(grad_flat.shape[0], -1)
+    return col2im(grad_columns, input_shape, pool_size, stride, 0)
+
+
+def dense_forward(
+    inputs: np.ndarray, weights: np.ndarray, bias: np.ndarray
+) -> Tuple[np.ndarray, Tuple]:
+    """Fully-connected forward pass: ``y = x W + b``."""
+    output = inputs @ weights + bias
+    return output, (inputs, weights)
+
+
+def dense_backward(
+    grad_output: np.ndarray, cache: Tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fully-connected backward pass."""
+    inputs, weights = cache
+    grad_input = grad_output @ weights.T
+    grad_weights = inputs.T @ grad_output
+    grad_bias = grad_output.sum(axis=0)
+    return grad_input, grad_weights, grad_bias
+
+
+def relu_forward(inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """ReLU forward pass; the cache is the activation mask."""
+    mask = inputs > 0
+    return inputs * mask, mask
+
+
+def relu_backward(grad_output: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """ReLU backward pass."""
+    return grad_output * mask
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable row-wise softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient with respect to the logits.
+
+    ``labels`` are integer class indices of shape ``(N,)``.
+    """
+    batch = logits.shape[0]
+    probabilities = softmax(logits)
+    clipped = np.clip(probabilities[np.arange(batch), labels], 1e-12, 1.0)
+    loss = float(-np.mean(np.log(clipped)))
+    grad = probabilities.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad /= batch
+    return loss, grad

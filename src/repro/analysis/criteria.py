@@ -1,0 +1,110 @@
+"""Counting architectures that satisfy accuracy/efficiency criteria (Fig. 7).
+
+The paper's second experiment compares *partitioning within the optimization*
+against *partitioning after the optimization* by counting how many explored
+architectures satisfy criteria such as ``Err < 25``, ``Ergy < 250 mJ`` or
+their conjunctions, under each strategy.  The helpers here express those
+criteria declaratively and evaluate them over search results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.results import SearchResult
+
+#: The criteria used by the paper's Fig. 7, expressed in this library's units
+#: (error in percent, energy in millijoules).
+PAPER_CRITERIA = (
+    {"label": "Err < 25", "max_error_percent": 25.0},
+    {"label": "Err < 20", "max_error_percent": 20.0},
+    {"label": "Ergy < 250", "max_energy_mj": 250.0},
+    {"label": "Ergy < 200", "max_energy_mj": 200.0},
+    {"label": "Err < 25 & Ergy < 250", "max_error_percent": 25.0, "max_energy_mj": 250.0},
+)
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """A conjunction of upper bounds on error, energy and latency."""
+
+    label: str
+    max_error_percent: Optional[float] = None
+    max_energy_mj: Optional[float] = None
+    max_latency_ms: Optional[float] = None
+
+    def count(self, result: SearchResult) -> int:
+        """Number of explored candidates in ``result`` satisfying the criterion."""
+        return result.count_satisfying(
+            max_error_percent=self.max_error_percent,
+            max_energy_mj=self.max_energy_mj,
+            max_latency_ms=self.max_latency_ms,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "max_error_percent": self.max_error_percent,
+            "max_energy_mj": self.max_energy_mj,
+            "max_latency_ms": self.max_latency_ms,
+        }
+
+
+def paper_criteria() -> List[Criterion]:
+    """The five criteria of the paper's Fig. 7."""
+    return [Criterion(**spec) for spec in PAPER_CRITERIA]
+
+
+@dataclass(frozen=True)
+class CriterionComparison:
+    """Counts under two strategies for one criterion, plus the relative change."""
+
+    criterion: Criterion
+    count_a: int
+    count_b: int
+    a_label: str
+    b_label: str
+
+    @property
+    def percent_change(self) -> float:
+        """Relative change of strategy A's count over strategy B's, in percent."""
+        if self.count_b == 0:
+            return 0.0 if self.count_a == 0 else float("inf")
+        return (self.count_a - self.count_b) / self.count_b * 100.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "criterion": self.criterion.to_dict(),
+            "count_a": self.count_a,
+            "count_b": self.count_b,
+            "a_label": self.a_label,
+            "b_label": self.b_label,
+            "percent_change": self.percent_change,
+        }
+
+
+def compare_criteria(
+    result_a: SearchResult,
+    result_b: SearchResult,
+    criteria: Optional[Sequence[Criterion]] = None,
+) -> List[CriterionComparison]:
+    """Count satisfying architectures under two strategies for every criterion.
+
+    ``result_a`` is typically the partition-within run (LENS) and
+    ``result_b`` the partition-after run (Traditional with its explored
+    candidates re-costed post hoc).
+    """
+    criteria = list(criteria) if criteria is not None else paper_criteria()
+    comparisons: List[CriterionComparison] = []
+    for criterion in criteria:
+        comparisons.append(
+            CriterionComparison(
+                criterion=criterion,
+                count_a=criterion.count(result_a),
+                count_b=criterion.count(result_b),
+                a_label=result_a.label,
+                b_label=result_b.label,
+            )
+        )
+    return comparisons

@@ -1,0 +1,116 @@
+"""Pareto-frontier comparison metrics for the LENS vs Traditional study (Fig. 6).
+
+The paper summarises Fig. 6 with three numbers per metric pair:
+
+* the fraction of the (partitioned) Traditional frontier dominated by LENS's
+  frontier,
+* the fraction of LENS's frontier dominated by the (partitioned) Traditional
+  frontier,
+* the share of a combined frontier contributed by LENS.
+
+:func:`compare_fronts` computes all three (plus hypervolumes) for any pair of
+:class:`~repro.core.results.SearchResult` objects and any metric pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.results import SearchResult
+from repro.optim.pareto import combined_front_composition, coverage, hypervolume
+
+
+@dataclass(frozen=True)
+class FrontComparison:
+    """Summary statistics of one frontier-vs-frontier comparison."""
+
+    metrics: Sequence[str]
+    a_label: str
+    b_label: str
+    a_front_size: int
+    b_front_size: int
+    a_dominates_b_fraction: float
+    b_dominates_a_fraction: float
+    combined_fraction_a: float
+    combined_fraction_b: float
+    hypervolume_a: float
+    hypervolume_b: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "metrics": list(self.metrics),
+            "a_label": self.a_label,
+            "b_label": self.b_label,
+            "a_front_size": self.a_front_size,
+            "b_front_size": self.b_front_size,
+            "a_dominates_b_fraction": self.a_dominates_b_fraction,
+            "b_dominates_a_fraction": self.b_dominates_a_fraction,
+            "combined_fraction_a": self.combined_fraction_a,
+            "combined_fraction_b": self.combined_fraction_b,
+            "hypervolume_a": self.hypervolume_a,
+            "hypervolume_b": self.hypervolume_b,
+        }
+
+
+def compare_fronts(
+    result_a: SearchResult,
+    result_b: SearchResult,
+    metrics: Sequence[str] = ("error_percent", "energy_j"),
+) -> FrontComparison:
+    """Compare the Pareto frontiers of two search results.
+
+    Parameters
+    ----------
+    result_a / result_b:
+        The two search results (e.g. LENS and the partitioned Traditional).
+    metrics:
+        The metric pair defining the objective space, e.g.
+        ``("error_percent", "energy_j")`` for the paper's energy/error plot or
+        ``("error_percent", "latency_s")`` for the latency/error analysis.
+    """
+    front_a = result_a.pareto_objectives(metrics)
+    front_b = result_b.pareto_objectives(metrics)
+    composition = combined_front_composition(front_a, front_b)
+
+    pooled = (
+        np.vstack([m for m in (front_a, front_b) if m.size > 0])
+        if front_a.size or front_b.size
+        else np.empty((0, len(metrics)))
+    )
+    if pooled.size > 0:
+        reference = pooled.max(axis=0) * 1.1 + 1e-9
+        hv_a = hypervolume(front_a, reference) if front_a.size else 0.0
+        hv_b = hypervolume(front_b, reference) if front_b.size else 0.0
+    else:
+        hv_a = hv_b = 0.0
+
+    return FrontComparison(
+        metrics=tuple(metrics),
+        a_label=result_a.label,
+        b_label=result_b.label,
+        a_front_size=int(front_a.shape[0]) if front_a.size else 0,
+        b_front_size=int(front_b.shape[0]) if front_b.size else 0,
+        a_dominates_b_fraction=coverage(front_a, front_b),
+        b_dominates_a_fraction=coverage(front_b, front_a),
+        combined_fraction_a=composition["fraction_a"],
+        combined_fraction_b=composition["fraction_b"],
+        hypervolume_a=hv_a,
+        hypervolume_b=hv_b,
+    )
+
+
+def frontier_extremes(
+    result: SearchResult, metrics: Sequence[str] = ("error_percent", "energy_j")
+) -> Dict[str, float]:
+    """Minimum value of each metric over a result's Pareto frontier.
+
+    The paper highlights that the Traditional search never identifies any
+    architecture below 207 mJ; this helper extracts the analogous floors.
+    """
+    front = result.pareto_objectives(metrics)
+    if front.size == 0:
+        return {metric: float("nan") for metric in metrics}
+    return {metric: float(front[:, i].min()) for i, metric in enumerate(metrics)}

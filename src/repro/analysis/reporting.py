@@ -1,0 +1,182 @@
+"""Markdown experiment-report builder.
+
+The benchmark harness writes one table per figure; users replicating the
+study on their own device profiles or wireless expectations usually want a
+single document that collects the search summary, the frontier comparison,
+the criteria counts and the runtime study.  :class:`ExperimentReport` builds
+that document from the library's result objects and renders it as Markdown
+(the same format as EXPERIMENTS.md), so a custom reproduction can be diffed
+against the shipped one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.criteria import CriterionComparison
+from repro.analysis.pareto_metrics import FrontComparison
+from repro.analysis.runtime_eval import RuntimeStudy
+from repro.core.results import SearchResult
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a GitHub-style Markdown table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join(["---"] * len(headers)) + "|",
+    ]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+class ExperimentReport:
+    """Accumulates experiment sections and renders them as one Markdown document."""
+
+    def __init__(self, title: str = "LENS reproduction report"):
+        self.title = str(title)
+        self._sections: List[str] = []
+
+    # ------------------------------------------------------------------ sections
+    def add_text(self, heading: str, body: str) -> "ExperimentReport":
+        """Add a free-form section."""
+        self._sections.append(f"## {heading}\n\n{body.strip()}")
+        return self
+
+    def add_search_summary(
+        self, result: SearchResult, heading: Optional[str] = None
+    ) -> "ExperimentReport":
+        """Summarise one search run: budget, frontier size, best per metric."""
+        heading = heading or f"Search summary — {result.label}"
+        front = result.pareto_candidates(("error_percent", "energy_j"))
+        rows = []
+        for label, metric in (
+            ("lowest error", "error_percent"),
+            ("lowest energy", "energy_j"),
+            ("lowest latency", "latency_s"),
+        ):
+            best = result.best_by(metric)
+            rows.append(
+                [
+                    label,
+                    best.architecture_name,
+                    round(best.error_percent, 2),
+                    round(best.energy_mj, 1),
+                    round(best.latency_ms, 1),
+                    best.best_energy_option.label,
+                ]
+            )
+        body = (
+            f"Explored **{len(result)}** architectures; "
+            f"**{len(front)}** are Pareto-optimal on (error, energy).\n\n"
+            + _markdown_table(
+                ["selection", "model", "error %", "energy mJ", "latency ms", "deployment"],
+                rows,
+            )
+        )
+        return self.add_text(heading, body)
+
+    def add_front_comparison(
+        self, comparison: FrontComparison, heading: Optional[str] = None
+    ) -> "ExperimentReport":
+        """Add a LENS-vs-baseline frontier comparison (Fig. 6 style)."""
+        heading = heading or (
+            f"Frontier comparison — {comparison.a_label} vs {comparison.b_label}"
+        )
+        rows = [
+            ["metrics", " / ".join(comparison.metrics)],
+            [f"{comparison.a_label} front size", comparison.a_front_size],
+            [f"{comparison.b_label} front size", comparison.b_front_size],
+            [
+                f"{comparison.a_label} dominates {comparison.b_label}",
+                f"{100 * comparison.a_dominates_b_fraction:.1f}%",
+            ],
+            [
+                f"{comparison.b_label} dominates {comparison.a_label}",
+                f"{100 * comparison.b_dominates_a_fraction:.1f}%",
+            ],
+            [
+                f"combined frontier share of {comparison.a_label}",
+                f"{100 * comparison.combined_fraction_a:.1f}%",
+            ],
+            ["hypervolume ratio (a / b)",
+             round(comparison.hypervolume_a / comparison.hypervolume_b, 3)
+             if comparison.hypervolume_b > 0 else "inf"],
+        ]
+        return self.add_text(heading, _markdown_table(["statistic", "value"], rows))
+
+    def add_criteria_comparison(
+        self,
+        comparisons: Sequence[CriterionComparison],
+        heading: str = "Architectures satisfying the criteria (Fig. 7 style)",
+    ) -> "ExperimentReport":
+        """Add partition-within vs partition-after criterion counts."""
+        rows = []
+        for comparison in comparisons:
+            change = comparison.percent_change
+            rows.append(
+                [
+                    comparison.criterion.label,
+                    comparison.count_a,
+                    comparison.count_b,
+                    "inf" if change == float("inf") else f"{change:.1f}%",
+                ]
+            )
+        headers = [
+            "criterion",
+            comparisons[0].a_label if comparisons else "a",
+            comparisons[0].b_label if comparisons else "b",
+            "change",
+        ]
+        return self.add_text(heading, _markdown_table(headers, rows))
+
+    def add_runtime_study(
+        self, study: RuntimeStudy, heading: Optional[str] = None
+    ) -> "ExperimentReport":
+        """Add a trace-replay runtime study (Fig. 8 style)."""
+        heading = heading or f"Runtime study — {study.model_label} ({study.metric})"
+        unit = "J" if study.metric == "energy" else "s"
+        rows = []
+        for label, value in sorted(study.comparison.cumulative.items(), key=lambda kv: kv[1]):
+            gain = (
+                "-" if label == "dynamic"
+                else f"{study.comparison.improvement_percent(label):.2f}%"
+            )
+            rows.append([label, round(value, 4), unit, gain])
+        threshold = study.switching_threshold_mbps
+        body = _markdown_table(["strategy", "cumulative", "unit", "dynamic gain"], rows)
+        body += (
+            f"\n\nSwitching threshold: "
+            + (f"{threshold:.2f} Mbps" if threshold is not None else "none in range")
+            + f"; deployment switches over the trace: {study.comparison.num_switches}."
+        )
+        return self.add_text(heading, body)
+
+    # ------------------------------------------------------------------ rendering
+    @property
+    def num_sections(self) -> int:
+        """Number of sections added so far."""
+        return len(self._sections)
+
+    def render_markdown(self) -> str:
+        """Render the full report as a Markdown string."""
+        parts = [f"# {self.title}", ""]
+        parts.extend(self._sections)
+        return "\n\n".join(parts).strip() + "\n"
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the rendered report to a file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render_markdown(), encoding="utf-8")
+        return path

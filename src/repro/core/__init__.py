@@ -1,0 +1,59 @@
+"""LENS core: partition-aware NAS, Traditional baseline, runtime adaptation."""
+
+from repro.core.evaluation import PartitionAwareEvaluator
+from repro.core.lens import LENS_OBJECTIVES, LensConfig, LensSearch
+from repro.core.related_work import (
+    FEATURES,
+    RELATED_WORKS,
+    RelatedWork,
+    feature_matrix,
+    feature_matrix_headers,
+)
+from repro.core.results import METRIC_NAMES, CandidateEvaluation, SearchResult
+from repro.core.selection import (
+    DeploymentPackage,
+    build_deployment_package,
+    select_by_constraints,
+    select_knee_point,
+)
+from repro.core.runtime import (
+    DominanceInterval,
+    DynamicDeploymentController,
+    RuntimeComparison,
+    ThresholdAnalysis,
+    deployment_energy,
+    deployment_latency,
+    deployment_metric_value,
+    pairwise_threshold,
+    simulate_runtime,
+)
+from repro.core.traditional import TraditionalSearch
+
+__all__ = [
+    "PartitionAwareEvaluator",
+    "DeploymentPackage",
+    "build_deployment_package",
+    "select_by_constraints",
+    "select_knee_point",
+    "LENS_OBJECTIVES",
+    "LensConfig",
+    "LensSearch",
+    "FEATURES",
+    "RELATED_WORKS",
+    "RelatedWork",
+    "feature_matrix",
+    "feature_matrix_headers",
+    "METRIC_NAMES",
+    "CandidateEvaluation",
+    "SearchResult",
+    "DominanceInterval",
+    "DynamicDeploymentController",
+    "RuntimeComparison",
+    "ThresholdAnalysis",
+    "deployment_energy",
+    "deployment_latency",
+    "deployment_metric_value",
+    "pairwise_threshold",
+    "simulate_runtime",
+    "TraditionalSearch",
+]

@@ -1,0 +1,184 @@
+"""The LENS search methodology (paper §IV, Algorithm 2).
+
+:class:`LensSearch` wires together every substrate of the library:
+
+* the VGG-derived search space (§IV-B) supplies candidate genotypes;
+* the per-layer performance predictors (§IV-C) and the wireless channel model
+  (§III-A) feed the partition-aware objective evaluation (§IV-D, Algorithm 1);
+* the accuracy model supplies the error objective;
+* the multi-objective Bayesian optimizer (§III-B, Algorithm 2) drives the
+  search and maintains the Pareto frontier.
+
+Users supply the expected wireless technology and upload throughput — the
+design-time knowledge LENS is built around — plus the usual search budget
+parameters, and receive a :class:`~repro.core.results.SearchResult` whose
+Pareto set contains architectures annotated with their best deployment
+option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.accuracy.surrogate import AccuracyModel, AccuracySurrogate
+from repro.core.evaluation import PartitionAwareEvaluator
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.hardware.device import DeviceProfile, device_by_name
+from repro.hardware.predictors import BaseLayerPredictor, LayerPerformancePredictor
+from repro.nn.search_space import LensSearchSpace
+from repro.optim.mobo import MultiObjectiveBayesianOptimizer, OptimizationResult
+from repro.partition.partitioner import PartitionAnalyzer
+from repro.utils.rng import SeedLike
+from repro.wireless.channel import WirelessChannel
+
+#: The three objectives LENS minimises, in order.
+LENS_OBJECTIVES = ("error_percent", "latency_s", "energy_j")
+
+
+@dataclass
+class LensConfig:
+    """Configuration of one LENS (or Traditional) search run.
+
+    Parameters
+    ----------
+    wireless_technology / expected_uplink_mbps / round_trip_s:
+        The expected wireless conditions folded into the performance
+        objectives.  The paper's main experiment uses WiFi at 3 Mbps with the
+        round-trip time measured by pinging the server.
+    device:
+        Edge device name (``"jetson-tx2-gpu"`` / ``"jetson-tx2-cpu"``) or a
+        custom :class:`DeviceProfile`.
+    num_initial / num_iterations:
+        Random-initialisation and Bayesian-optimization budgets
+        (``C_init`` and ``N_iter`` of Algorithm 2).
+    candidate_pool_size / acquisition:
+        Acquisition-maximisation settings of the MOBO loop.
+    partition_within:
+        ``True`` for LENS (partitioning inside the objectives), ``False`` for
+        the Traditional platform-aware baseline.
+    predictor_noise_std / predictor_samples_per_type:
+        Settings of the performance-predictor training pipeline; ignored when
+        a pre-trained predictor is supplied to the search.
+    seed:
+        Master seed for the whole run.
+    """
+
+    wireless_technology: str = "wifi"
+    expected_uplink_mbps: float = 3.0
+    round_trip_s: float = 0.01
+    device: Union[str, DeviceProfile] = "jetson-tx2-gpu"
+    num_initial: int = 10
+    num_iterations: int = 50
+    candidate_pool_size: int = 128
+    acquisition: str = "ts"
+    partition_within: bool = True
+    predictor_noise_std: float = 0.03
+    predictor_samples_per_type: int = 200
+    seed: SeedLike = 0
+
+    def resolve_device(self) -> DeviceProfile:
+        """Return the device profile, instantiating built-ins by name."""
+        if isinstance(self.device, DeviceProfile):
+            return self.device
+        return device_by_name(str(self.device))
+
+    def build_channel(self) -> WirelessChannel:
+        """Wireless channel carrying the expected design-time conditions."""
+        return WirelessChannel.create(
+            technology=self.wireless_technology,
+            uplink_mbps=self.expected_uplink_mbps,
+            round_trip_s=self.round_trip_s,
+        )
+
+
+class LensSearch:
+    """Multi-objective, partition-aware NAS for edge-cloud hierarchies.
+
+    Parameters
+    ----------
+    search_space:
+        Architecture search space; defaults to the paper's VGG-derived space.
+    config:
+        Run configuration (wireless expectations, budgets, device).
+    accuracy_model:
+        Error estimator; defaults to the analytic CIFAR-10-like surrogate.
+    predictor:
+        Pre-trained per-layer performance predictor for the configured
+        device.  When omitted, one is trained from simulated profiling data
+        (which takes a few seconds).
+    progress_callback:
+        Optional ``callback(evaluation_index, candidate_evaluation)`` invoked
+        after every architecture evaluation.
+    """
+
+    def __init__(
+        self,
+        search_space: Optional[LensSearchSpace] = None,
+        config: Optional[LensConfig] = None,
+        accuracy_model: Optional[AccuracyModel] = None,
+        predictor: Optional[BaseLayerPredictor] = None,
+        progress_callback: Optional[Callable[[int, CandidateEvaluation], None]] = None,
+    ):
+        self.config = config or LensConfig()
+        self.search_space = search_space or LensSearchSpace()
+        self.accuracy_model = accuracy_model or AccuracySurrogate()
+        self.device = self.config.resolve_device()
+        self.channel = self.config.build_channel()
+        if predictor is None:
+            predictor = LayerPerformancePredictor.train_for_device(
+                self.device,
+                noise_std=self.config.predictor_noise_std,
+                samples_per_type=self.config.predictor_samples_per_type,
+                seed=self.config.seed,
+            )
+        self.predictor = predictor
+        self.analyzer = PartitionAnalyzer(self.predictor, self.channel)
+        self.evaluator = PartitionAwareEvaluator(
+            search_space=self.search_space,
+            accuracy_model=self.accuracy_model,
+            analyzer=self.analyzer,
+            partition_within=self.config.partition_within,
+        )
+        self.progress_callback = progress_callback
+        self._raw_result: Optional[OptimizationResult] = None
+
+    # ------------------------------------------------------------------ search
+    def _make_optimizer(self) -> MultiObjectiveBayesianOptimizer:
+        callback = None
+        if self.progress_callback is not None:
+            def callback(index, point, _archive):
+                self.progress_callback(index, point.metadata["evaluation"])
+
+        return MultiObjectiveBayesianOptimizer(
+            sample_fn=self.evaluator.sample_fn,
+            feature_fn=self.evaluator.feature_fn,
+            objective_fn=self.evaluator.objective_fn,
+            num_objectives=len(LENS_OBJECTIVES),
+            num_initial=self.config.num_initial,
+            num_iterations=self.config.num_iterations,
+            candidate_pool_size=self.config.candidate_pool_size,
+            acquisition=self.config.acquisition,
+            neighbor_fn=self.evaluator.neighbor_fn,
+            seed=self.config.seed,
+            callback=callback,
+        )
+
+    def run(self) -> SearchResult:
+        """Execute the search and return every explored candidate."""
+        optimizer = self._make_optimizer()
+        raw = optimizer.run()
+        self._raw_result = raw
+        candidates = []
+        for point in raw.points:
+            evaluation: CandidateEvaluation = point.metadata["evaluation"]
+            evaluation.iteration = point.iteration
+            evaluation.phase = point.phase
+            candidates.append(evaluation)
+        label = "lens" if self.config.partition_within else "traditional"
+        return SearchResult(candidates, label=label)
+
+    @property
+    def raw_result(self) -> Optional[OptimizationResult]:
+        """The underlying optimizer result of the last :meth:`run` call."""
+        return self._raw_result

@@ -1,0 +1,104 @@
+"""Feature comparison against related work (paper Table II).
+
+Table II is a qualitative matrix of the capabilities supported by LENS and by
+the prior edge-cloud DNN optimization works it discusses: Neurosurgeon (NS),
+SIEVE and the input-dependent RNN mapping work.  The matrix is reproduced
+here as data so the corresponding benchmark can print it and so the library
+documents exactly where LENS sits relative to prior work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: The capabilities compared by Table II, in paper order.
+FEATURES: Tuple[str, ...] = (
+    "Design Automation",
+    "NAS support",
+    "Wireless expectancy at Design Time",
+    "Multi-Objective Optimization",
+    "Runtime Optimization",
+    "E-C Layer-Partitioning",
+    "Compression",
+    "Hardware Optimization",
+)
+
+
+@dataclass(frozen=True)
+class RelatedWork:
+    """One column of Table II: a system and the features it supports."""
+
+    name: str
+    reference: str
+    supported: Tuple[str, ...]
+
+    def supports(self, feature: str) -> bool:
+        """Whether the system supports the given Table II feature."""
+        if feature not in FEATURES:
+            raise ValueError(f"unknown feature {feature!r}; known: {FEATURES}")
+        return feature in self.supported
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "reference": self.reference,
+            "supported": list(self.supported),
+        }
+
+
+#: The four systems of Table II with their supported features.
+RELATED_WORKS: Tuple[RelatedWork, ...] = (
+    RelatedWork(
+        name="LENS",
+        reference="this work (DAC 2021)",
+        supported=(
+            "Design Automation",
+            "NAS support",
+            "Wireless expectancy at Design Time",
+            "Multi-Objective Optimization",
+            "Runtime Optimization",
+            "E-C Layer-Partitioning",
+        ),
+    ),
+    RelatedWork(
+        name="NS",
+        reference="Neurosurgeon, Kang et al., ASPLOS 2017",
+        supported=(
+            "Runtime Optimization",
+            "E-C Layer-Partitioning",
+        ),
+    ),
+    RelatedWork(
+        name="SIEVE",
+        reference="Zamirai et al., DAC 2020",
+        supported=(
+            "Design Automation",
+            "Multi-Objective Optimization",
+            "Runtime Optimization",
+            "Compression",
+            "Hardware Optimization",
+        ),
+    ),
+    RelatedWork(
+        name="RNN",
+        reference="Pagliari et al., DAC 2020",
+        supported=("Runtime Optimization",),
+    ),
+)
+
+
+def feature_matrix() -> List[List[str]]:
+    """Table II as rows of ``[feature, mark-per-system...]`` strings."""
+    rows: List[List[str]] = []
+    for feature in FEATURES:
+        row = [feature]
+        for work in RELATED_WORKS:
+            row.append("yes" if work.supports(feature) else "-")
+        rows.append(row)
+    return rows
+
+
+def feature_matrix_headers() -> List[str]:
+    """Header row matching :func:`feature_matrix`."""
+    return ["Supported Features"] + [work.name for work in RELATED_WORKS]

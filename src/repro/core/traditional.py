@@ -1,0 +1,90 @@
+"""The "Traditional" baseline of the paper's evaluation (§V).
+
+The paper has no direct competitor, so LENS is compared against the natural
+two-step alternative: (1) run platform-aware multi-objective NAS targeting
+the edge device alone (error / on-device latency / on-device energy), then
+(2) apply the optimal layer distribution *afterwards* to the architectures of
+the resulting Pareto set.  :class:`TraditionalSearch` implements step (1) by
+reusing the LENS machinery with ``partition_within=False``;
+:meth:`TraditionalSearch.partition_result` implements step (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.core.lens import LensConfig, LensSearch
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.nn.search_space import LensSearchSpace
+
+
+class TraditionalSearch(LensSearch):
+    """Platform-aware NAS for the edge device only (no partition awareness).
+
+    Accepts the same arguments as :class:`~repro.core.lens.LensSearch`; the
+    ``partition_within`` flag of the supplied configuration is forced off so
+    the latency/energy objectives are always the All-Edge values.
+    """
+
+    def __init__(self, search_space=None, config: Optional[LensConfig] = None, **kwargs):
+        config = config or LensConfig()
+        config = replace(config, partition_within=False)
+        super().__init__(search_space=search_space, config=config, **kwargs)
+
+    # ------------------------------------------------------------------ post-hoc partitioning
+    def partition_candidates(
+        self, candidates: Sequence[CandidateEvaluation]
+    ) -> List[CandidateEvaluation]:
+        """Re-cost candidates using their best deployment option.
+
+        This is the paper's "after partitioning models in the Traditional's
+        Pareto set" step: the architecture (and therefore its error) is
+        unchanged, but latency and energy become the best achievable over all
+        deployment options under the expected wireless conditions.
+        """
+        partitioned: List[CandidateEvaluation] = []
+        for candidate in candidates:
+            performance_arch = self.search_space.decode_for_performance(
+                candidate.genotype
+            )
+            evaluation = self.analyzer.evaluate(performance_arch)
+            best_latency = evaluation.best_latency
+            best_energy = evaluation.best_energy
+            partitioned.append(
+                replace(
+                    candidate,
+                    latency_s=float(best_latency.latency_s),
+                    energy_j=float(best_energy.energy_j),
+                    best_latency_option=best_latency.option,
+                    best_energy_option=best_energy.option,
+                    extras={
+                        **candidate.extras,
+                        "partitioned_after_search": True,
+                    },
+                )
+            )
+        return partitioned
+
+    def partition_result(
+        self,
+        result: SearchResult,
+        metrics: Sequence[str] = ("error_percent", "energy_j"),
+        pareto_only: bool = True,
+    ) -> SearchResult:
+        """Apply post-hoc partitioning to a Traditional search result.
+
+        Parameters
+        ----------
+        result:
+            The result of :meth:`run`.
+        metrics:
+            Metrics defining the Pareto set to partition (the paper
+            partitions the frontier models).
+        pareto_only:
+            When ``True`` only frontier candidates are re-costed (the paper's
+            procedure); otherwise every explored candidate is.
+        """
+        source = result.pareto_candidates(metrics) if pareto_only else list(result)
+        partitioned = self.partition_candidates(source)
+        return SearchResult(partitioned, label=f"{result.label}+partitioned")

@@ -1,0 +1,102 @@
+"""Feature extraction for the per-layer performance regression models.
+
+Following the prediction-model construction of Neurosurgeon (Kang et al.,
+ASPLOS'17), which the paper adopts ("Each prediction model would have its
+input features constructed as in [3]"), each layer family has its own small
+feature vector built from the layer's configuration and its input/output
+feature-map sizes.  Features are expressed in "mega" units (1e6 elements /
+operations / bytes) so the regression design matrices are well conditioned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.architecture import LayerSummary
+
+#: Scaling applied to raw counts before regression.
+MEGA = 1e6
+
+
+def conv_features(summary: LayerSummary) -> np.ndarray:
+    """Features for convolutional layers.
+
+    ``[input elements, output elements, MACs, parameters, weight bytes,
+    total activation+weight traffic]`` in mega-units.
+    """
+    traffic = summary.weight_bytes + summary.output_bytes + 4 * summary.input_elements
+    return np.array(
+        [
+            summary.input_elements / MEGA,
+            summary.output_elements / MEGA,
+            summary.macs / MEGA,
+            summary.params / MEGA,
+            summary.weight_bytes / MEGA,
+            traffic / MEGA,
+        ]
+    )
+
+
+def fc_features(summary: LayerSummary) -> np.ndarray:
+    """Features for fully-connected layers.
+
+    ``[input features, output features, MACs, weight bytes]`` in mega-units.
+    """
+    return np.array(
+        [
+            summary.input_elements / MEGA,
+            summary.output_elements / MEGA,
+            summary.macs / MEGA,
+            summary.weight_bytes / MEGA,
+        ]
+    )
+
+
+def pool_features(summary: LayerSummary) -> np.ndarray:
+    """Features for pooling layers: ``[input elements, output elements, ops]``."""
+    return np.array(
+        [
+            summary.input_elements / MEGA,
+            summary.output_elements / MEGA,
+            summary.macs / MEGA,
+        ]
+    )
+
+
+def generic_features(summary: LayerSummary) -> np.ndarray:
+    """Fallback features for structural layers (flatten, dropout)."""
+    return np.array(
+        [
+            summary.input_elements / MEGA,
+            summary.output_elements / MEGA,
+        ]
+    )
+
+
+_FEATURE_EXTRACTORS = {
+    "conv": conv_features,
+    "fc": fc_features,
+    "pool": pool_features,
+}
+
+
+def layer_features(summary: LayerSummary) -> np.ndarray:
+    """Dispatch feature extraction based on the layer family."""
+    extractor = _FEATURE_EXTRACTORS.get(summary.layer_type, generic_features)
+    return extractor(summary)
+
+
+def feature_dimension(layer_type: str) -> int:
+    """Dimensionality of the feature vector used for a layer family."""
+    dims: Dict[str, int] = {"conv": 6, "fc": 4, "pool": 3}
+    return dims.get(layer_type, 2)
+
+
+def stack_features(summaries: List[LayerSummary]) -> Dict[str, np.ndarray]:
+    """Group summaries by layer family and stack their feature vectors."""
+    grouped: Dict[str, List[np.ndarray]] = {}
+    for summary in summaries:
+        grouped.setdefault(summary.layer_type, []).append(layer_features(summary))
+    return {family: np.vstack(rows) for family, rows in grouped.items()}

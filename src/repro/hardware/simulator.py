@@ -1,0 +1,142 @@
+"""Analytical layer-cost simulator standing in for on-device measurements.
+
+The paper builds its per-layer latency/power prediction models from *measured*
+data: each layer type is run under many parameter combinations on the Jetson
+TX2 using Caffe, latency is read from Caffe's timing and power from the
+board's sensing circuit.  Offline we replace the physical board with this
+simulator, which plays the role of the measurement apparatus:
+
+* **latency** follows a roofline model — a layer takes the maximum of its
+  compute time (FLOPs divided by the device's effective per-family compute
+  rate) and its memory time (weights + activation traffic divided by the
+  effective memory bandwidth), plus a fixed dispatch overhead;
+* **power** interpolates between the device's idle and busy draw according to
+  the layer's compute utilisation, so compute-bound convolutions draw near
+  peak power while memory-bound fully-connected layers draw considerably
+  less;
+* optional multiplicative log-normal noise models measurement variation, so
+  the downstream regression models are fitted against noisy observations just
+  as they would be against real measurements.
+
+The regression predictors in :mod:`repro.hardware.predictors` are trained on
+datasets produced by sampling this simulator; the NAS itself only ever sees
+the predictors, mirroring the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.device import DeviceProfile
+from repro.nn.architecture import Architecture, LayerSummary
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_non_negative
+
+#: Fraction of the busy power a fully memory-bound layer still draws.
+MEMORY_BOUND_POWER_FLOOR = 0.3
+
+
+@dataclass(frozen=True)
+class LayerMeasurement:
+    """One simulated measurement of a layer's execution."""
+
+    latency_s: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        """Energy consumed by the layer execution."""
+        return self.latency_s * self.power_w
+
+
+class LayerCostSimulator:
+    """Roofline-style latency/power model for a single device.
+
+    Parameters
+    ----------
+    device:
+        The device profile to simulate.
+    noise_std:
+        Standard deviation of the multiplicative log-normal measurement noise
+        (0 disables noise and makes the simulator deterministic).
+    rng:
+        Seed or generator for the measurement noise.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        noise_std: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        require_non_negative(noise_std, "noise_std")
+        self.device = device
+        self.noise_std = float(noise_std)
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ core model
+    def compute_time(self, summary: LayerSummary) -> float:
+        """Time the layer would take if it were purely compute-bound."""
+        rate = self.device.compute_rate(summary.layer_type)
+        return summary.flops / rate
+
+    def memory_time(self, summary: LayerSummary) -> float:
+        """Time the layer would take if it were purely memory-bound."""
+        traffic = (
+            summary.weight_bytes
+            + summary.output_bytes
+            + summary.input_elements * 4
+        )
+        return traffic / self.device.memory_bandwidth_bps
+
+    def utilization(self, summary: LayerSummary) -> float:
+        """Compute utilisation in [0, 1]; 1 for fully compute-bound layers."""
+        compute = self.compute_time(summary)
+        bound = max(compute, self.memory_time(summary))
+        if bound <= 0.0:
+            return 0.0
+        return compute / bound
+
+    def latency(self, summary: LayerSummary) -> float:
+        """Noiseless layer latency in seconds."""
+        busy = max(self.compute_time(summary), self.memory_time(summary))
+        return busy + self.device.layer_overhead_s
+
+    def power(self, summary: LayerSummary) -> float:
+        """Noiseless average power draw during the layer execution, in watts."""
+        utilisation = self.utilization(summary)
+        scale = MEMORY_BOUND_POWER_FLOOR + (1.0 - MEMORY_BOUND_POWER_FLOOR) * utilisation
+        return self.device.idle_power_w + self.device.busy_power_w * scale
+
+    # ------------------------------------------------------------------ measurement API
+    def _noise_factor(self) -> float:
+        if self.noise_std <= 0.0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.noise_std)))
+
+    def measure(self, summary: LayerSummary) -> LayerMeasurement:
+        """Produce one (possibly noisy) measurement of the layer."""
+        latency = self.latency(summary) * self._noise_factor()
+        power = self.power(summary) * self._noise_factor()
+        return LayerMeasurement(latency_s=latency, power_w=power)
+
+    def measure_architecture(
+        self, architecture: Architecture
+    ) -> Tuple[Tuple[LayerMeasurement, ...], float, float]:
+        """Measure every layer of an architecture.
+
+        Returns
+        -------
+        (measurements, total_latency_s, total_energy_j)
+            Per-layer measurements plus the whole-model on-device latency and
+            energy (sums over layers).
+        """
+        measurements = tuple(
+            self.measure(summary) for summary in architecture.summarize()
+        )
+        total_latency = sum(m.latency_s for m in measurements)
+        total_energy = sum(m.energy_j for m in measurements)
+        return measurements, total_latency, total_energy

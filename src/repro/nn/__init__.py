@@ -1,0 +1,41 @@
+"""Neural-network intermediate representation and search-space definitions."""
+
+from repro.nn.alexnet import build_alexnet
+from repro.nn.architecture import Architecture, LayerSummary, stack_layers
+from repro.nn.encoding import EncodingScheme, Gene
+from repro.nn.layers import (
+    BYTES_PER_ELEMENT,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LayerSpec,
+    MaxPool2D,
+    element_count,
+    layer_from_dict,
+    shape_bytes,
+)
+from repro.nn.search_space import LensSearchSpace
+from repro.nn.vgg import build_vgg16, build_vgg_like
+
+__all__ = [
+    "Architecture",
+    "LayerSummary",
+    "stack_layers",
+    "EncodingScheme",
+    "Gene",
+    "BYTES_PER_ELEMENT",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "LayerSpec",
+    "MaxPool2D",
+    "element_count",
+    "layer_from_dict",
+    "shape_bytes",
+    "LensSearchSpace",
+    "build_alexnet",
+    "build_vgg16",
+    "build_vgg_like",
+]

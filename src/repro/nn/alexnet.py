@@ -1,0 +1,53 @@
+"""Reference AlexNet architecture (Krizhevsky et al., 2012).
+
+Used by the paper's motivational example (Fig. 1, Fig. 2 and Table I): the
+per-layer analysis of output feature-map sizes and latency shares, and the
+study of how the preferred edge/cloud partition point moves with the upload
+throughput.  Activation / normalisation layers are fused into their preceding
+layers, matching the paper's treatment, so the layer list is:
+
+``conv1, pool1, conv2, pool2, conv3, conv4, conv5, pool5, fc6, fc7, fc8``
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nn.architecture import Architecture
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+
+
+def build_alexnet(
+    num_classes: int = 1000, input_shape: Tuple[int, int, int] = (3, 224, 224)
+) -> Architecture:
+    """Build the AlexNet reference architecture.
+
+    Parameters
+    ----------
+    num_classes:
+        Size of the final softmax layer (1000 for ImageNet).
+    input_shape:
+        Channels-first input shape; the paper's deployment analysis uses
+        224x224x3 RGB inputs (147 kB).
+
+    Returns
+    -------
+    Architecture
+        The AlexNet model with fused activations and local-response
+        normalisation omitted (negligible cost, no shape change).
+    """
+    layers = [
+        Conv2D(name="conv1", out_channels=96, kernel_size=11, stride=4, padding=2),
+        MaxPool2D(name="pool1", pool_size=3, stride=2),
+        Conv2D(name="conv2", out_channels=256, kernel_size=5, stride=1, padding="same"),
+        MaxPool2D(name="pool2", pool_size=3, stride=2),
+        Conv2D(name="conv3", out_channels=384, kernel_size=3, stride=1, padding="same"),
+        Conv2D(name="conv4", out_channels=384, kernel_size=3, stride=1, padding="same"),
+        Conv2D(name="conv5", out_channels=256, kernel_size=3, stride=1, padding="same"),
+        MaxPool2D(name="pool5", pool_size=3, stride=2),
+        Flatten(name="flatten"),
+        Dense(name="fc6", units=4096),
+        Dense(name="fc7", units=4096),
+        Dense(name="fc8", units=num_classes, activation="softmax"),
+    ]
+    return Architecture("alexnet", input_shape, layers)

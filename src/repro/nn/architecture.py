@@ -1,0 +1,278 @@
+"""Architecture container and static (shape / cost) analysis.
+
+An :class:`Architecture` is an ordered list of :class:`~repro.nn.layers.LayerSpec`
+objects together with an input shape.  Calling :meth:`Architecture.summarize`
+performs full shape inference and returns one :class:`LayerSummary` per layer
+with everything the partitioning engine and the hardware predictors need:
+input/output shapes, parameter counts, MAC counts and activation byte sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.nn.layers import (
+    BYTES_PER_ELEMENT,
+    LayerSpec,
+    Shape,
+    element_count,
+    layer_from_dict,
+    shape_bytes,
+)
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """Static analysis record for one layer within a concrete architecture.
+
+    Attributes
+    ----------
+    index:
+        Zero-based position of the layer within the architecture.
+    name:
+        Layer name (unique within the architecture).
+    layer_type:
+        Layer family identifier (``conv``, ``pool``, ``fc``, ...).
+    input_shape / output_shape:
+        Channels-first activation shapes entering and leaving the layer.
+    params:
+        Trainable parameter count.
+    macs:
+        Multiply-accumulate operations per inference.
+    output_bytes:
+        Size of the layer's output activation in bytes (what would be
+        transmitted if the model were split right after this layer).
+    weight_bytes:
+        Size of the layer's parameters in bytes (memory traffic lower bound
+        for memory-bound layers such as large fully-connected layers).
+    is_partition_candidate:
+        Whether the layer boundary is structurally eligible as a split point.
+    """
+
+    index: int
+    name: str
+    layer_type: str
+    input_shape: Shape
+    output_shape: Shape
+    params: int
+    macs: int
+    output_bytes: int
+    weight_bytes: int
+    is_partition_candidate: bool
+
+    @property
+    def flops(self) -> int:
+        """Floating point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def output_elements(self) -> int:
+        """Number of scalars in the output activation."""
+        return element_count(self.output_shape)
+
+    @property
+    def input_elements(self) -> int:
+        """Number of scalars in the input activation."""
+        return element_count(self.input_shape)
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "layer_type": self.layer_type,
+            "input_shape": list(self.input_shape),
+            "output_shape": list(self.output_shape),
+            "params": self.params,
+            "macs": self.macs,
+            "output_bytes": self.output_bytes,
+            "weight_bytes": self.weight_bytes,
+            "is_partition_candidate": self.is_partition_candidate,
+        }
+
+
+class Architecture:
+    """An ordered stack of layers with a fixed input shape.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"alexnet"`` or ``"lens-candidate-42"``.
+    input_shape:
+        Channels-first shape of the network input, e.g. ``(3, 224, 224)``.
+    layers:
+        The layer specifications, applied in order.
+    input_bytes_per_element:
+        Storage size of one raw input element when the input is uploaded to
+        the cloud.  Camera images are captured as 8-bit pixels, so the default
+        is 1 byte — a 224x224x3 input occupies 147 kB, the figure the paper
+        quotes — while intermediate feature maps remain 4-byte floats.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Shape,
+        layers: Sequence[LayerSpec],
+        input_bytes_per_element: int = 1,
+    ):
+        if not layers:
+            raise ValueError("an architecture requires at least one layer")
+        if input_bytes_per_element < 1:
+            raise ValueError(
+                f"input_bytes_per_element must be >= 1, got {input_bytes_per_element}"
+            )
+        self.name = str(name)
+        self.input_shape: Shape = tuple(int(s) for s in input_shape)
+        self.input_bytes_per_element = int(input_bytes_per_element)
+        self.layers: Tuple[LayerSpec, ...] = tuple(layers)
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate layer names: {duplicates}")
+        self._summaries: Optional[Tuple[LayerSummary, ...]] = None
+
+    # ------------------------------------------------------------------ dunder
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[LayerSpec]:
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> LayerSpec:
+        return self.layers[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"Architecture(name={self.name!r}, input_shape={self.input_shape}, "
+            f"layers={len(self.layers)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Architecture):
+            return NotImplemented
+        return (
+            self.input_shape == other.input_shape
+            and self.input_bytes_per_element == other.input_bytes_per_element
+            and self.layers == other.layers
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.input_shape, self.input_bytes_per_element, self.layers))
+
+    # ------------------------------------------------------------------ analysis
+    def summarize(self) -> Tuple[LayerSummary, ...]:
+        """Run shape inference and return per-layer summaries (cached)."""
+        if self._summaries is None:
+            summaries: List[LayerSummary] = []
+            current_shape = self.input_shape
+            for index, layer in enumerate(self.layers):
+                output_shape = layer.output_shape(current_shape)
+                summaries.append(
+                    LayerSummary(
+                        index=index,
+                        name=layer.name,
+                        layer_type=layer.layer_type,
+                        input_shape=current_shape,
+                        output_shape=output_shape,
+                        params=layer.param_count(current_shape),
+                        macs=layer.macs(current_shape),
+                        output_bytes=shape_bytes(output_shape),
+                        weight_bytes=layer.weight_bytes(current_shape),
+                        is_partition_candidate=layer.is_partition_candidate,
+                    )
+                )
+                current_shape = output_shape
+            self._summaries = tuple(summaries)
+        return self._summaries
+
+    @property
+    def output_shape(self) -> Shape:
+        """Shape of the final layer's output."""
+        return self.summarize()[-1].output_shape
+
+    @property
+    def input_bytes(self) -> int:
+        """Size of the raw network input in bytes (the All-Cloud upload size)."""
+        return element_count(self.input_shape) * self.input_bytes_per_element
+
+    @property
+    def total_params(self) -> int:
+        """Total trainable parameter count."""
+        return sum(s.params for s in self.summarize())
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulate operations per inference."""
+        return sum(s.macs for s in self.summarize())
+
+    @property
+    def total_flops(self) -> int:
+        """Total floating point operations per inference."""
+        return 2 * self.total_macs
+
+    @property
+    def depth(self) -> int:
+        """Number of parameterised (conv + fc) layers."""
+        return sum(1 for s in self.summarize() if s.layer_type in ("conv", "fc"))
+
+    def count_layers(self, layer_type: str) -> int:
+        """Number of layers of the given family."""
+        return sum(1 for s in self.summarize() if s.layer_type == layer_type)
+
+    def layer_index(self, name: str) -> int:
+        """Index of the layer with the given name.
+
+        Raises ``KeyError`` if no layer carries that name.
+        """
+        for index, layer in enumerate(self.layers):
+            if layer.name == name:
+                return index
+        raise KeyError(f"no layer named {name!r} in architecture {self.name!r}")
+
+    def output_bytes_after(self, index: int) -> int:
+        """Bytes of the activation produced by the layer at ``index``."""
+        return self.summarize()[index].output_bytes
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict:
+        """Serialisable description of the architecture."""
+        return {
+            "name": self.name,
+            "input_shape": list(self.input_shape),
+            "input_bytes_per_element": self.input_bytes_per_element,
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Architecture":
+        """Reconstruct an architecture from :meth:`to_dict` output."""
+        layers = [layer_from_dict(entry) for entry in data["layers"]]
+        return cls(
+            data["name"],
+            tuple(data["input_shape"]),
+            layers,
+            input_bytes_per_element=data.get("input_bytes_per_element", 1),
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (one row per layer)."""
+        lines = [
+            f"{self.name}: input {self.input_shape}, "
+            f"{self.total_params:,} params, {self.total_macs:,} MACs"
+        ]
+        for summary in self.summarize():
+            lines.append(
+                f"  [{summary.index:>2}] {summary.name:<12} {summary.layer_type:<8}"
+                f" out={summary.output_shape!s:<18} params={summary.params:>12,}"
+                f" macs={summary.macs:>14,} out_kB={summary.output_bytes / 1024:,.1f}"
+            )
+        return "\n".join(lines)
+
+
+def stack_layers(groups: Iterable[Sequence[LayerSpec]]) -> List[LayerSpec]:
+    """Flatten an iterable of layer groups into a single ordered list."""
+    flattened: List[LayerSpec] = []
+    for group in groups:
+        flattened.extend(group)
+    return flattened

@@ -1,0 +1,83 @@
+"""Reference VGG-16 architecture (Simonyan & Zisserman, 2015).
+
+The LENS experimental search space (Fig. 4 of the paper) is derived from
+VGG-16: five convolutional blocks each followed by max pooling, then fully
+connected layers.  The reference model is provided both as a sanity baseline
+for the search space (VGG-16 itself is a member of a slightly widened version
+of the space) and for the hardware-predictor calibration tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.nn.architecture import Architecture
+from repro.nn.layers import Conv2D, Dense, Flatten, LayerSpec, MaxPool2D
+
+#: Filters per convolutional block in VGG-16.
+VGG16_BLOCK_FILTERS: Tuple[int, ...] = (64, 128, 256, 512, 512)
+
+#: Convolutional layers per block in VGG-16.
+VGG16_BLOCK_DEPTHS: Tuple[int, ...] = (2, 2, 3, 3, 3)
+
+
+def build_vgg16(
+    num_classes: int = 1000, input_shape: Tuple[int, int, int] = (3, 224, 224)
+) -> Architecture:
+    """Build the canonical VGG-16 architecture (configuration D)."""
+    return build_vgg_like(
+        name="vgg16",
+        block_filters=VGG16_BLOCK_FILTERS,
+        block_depths=VGG16_BLOCK_DEPTHS,
+        fc_units=(4096, 4096),
+        num_classes=num_classes,
+        input_shape=input_shape,
+    )
+
+
+def build_vgg_like(
+    name: str,
+    block_filters: Sequence[int],
+    block_depths: Sequence[int],
+    fc_units: Sequence[int],
+    num_classes: int = 10,
+    input_shape: Tuple[int, int, int] = (3, 224, 224),
+    kernel_size: int = 3,
+    batch_norm: bool = False,
+) -> Architecture:
+    """Construct a VGG-style architecture from block descriptions.
+
+    Parameters
+    ----------
+    block_filters / block_depths:
+        Filters and number of convolutional layers for each block; the two
+        sequences must have equal length.  Each block is followed by a 2x2
+        max-pooling layer.
+    fc_units:
+        Hidden fully-connected layer widths (may be empty); a final
+        ``num_classes``-way softmax layer is always appended.
+    """
+    if len(block_filters) != len(block_depths):
+        raise ValueError(
+            "block_filters and block_depths must have the same length, got "
+            f"{len(block_filters)} and {len(block_depths)}"
+        )
+    layers: List[LayerSpec] = []
+    for block_idx, (filters, depth) in enumerate(zip(block_filters, block_depths), start=1):
+        for layer_idx in range(1, depth + 1):
+            layers.append(
+                Conv2D(
+                    name=f"conv{block_idx}_{layer_idx}",
+                    out_channels=int(filters),
+                    kernel_size=kernel_size,
+                    stride=1,
+                    padding="same",
+                    batch_norm=batch_norm,
+                )
+            )
+        layers.append(MaxPool2D(name=f"pool{block_idx}", pool_size=2))
+    layers.append(Flatten(name="flatten"))
+    for fc_idx, units in enumerate(fc_units, start=1):
+        layers.append(Dense(name=f"fc{fc_idx}", units=int(units)))
+    layers.append(Dense(name="classifier", units=int(num_classes), activation="softmax"))
+    return Architecture(name, input_shape, layers)

@@ -1,0 +1,68 @@
+"""Multi-objective Bayesian optimization substrate."""
+
+from repro.optim.acquisition import (
+    ACQUISITION_STRATEGIES,
+    acquisition_scores,
+    expected_improvement,
+    lcb_scores,
+    mean_scores,
+    thompson_scores,
+)
+from repro.optim.gp import GaussianProcess
+from repro.optim.kernels import Kernel, Matern52Kernel, RBFKernel, kernel_by_name
+from repro.optim.mobo import (
+    MultiObjectiveBayesianOptimizer,
+    ObservedPoint,
+    OptimizationResult,
+)
+from repro.optim.pareto import (
+    ArchiveEntry,
+    ParetoArchive,
+    combined_front_composition,
+    coverage,
+    dominates,
+    hypervolume,
+    hypervolume_2d,
+    non_dominated_sort,
+    pareto_front_indices,
+    pareto_front_mask,
+)
+from repro.optim.random_search import RandomSearch
+from repro.optim.scalarization import (
+    chebyshev_scalarize,
+    normalize_objectives,
+    random_weights,
+    weighted_sum_scalarize,
+)
+
+__all__ = [
+    "ACQUISITION_STRATEGIES",
+    "acquisition_scores",
+    "expected_improvement",
+    "lcb_scores",
+    "mean_scores",
+    "thompson_scores",
+    "GaussianProcess",
+    "Kernel",
+    "Matern52Kernel",
+    "RBFKernel",
+    "kernel_by_name",
+    "MultiObjectiveBayesianOptimizer",
+    "ObservedPoint",
+    "OptimizationResult",
+    "ArchiveEntry",
+    "ParetoArchive",
+    "combined_front_composition",
+    "coverage",
+    "dominates",
+    "hypervolume",
+    "hypervolume_2d",
+    "non_dominated_sort",
+    "pareto_front_indices",
+    "pareto_front_mask",
+    "RandomSearch",
+    "chebyshev_scalarize",
+    "normalize_objectives",
+    "random_weights",
+    "weighted_sum_scalarize",
+]

@@ -1,0 +1,125 @@
+"""Acquisition strategies over a discrete candidate pool.
+
+The architecture search space is finite and discrete, so the maximisation of
+the acquisition function (Eq. 7 of the paper) is performed over a sampled
+pool of candidate genotypes rather than by continuous optimisation.  Each
+strategy scores every pool member per objective; the MOBO loop then
+scalarises the per-objective scores and picks the pool member with the best
+(lowest) scalarised value.
+
+All objectives are minimised, so *lower scores are better* for every strategy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.optim.gp import GaussianProcess
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_non_negative
+
+#: Acquisition strategy names accepted by the optimizers.
+ACQUISITION_STRATEGIES = ("ts", "ucb", "mean", "random")
+
+
+def thompson_scores(
+    models: Sequence[GaussianProcess],
+    pool_features: np.ndarray,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Thompson-sampling scores: one joint posterior draw per objective.
+
+    Returns an ``(n_pool, n_objectives)`` matrix of sampled objective values.
+    Minimising a scalarisation of these samples implements multi-objective
+    Thompson sampling, the strategy Dragonfly uses by default.
+    """
+    rng = ensure_rng(rng)
+    pool_features = np.atleast_2d(np.asarray(pool_features, dtype=float))
+    columns: List[np.ndarray] = []
+    for model in models:
+        sample = model.sample_posterior(pool_features, rng=rng, num_samples=1)[0]
+        columns.append(sample)
+    return np.column_stack(columns)
+
+
+def lcb_scores(
+    models: Sequence[GaussianProcess],
+    pool_features: np.ndarray,
+    beta: float = 2.0,
+) -> np.ndarray:
+    """Lower-confidence-bound scores ``mean - beta * std`` per objective.
+
+    Optimistic under minimisation: points with low predicted mean or high
+    uncertainty receive low (attractive) scores.
+    """
+    require_non_negative(beta, "beta")
+    pool_features = np.atleast_2d(np.asarray(pool_features, dtype=float))
+    columns: List[np.ndarray] = []
+    for model in models:
+        mean, std = model.predict(pool_features, return_std=True)
+        columns.append(mean - beta * std)
+    return np.column_stack(columns)
+
+
+def mean_scores(
+    models: Sequence[GaussianProcess], pool_features: np.ndarray
+) -> np.ndarray:
+    """Pure-exploitation scores: the posterior means."""
+    pool_features = np.atleast_2d(np.asarray(pool_features, dtype=float))
+    columns: List[np.ndarray] = []
+    for model in models:
+        mean, _ = model.predict(pool_features, return_std=False)
+        columns.append(mean)
+    return np.column_stack(columns)
+
+
+def expected_improvement(
+    model: GaussianProcess,
+    pool_features: np.ndarray,
+    best_observed: float,
+) -> np.ndarray:
+    """Single-objective expected improvement (for minimisation).
+
+    Provided for the single-objective ablations; returns *negative* EI so the
+    convention "lower score is better" holds for every strategy.
+    """
+    from scipy.stats import norm
+
+    pool_features = np.atleast_2d(np.asarray(pool_features, dtype=float))
+    mean, std = model.predict(pool_features, return_std=True)
+    std = np.maximum(std, 1e-12)
+    improvement = best_observed - mean
+    z = improvement / std
+    ei = improvement * norm.cdf(z) + std * norm.pdf(z)
+    return -np.maximum(ei, 0.0)
+
+
+def acquisition_scores(
+    strategy: str,
+    models: Sequence[GaussianProcess],
+    pool_features: np.ndarray,
+    rng: SeedLike = None,
+    beta: float = 2.0,
+) -> np.ndarray:
+    """Dispatch to the requested acquisition strategy.
+
+    ``"random"`` returns i.i.d. uniform scores, yielding random search with
+    the same bookkeeping as the model-based strategies (useful as a baseline).
+    """
+    strategy = strategy.strip().lower()
+    if strategy not in ACQUISITION_STRATEGIES:
+        raise ValueError(
+            f"unknown acquisition strategy {strategy!r}; "
+            f"available: {ACQUISITION_STRATEGIES}"
+        )
+    pool_features = np.atleast_2d(np.asarray(pool_features, dtype=float))
+    if strategy == "random":
+        rng = ensure_rng(rng)
+        return rng.uniform(size=(pool_features.shape[0], len(models)))
+    if strategy == "ts":
+        return thompson_scores(models, pool_features, rng=rng)
+    if strategy == "ucb":
+        return lcb_scores(models, pool_features, beta=beta)
+    return mean_scores(models, pool_features)

@@ -1,0 +1,179 @@
+"""Exact Gaussian-process regression (the MOBO surrogate models).
+
+Section III-B of the paper: each objective function ``f_k`` is approximated
+by a surrogate Gaussian Process whose posterior is updated after every
+evaluation, and an acquisition function built from the posteriors selects the
+next query point.  This module provides the exact-GP machinery: Cholesky
+based fitting, posterior mean/variance prediction, posterior function
+sampling (for Thompson-sampling acquisitions) and a light-weight grid search
+over kernel lengthscales driven by the log marginal likelihood.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.optim.kernels import Kernel, Matern52Kernel
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive
+
+#: Jitter added to covariance diagonals for numerical stability.
+DEFAULT_JITTER = 1e-8
+
+
+class GaussianProcess:
+    """Exact GP regression with a fixed kernel and Gaussian observation noise.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance kernel; defaults to Matérn-5/2 with lengthscale 0.3.
+    noise_variance:
+        Variance of the i.i.d. Gaussian observation noise.
+    normalize_y:
+        Whether to standardise targets before fitting (recommended; the
+        objective scales in this library span micro-seconds to joules).
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise_variance: float = 1e-4,
+        normalize_y: bool = True,
+    ):
+        require_positive(noise_variance, "noise_variance")
+        self.kernel = kernel if kernel is not None else Matern52Kernel()
+        self.noise_variance = float(noise_variance)
+        self.normalize_y = bool(normalize_y)
+        self._X: Optional[np.ndarray] = None
+        self._y_raw: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._y_mean: float = 0.0
+        self._y_std: float = 1.0
+        self._chol: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ fitting
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the GP has been conditioned on data."""
+        return self._chol is not None
+
+    @property
+    def num_observations(self) -> int:
+        """Number of training observations."""
+        return 0 if self._X is None else self._X.shape[0]
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Condition the GP on observations ``(X, y)``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+            )
+        if X.shape[0] < 1:
+            raise ValueError("at least one observation is required")
+        self._X = X
+        self._y_raw = y
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            std = float(y.std())
+            self._y_std = std if std > 1e-12 else 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        self._y = (y - self._y_mean) / self._y_std
+        K = self.kernel(X, X)
+        K[np.diag_indices_from(K)] += self.noise_variance + DEFAULT_JITTER
+        self._chol = np.linalg.cholesky(K)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, self._y)
+        )
+        return self
+
+    # ------------------------------------------------------------------ prediction
+    def predict(
+        self, Xs: np.ndarray, return_std: bool = True
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Posterior mean (and optionally standard deviation) at ``Xs``."""
+        self._require_fitted()
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        Ks = self.kernel(self._X, Xs)
+        mean = Ks.T @ self._alpha
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean, None
+        v = np.linalg.solve(self._chol, Ks)
+        var = self.kernel.diag(Xs) - np.sum(v**2, axis=0)
+        var = np.maximum(var, 1e-12)
+        std = np.sqrt(var) * self._y_std
+        return mean, std
+
+    def posterior_covariance(self, Xs: np.ndarray) -> np.ndarray:
+        """Full posterior covariance matrix at ``Xs`` (in original y units)."""
+        self._require_fitted()
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        Ks = self.kernel(self._X, Xs)
+        v = np.linalg.solve(self._chol, Ks)
+        cov = self.kernel(Xs, Xs) - v.T @ v
+        cov[np.diag_indices_from(cov)] = np.maximum(np.diag(cov), 1e-12)
+        return cov * self._y_std**2
+
+    def sample_posterior(
+        self, Xs: np.ndarray, rng: SeedLike = None, num_samples: int = 1
+    ) -> np.ndarray:
+        """Draw joint posterior function samples at ``Xs``.
+
+        Returns an array of shape ``(num_samples, len(Xs))`` in original target
+        units.  Used by Thompson-sampling acquisitions.
+        """
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        rng = ensure_rng(rng)
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        mean, _ = self.predict(Xs, return_std=False)
+        cov = self.posterior_covariance(Xs)
+        cov[np.diag_indices_from(cov)] += DEFAULT_JITTER * self._y_std**2
+        chol = np.linalg.cholesky(cov)
+        normals = rng.standard_normal((num_samples, Xs.shape[0]))
+        return mean[None, :] + normals @ chol.T
+
+    # ------------------------------------------------------------------ model selection
+    def log_marginal_likelihood(self) -> float:
+        """Log marginal likelihood of the (normalised) training targets."""
+        self._require_fitted()
+        n = self._X.shape[0]
+        data_fit = -0.5 * float(self._y @ self._alpha)
+        complexity = -float(np.sum(np.log(np.diag(self._chol))))
+        constant = -0.5 * n * np.log(2.0 * np.pi)
+        return data_fit + complexity + constant
+
+    def optimize_lengthscale(
+        self, candidates: Sequence[float] = (0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0, 3.0)
+    ) -> float:
+        """Grid-search the kernel lengthscale by maximising the marginal likelihood.
+
+        Refits the GP with the best lengthscale and returns it.  A simple grid
+        is sufficient here: the genotype features live in the unit cube, so
+        plausible lengthscales span roughly one order of magnitude.
+        """
+        self._require_fitted()
+        X, y = self._X, self._y_raw
+        best_score = -np.inf
+        best_lengthscale = None
+        for lengthscale in candidates:
+            self.kernel = self.kernel.with_params(lengthscale=lengthscale)
+            self.fit(X, y)
+            score = self.log_marginal_likelihood()
+            if score > best_score:
+                best_score = score
+                best_lengthscale = lengthscale
+        self.kernel = self.kernel.with_params(lengthscale=best_lengthscale)
+        self.fit(X, y)
+        return float(best_lengthscale)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("GaussianProcess must be fitted before use")

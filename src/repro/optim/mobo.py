@@ -1,0 +1,361 @@
+"""Generic multi-objective Bayesian optimization loop (paper Algorithm 2).
+
+The optimizer is agnostic to what a "candidate" is: the LENS search plugs in
+architecture genotypes, but the same loop drives the ablation studies and the
+unit tests (which use synthetic objective functions).  The loop follows the
+paper's Algorithm 2:
+
+1. evaluate ``num_initial`` random candidates (lines 2-6);
+2. each iteration, fit one Gaussian-process surrogate per objective on all
+   evaluations so far, score a sampled candidate pool with the chosen
+   acquisition strategy, scalarise the per-objective scores with random
+   Chebyshev weights, and evaluate the best-scoring unseen candidate
+   (lines 7-13);
+3. maintain the Pareto archive of all evaluations (line 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.optim.acquisition import ACQUISITION_STRATEGIES, acquisition_scores
+from repro.optim.gp import GaussianProcess
+from repro.optim.kernels import kernel_by_name
+from repro.optim.pareto import ParetoArchive, pareto_front_mask
+from repro.optim.scalarization import (
+    chebyshev_scalarize,
+    normalize_objectives,
+    random_weights,
+)
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Callable turning a candidate into its GP feature vector.
+FeatureFn = Callable[[Any], np.ndarray]
+#: Callable sampling a random candidate.
+SampleFn = Callable[[np.random.Generator], Any]
+#: Callable evaluating a candidate; returns objectives or (objectives, metadata).
+ObjectiveFn = Callable[[Any], Any]
+#: Optional callable proposing neighbours of a candidate.
+NeighborFn = Callable[[Any, int, np.random.Generator], Sequence[Any]]
+#: Optional per-evaluation callback.
+CallbackFn = Callable[[int, "ObservedPoint", ParetoArchive], None]
+
+
+@dataclass
+class ObservedPoint:
+    """One evaluated candidate with its objectives and bookkeeping metadata."""
+
+    candidate: Any
+    features: np.ndarray
+    objectives: np.ndarray
+    iteration: int
+    phase: str
+    metadata: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        candidate = self.candidate
+        if isinstance(candidate, np.ndarray):
+            candidate = candidate.tolist()
+        elif hasattr(candidate, "to_dict"):
+            candidate = candidate.to_dict()
+        return {
+            "candidate": candidate,
+            "objectives": [float(v) for v in self.objectives],
+            "iteration": self.iteration,
+            "phase": self.phase,
+            "metadata": self.metadata,
+        }
+
+
+class OptimizationResult:
+    """All evaluations of one optimization run plus Pareto-set helpers."""
+
+    def __init__(self, points: Sequence[ObservedPoint], num_objectives: int):
+        self.points: Tuple[ObservedPoint, ...] = tuple(points)
+        self.num_objectives = int(num_objectives)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def objective_matrix(self) -> np.ndarray:
+        """``(n, k)`` matrix of all observed objective vectors."""
+        if not self.points:
+            return np.empty((0, self.num_objectives))
+        return np.vstack([p.objectives for p in self.points])
+
+    def pareto_mask(self) -> np.ndarray:
+        """Boolean mask of non-dominated observations."""
+        if not self.points:
+            return np.zeros(0, dtype=bool)
+        return pareto_front_mask(self.objective_matrix())
+
+    def pareto_points(self) -> List[ObservedPoint]:
+        """The non-dominated observations."""
+        mask = self.pareto_mask()
+        return [p for p, keep in zip(self.points, mask) if keep]
+
+    def pareto_objectives(self) -> np.ndarray:
+        """Objective matrix restricted to the Pareto front."""
+        matrix = self.objective_matrix()
+        if matrix.size == 0:
+            return matrix
+        return matrix[self.pareto_mask()]
+
+    def best_for_objective(self, index: int) -> ObservedPoint:
+        """Observation minimising a single objective."""
+        if not self.points:
+            raise ValueError("the optimization produced no observations")
+        if not 0 <= index < self.num_objectives:
+            raise IndexError(f"objective index {index} out of range")
+        matrix = self.objective_matrix()
+        return self.points[int(np.argmin(matrix[:, index]))]
+
+    def to_dict(self) -> Dict:
+        return {
+            "num_objectives": self.num_objectives,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def _normalize_objective_output(output: Any) -> Tuple[np.ndarray, Dict]:
+    """Accept ``objectives`` or ``(objectives, metadata)`` from objective functions."""
+    metadata: Dict = {}
+    if isinstance(output, tuple) and len(output) == 2 and isinstance(output[1], dict):
+        objectives, metadata = output
+    else:
+        objectives = output
+    objectives = np.asarray(objectives, dtype=float).ravel()
+    if objectives.size == 0:
+        raise ValueError("objective function returned no objectives")
+    if not np.all(np.isfinite(objectives)):
+        raise ValueError(f"objective function returned non-finite values: {objectives}")
+    return objectives, metadata
+
+
+def _default_key(candidate: Any) -> bytes:
+    if isinstance(candidate, np.ndarray):
+        return candidate.tobytes()
+    return repr(candidate).encode()
+
+
+class MultiObjectiveBayesianOptimizer:
+    """MOBO over a discrete candidate space defined by sampling callables.
+
+    Parameters
+    ----------
+    sample_fn:
+        ``sample_fn(rng) -> candidate`` — draws a random valid candidate.
+    feature_fn:
+        ``feature_fn(candidate) -> 1-D array`` — unit-cube features for the GPs.
+    objective_fn:
+        ``objective_fn(candidate) -> objectives`` (all minimised) or
+        ``(objectives, metadata)``.
+    num_objectives:
+        Number of objectives returned by ``objective_fn``.
+    num_initial / num_iterations:
+        Random-initialisation budget and Bayesian-optimization budget
+        (``C_init`` and ``N_iter`` in Algorithm 2).
+    candidate_pool_size:
+        Size of the pool over which the acquisition is maximised each
+        iteration.
+    acquisition:
+        ``"ts"`` (Thompson sampling, default), ``"ucb"``, ``"mean"`` or
+        ``"random"``.
+    kernel / lengthscale / gp_noise:
+        Surrogate-model hyperparameters.  ``lengthscale=None`` (the default)
+        scales the lengthscale with the feature dimensionality
+        (``0.5 * sqrt(d)``), which keeps points at typical unit-cube distances
+        meaningfully correlated even for high-dimensional genotypes.
+    optimize_lengthscale_every:
+        Period (in iterations) of the marginal-likelihood lengthscale refresh;
+        0 disables it.
+    neighbor_fn:
+        Optional ``neighbor_fn(candidate, count, rng) -> candidates`` used to
+        add neighbours of current Pareto-optimal candidates to the pool
+        (local exploitation).
+    key_fn:
+        Hashable key extractor used to avoid re-evaluating duplicates.
+    seed:
+        Seed or generator for all stochastic components.
+    callback:
+        Optional ``callback(evaluation_index, point, archive)`` invoked after
+        every evaluation.
+    """
+
+    def __init__(
+        self,
+        sample_fn: SampleFn,
+        feature_fn: FeatureFn,
+        objective_fn: ObjectiveFn,
+        num_objectives: int,
+        num_initial: int = 10,
+        num_iterations: int = 50,
+        candidate_pool_size: int = 128,
+        acquisition: str = "ts",
+        kernel: str = "matern52",
+        lengthscale: Optional[float] = None,
+        gp_noise: float = 1e-4,
+        ucb_beta: float = 2.0,
+        optimize_lengthscale_every: int = 0,
+        neighbor_fn: Optional[NeighborFn] = None,
+        key_fn: Callable[[Any], Any] = _default_key,
+        seed: SeedLike = None,
+        callback: Optional[CallbackFn] = None,
+    ):
+        if num_objectives < 1:
+            raise ValueError(f"num_objectives must be >= 1, got {num_objectives}")
+        if num_initial < 2:
+            raise ValueError(f"num_initial must be >= 2, got {num_initial}")
+        if num_iterations < 0:
+            raise ValueError(f"num_iterations must be >= 0, got {num_iterations}")
+        if candidate_pool_size < 2:
+            raise ValueError(
+                f"candidate_pool_size must be >= 2, got {candidate_pool_size}"
+            )
+        if acquisition not in ACQUISITION_STRATEGIES:
+            raise ValueError(
+                f"acquisition must be one of {ACQUISITION_STRATEGIES}, got {acquisition!r}"
+            )
+        self.sample_fn = sample_fn
+        self.feature_fn = feature_fn
+        self.objective_fn = objective_fn
+        self.num_objectives = int(num_objectives)
+        self.num_initial = int(num_initial)
+        self.num_iterations = int(num_iterations)
+        self.candidate_pool_size = int(candidate_pool_size)
+        self.acquisition = acquisition
+        self.kernel_name = kernel
+        self.lengthscale = None if lengthscale is None else float(lengthscale)
+        self.gp_noise = float(gp_noise)
+        self.ucb_beta = float(ucb_beta)
+        self.optimize_lengthscale_every = int(optimize_lengthscale_every)
+        self.neighbor_fn = neighbor_fn
+        self.key_fn = key_fn
+        self.callback = callback
+        self._rng = ensure_rng(seed)
+
+        self._points: List[ObservedPoint] = []
+        self._seen: set = set()
+        self.archive = ParetoArchive(self.num_objectives)
+
+    # ------------------------------------------------------------------ evaluation
+    def _evaluate(self, candidate: Any, iteration: int, phase: str) -> ObservedPoint:
+        objectives, metadata = _normalize_objective_output(self.objective_fn(candidate))
+        if objectives.shape != (self.num_objectives,):
+            raise ValueError(
+                f"objective function returned {objectives.shape[0]} objectives, "
+                f"expected {self.num_objectives}"
+            )
+        features = np.asarray(self.feature_fn(candidate), dtype=float).ravel()
+        point = ObservedPoint(
+            candidate=candidate,
+            features=features,
+            objectives=objectives,
+            iteration=iteration,
+            phase=phase,
+            metadata=metadata,
+        )
+        self._points.append(point)
+        self._seen.add(self.key_fn(candidate))
+        self.archive.add(point, objectives)
+        if self.callback is not None:
+            self.callback(len(self._points) - 1, point, self.archive)
+        return point
+
+    def _sample_unseen(self, max_attempts: int = 50) -> Any:
+        for _ in range(max_attempts):
+            candidate = self.sample_fn(self._rng)
+            if self.key_fn(candidate) not in self._seen:
+                return candidate
+        # The space may be nearly exhausted; accept a duplicate rather than stall.
+        return self.sample_fn(self._rng)
+
+    # ------------------------------------------------------------------ pool construction
+    def _build_pool(self) -> List[Any]:
+        pool: List[Any] = []
+        keys: set = set()
+        target = self.candidate_pool_size
+        attempts = 0
+        while len(pool) < target and attempts < target * 10:
+            candidate = self.sample_fn(self._rng)
+            key = self.key_fn(candidate)
+            attempts += 1
+            if key in self._seen or key in keys:
+                continue
+            pool.append(candidate)
+            keys.add(key)
+        if self.neighbor_fn is not None and len(self.archive) > 0:
+            per_entry = max(1, target // (4 * max(len(self.archive), 1)))
+            for entry in self.archive.entries:
+                neighbours = self.neighbor_fn(
+                    entry.payload.candidate, per_entry, self._rng
+                )
+                for candidate in neighbours:
+                    key = self.key_fn(candidate)
+                    if key in self._seen or key in keys:
+                        continue
+                    pool.append(candidate)
+                    keys.add(key)
+        if not pool:
+            pool.append(self._sample_unseen())
+        return pool
+
+    # ------------------------------------------------------------------ surrogate models
+    def _fit_models(self, refresh_lengthscale: bool) -> Tuple[List[GaussianProcess], np.ndarray, np.ndarray]:
+        X = np.vstack([p.features for p in self._points])
+        Y = np.vstack([p.objectives for p in self._points])
+        Y_norm, lower, upper = normalize_objectives(Y)
+        if self.lengthscale is not None:
+            lengthscale = self.lengthscale
+        else:
+            # Typical pairwise distance in the unit cube grows like sqrt(d);
+            # scale the lengthscale accordingly so the surrogate carries signal.
+            lengthscale = 0.5 * float(np.sqrt(X.shape[1]))
+        models: List[GaussianProcess] = []
+        for k in range(self.num_objectives):
+            gp = GaussianProcess(
+                kernel=kernel_by_name(self.kernel_name, lengthscale=lengthscale),
+                noise_variance=self.gp_noise,
+                normalize_y=True,
+            )
+            gp.fit(X, Y_norm[:, k])
+            if refresh_lengthscale:
+                gp.optimize_lengthscale()
+            models.append(gp)
+        return models, lower, upper
+
+    # ------------------------------------------------------------------ main loop
+    def run(self) -> OptimizationResult:
+        """Execute the full optimization and return every observation."""
+        # Random initialisation (Algorithm 2, lines 2-6).
+        for i in range(self.num_initial):
+            candidate = self._sample_unseen()
+            self._evaluate(candidate, iteration=i, phase="init")
+
+        # MOBO iterations (Algorithm 2, lines 7-14).
+        for n in range(self.num_iterations):
+            refresh = (
+                self.optimize_lengthscale_every > 0
+                and n % self.optimize_lengthscale_every == 0
+            )
+            models, _, _ = self._fit_models(refresh_lengthscale=refresh)
+            pool = self._build_pool()
+            pool_features = np.vstack([self.feature_fn(c) for c in pool])
+            scores = acquisition_scores(
+                self.acquisition,
+                models,
+                pool_features,
+                rng=self._rng,
+                beta=self.ucb_beta,
+            )
+            scores_norm, _, _ = normalize_objectives(scores)
+            weights = random_weights(self.num_objectives, self._rng)
+            scalar = chebyshev_scalarize(scores_norm, weights)
+            best_index = int(np.argmin(scalar))
+            candidate = pool[best_index]
+            self._evaluate(candidate, iteration=self.num_initial + n, phase="bo")
+
+        return OptimizationResult(self._points, self.num_objectives)

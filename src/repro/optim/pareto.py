@@ -1,0 +1,273 @@
+"""Pareto-dominance utilities, archives and quality indicators.
+
+All objectives in this library are *minimised*.  A point ``a`` dominates
+``b`` when it is no worse in every objective and strictly better in at least
+one — the definition in §III-B of the paper.  The module provides:
+
+* :func:`dominates` and :func:`pareto_front_mask` — dominance primitives;
+* :class:`ParetoArchive` — an incrementally-updated archive of non-dominated
+  (payload, objectives) pairs, used by the search loops;
+* quality indicators — the coverage (C-)metric used for the paper's
+  "LENS dominates X % of the Traditional frontier" statements, and the
+  hypervolume indicator for ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b`` (minimisation)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"objective vectors differ in shape: {a.shape} vs {b.shape}")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_front_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows of an ``(n, k)`` objective matrix.
+
+    Duplicate rows are all retained (none of them dominates the others).
+    """
+    Y = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n = Y.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        dominated_by_i = np.all(Y >= Y[i], axis=1) & np.any(Y > Y[i], axis=1)
+        mask &= ~dominated_by_i
+        mask[i] = True
+        # If someone else dominates i, drop it.
+        dominates_i = np.all(Y <= Y[i], axis=1) & np.any(Y < Y[i], axis=1)
+        if np.any(dominates_i & mask):
+            mask[i] = False
+    return mask
+
+
+def pareto_front_indices(objectives: np.ndarray) -> np.ndarray:
+    """Indices of non-dominated rows, in their original order."""
+    return np.nonzero(pareto_front_mask(objectives))[0]
+
+
+@dataclass
+class ArchiveEntry:
+    """One non-dominated entry of a :class:`ParetoArchive`."""
+
+    payload: Any
+    objectives: np.ndarray
+
+    def to_dict(self) -> Dict:
+        payload = self.payload
+        if hasattr(payload, "to_dict"):
+            payload = payload.to_dict()
+        return {"payload": payload, "objectives": list(map(float, self.objectives))}
+
+
+class ParetoArchive:
+    """Incrementally-maintained set of mutually non-dominated entries.
+
+    The archive accepts (payload, objectives) pairs; on each insertion it
+    removes entries dominated by the newcomer and rejects the newcomer if an
+    existing entry dominates it.  Exact duplicates of an existing objective
+    vector are accepted (they are mutually non-dominated), which matches how
+    the paper counts frontier members.
+    """
+
+    def __init__(self, num_objectives: int):
+        if num_objectives < 1:
+            raise ValueError(f"num_objectives must be >= 1, got {num_objectives}")
+        self.num_objectives = int(num_objectives)
+        self._entries: List[ArchiveEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> Tuple[ArchiveEntry, ...]:
+        """Current non-dominated entries."""
+        return tuple(self._entries)
+
+    @property
+    def payloads(self) -> List[Any]:
+        """Payloads of the current entries."""
+        return [entry.payload for entry in self._entries]
+
+    def objective_matrix(self) -> np.ndarray:
+        """``(len(archive), num_objectives)`` matrix of objective vectors."""
+        if not self._entries:
+            return np.empty((0, self.num_objectives))
+        return np.vstack([entry.objectives for entry in self._entries])
+
+    def add(self, payload: Any, objectives: Sequence[float]) -> bool:
+        """Offer a new entry; returns ``True`` if it joins the archive."""
+        objectives = np.asarray(objectives, dtype=float).ravel()
+        if objectives.shape != (self.num_objectives,):
+            raise ValueError(
+                f"expected {self.num_objectives} objectives, got shape {objectives.shape}"
+            )
+        for entry in self._entries:
+            if dominates(entry.objectives, objectives):
+                return False
+        self._entries = [
+            entry
+            for entry in self._entries
+            if not dominates(objectives, entry.objectives)
+        ]
+        self._entries.append(ArchiveEntry(payload=payload, objectives=objectives))
+        return True
+
+    def update_many(self, items: Iterable[Tuple[Any, Sequence[float]]]) -> int:
+        """Offer many entries; returns how many were accepted."""
+        return sum(1 for payload, objectives in items if self.add(payload, objectives))
+
+    def to_dict(self) -> Dict:
+        return {
+            "num_objectives": self.num_objectives,
+            "entries": [entry.to_dict() for entry in self._entries],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Quality indicators
+# ---------------------------------------------------------------------------
+def coverage(front_a: np.ndarray, front_b: np.ndarray) -> float:
+    """C-metric: fraction of points in ``front_b`` dominated by some point of ``front_a``.
+
+    This is the statistic behind the paper's Fig. 6 claims ("LENS's frontier
+    dominates 60% of the new Traditional's frontier").  Returns 0.0 when
+    ``front_b`` is empty.
+    """
+    A = np.atleast_2d(np.asarray(front_a, dtype=float))
+    B = np.atleast_2d(np.asarray(front_b, dtype=float))
+    if B.size == 0:
+        return 0.0
+    if A.size == 0:
+        return 0.0
+    dominated = 0
+    for b in B:
+        if any(dominates(a, b) for a in A):
+            dominated += 1
+    return dominated / B.shape[0]
+
+
+def combined_front_composition(
+    front_a: np.ndarray, front_b: np.ndarray
+) -> Dict[str, float]:
+    """Compose a joint Pareto frontier and report each source's share.
+
+    Mirrors the paper's "a combined frontier made from both sets would
+    constitute 76.47% candidates from LENS's optimal set".  Points from A and
+    B are pooled, the joint non-dominated set is extracted, and the fraction
+    of joint-front members originating from each source is returned.  Ties
+    (identical objective vectors from both sources) count for both.
+    """
+    A = np.atleast_2d(np.asarray(front_a, dtype=float))
+    B = np.atleast_2d(np.asarray(front_b, dtype=float))
+    if A.size == 0 and B.size == 0:
+        return {"fraction_a": 0.0, "fraction_b": 0.0, "combined_size": 0.0}
+    if A.size == 0:
+        return {"fraction_a": 0.0, "fraction_b": 1.0, "combined_size": float(B.shape[0])}
+    if B.size == 0:
+        return {"fraction_a": 1.0, "fraction_b": 0.0, "combined_size": float(A.shape[0])}
+    pooled = np.vstack([A, B])
+    origins = np.array(["a"] * A.shape[0] + ["b"] * B.shape[0])
+    mask = pareto_front_mask(pooled)
+    selected = origins[mask]
+    total = int(mask.sum())
+    count_a = int(np.sum(selected == "a"))
+    count_b = int(np.sum(selected == "b"))
+    return {
+        "fraction_a": count_a / total,
+        "fraction_b": count_b / total,
+        "combined_size": float(total),
+    }
+
+
+def hypervolume_2d(points: np.ndarray, reference: Sequence[float]) -> float:
+    """Exact hypervolume (area) dominated by a 2-D point set w.r.t. a reference.
+
+    Points outside the reference box contribute nothing.  Minimisation is
+    assumed: the dominated region lies between each point and the reference.
+    """
+    P = np.atleast_2d(np.asarray(points, dtype=float))
+    ref = np.asarray(reference, dtype=float).ravel()
+    if P.shape[1] != 2 or ref.shape != (2,):
+        raise ValueError("hypervolume_2d requires 2-D points and a 2-D reference")
+    inside = P[np.all(P <= ref, axis=1)]
+    if inside.size == 0:
+        return 0.0
+    front = inside[pareto_front_mask(inside)]
+    order = np.argsort(front[:, 0])
+    front = front[order]
+    volume = 0.0
+    previous_y = ref[1]
+    for x, y in front:
+        width = ref[0] - x
+        height = previous_y - y
+        if width > 0 and height > 0:
+            volume += width * height
+        previous_y = min(previous_y, y)
+    return float(volume)
+
+
+def hypervolume(
+    points: np.ndarray,
+    reference: Sequence[float],
+    num_samples: int = 20000,
+    seed: SeedLike = 0,
+) -> float:
+    """Hypervolume indicator for 2-D (exact) or higher dimensions (Monte Carlo).
+
+    For three or more objectives the dominated fraction of the reference box
+    is estimated with ``num_samples`` quasi-uniform samples; the estimate is
+    deterministic for a fixed ``seed``.
+    """
+    P = np.atleast_2d(np.asarray(points, dtype=float))
+    ref = np.asarray(reference, dtype=float).ravel()
+    if P.shape[1] != ref.shape[0]:
+        raise ValueError(
+            f"points have {P.shape[1]} objectives but reference has {ref.shape[0]}"
+        )
+    if P.shape[1] == 2:
+        return hypervolume_2d(P, ref)
+    inside = P[np.all(P <= ref, axis=1)]
+    if inside.size == 0:
+        return 0.0
+    lower = inside.min(axis=0)
+    box_volume = float(np.prod(ref - lower))
+    if box_volume <= 0.0:
+        return 0.0
+    rng = ensure_rng(seed)
+    samples = rng.uniform(lower, ref, size=(num_samples, ref.shape[0]))
+    dominated = np.zeros(num_samples, dtype=bool)
+    for point in inside:
+        dominated |= np.all(samples >= point, axis=1)
+    return box_volume * float(dominated.mean())
+
+
+def non_dominated_sort(objectives: np.ndarray) -> List[np.ndarray]:
+    """Partition points into successive non-dominated fronts (NSGA-style).
+
+    Returns a list of index arrays: front 0 is the Pareto front, front 1 the
+    Pareto front of the remainder, and so on.  Useful for ablation analyses
+    of how deep the LENS frontier sits inside the explored population.
+    """
+    Y = np.atleast_2d(np.asarray(objectives, dtype=float))
+    remaining = np.arange(Y.shape[0])
+    fronts: List[np.ndarray] = []
+    while remaining.size > 0:
+        mask = pareto_front_mask(Y[remaining])
+        fronts.append(remaining[mask])
+        remaining = remaining[~mask]
+    return fronts

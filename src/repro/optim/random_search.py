@@ -1,0 +1,94 @@
+"""Random-search baseline with the same interface as the MOBO optimizer.
+
+Used by the ablation benchmarks to quantify how much of LENS's advantage comes
+from the Bayesian search itself versus from partition-aware objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.optim.mobo import (
+    CallbackFn,
+    FeatureFn,
+    ObjectiveFn,
+    ObservedPoint,
+    OptimizationResult,
+    SampleFn,
+    _default_key,
+    _normalize_objective_output,
+)
+from repro.optim.pareto import ParetoArchive
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class RandomSearch:
+    """Uniform random search over the candidate space.
+
+    Parameters mirror :class:`~repro.optim.mobo.MultiObjectiveBayesianOptimizer`
+    where applicable; the total evaluation budget is ``num_evaluations``.
+    """
+
+    def __init__(
+        self,
+        sample_fn: SampleFn,
+        feature_fn: FeatureFn,
+        objective_fn: ObjectiveFn,
+        num_objectives: int,
+        num_evaluations: int = 60,
+        key_fn: Callable[[Any], Any] = _default_key,
+        seed: SeedLike = None,
+        callback: Optional[CallbackFn] = None,
+    ):
+        if num_objectives < 1:
+            raise ValueError(f"num_objectives must be >= 1, got {num_objectives}")
+        if num_evaluations < 1:
+            raise ValueError(f"num_evaluations must be >= 1, got {num_evaluations}")
+        self.sample_fn = sample_fn
+        self.feature_fn = feature_fn
+        self.objective_fn = objective_fn
+        self.num_objectives = int(num_objectives)
+        self.num_evaluations = int(num_evaluations)
+        self.key_fn = key_fn
+        self.callback = callback
+        self._rng = ensure_rng(seed)
+        self.archive = ParetoArchive(self.num_objectives)
+
+    def run(self) -> OptimizationResult:
+        """Evaluate ``num_evaluations`` random candidates."""
+        points = []
+        seen = set()
+        for iteration in range(self.num_evaluations):
+            candidate = None
+            for _ in range(50):
+                proposal = self.sample_fn(self._rng)
+                if self.key_fn(proposal) not in seen:
+                    candidate = proposal
+                    break
+            if candidate is None:
+                candidate = self.sample_fn(self._rng)
+            seen.add(self.key_fn(candidate))
+            objectives, metadata = _normalize_objective_output(
+                self.objective_fn(candidate)
+            )
+            if objectives.shape != (self.num_objectives,):
+                raise ValueError(
+                    f"objective function returned {objectives.shape[0]} objectives, "
+                    f"expected {self.num_objectives}"
+                )
+            features = np.asarray(self.feature_fn(candidate), dtype=float).ravel()
+            point = ObservedPoint(
+                candidate=candidate,
+                features=features,
+                objectives=objectives,
+                iteration=iteration,
+                phase="random",
+                metadata=metadata,
+            )
+            points.append(point)
+            self.archive.add(point, objectives)
+            if self.callback is not None:
+                self.callback(iteration, point, self.archive)
+        return OptimizationResult(points, self.num_objectives)

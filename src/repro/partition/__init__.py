@@ -1,0 +1,27 @@
+"""Edge/cloud layer-partitioning engine."""
+
+from repro.partition.deployment import (
+    ALL_CLOUD,
+    ALL_EDGE,
+    DEPLOYMENT_KINDS,
+    SPLIT,
+    DeploymentMetrics,
+    DeploymentOption,
+)
+from repro.partition.partitioner import (
+    PartitionAnalyzer,
+    PartitionEvaluation,
+    identify_partition_points,
+)
+
+__all__ = [
+    "ALL_CLOUD",
+    "ALL_EDGE",
+    "DEPLOYMENT_KINDS",
+    "SPLIT",
+    "DeploymentMetrics",
+    "DeploymentOption",
+    "PartitionAnalyzer",
+    "PartitionEvaluation",
+    "identify_partition_points",
+]

@@ -1,0 +1,147 @@
+"""Deployment options for a DNN in a two-tier edge-cloud hierarchy.
+
+A model can be executed entirely on the edge device (*All-Edge*), entirely in
+the cloud after uploading the raw input (*All-Cloud*), or *split* after some
+layer: the edge computes the prefix, transmits that layer's output feature
+map, and the cloud computes the suffix.  :class:`DeploymentOption` names one
+such choice; :class:`DeploymentMetrics` attaches the estimated latency and
+energy of running an architecture under it for a given wireless channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Deployment kinds.
+ALL_EDGE = "all_edge"
+ALL_CLOUD = "all_cloud"
+SPLIT = "split"
+
+DEPLOYMENT_KINDS = (ALL_EDGE, ALL_CLOUD, SPLIT)
+
+
+@dataclass(frozen=True)
+class DeploymentOption:
+    """One way of distributing a model between the edge and the cloud.
+
+    Attributes
+    ----------
+    kind:
+        ``"all_edge"``, ``"all_cloud"`` or ``"split"``.
+    split_index:
+        For splits, the index of the last layer executed on the edge; the
+        output of that layer is what gets transmitted.  ``None`` otherwise.
+    split_layer_name:
+        Name of that layer (e.g. ``"pool5"``), for readability.
+    """
+
+    kind: str
+    split_index: Optional[int] = None
+    split_layer_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEPLOYMENT_KINDS:
+            raise ValueError(
+                f"kind must be one of {DEPLOYMENT_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == SPLIT and self.split_index is None:
+            raise ValueError("split deployments require a split_index")
+        if self.kind != SPLIT and self.split_index is not None:
+            raise ValueError(f"{self.kind} deployments must not carry a split_index")
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def all_edge(cls) -> "DeploymentOption":
+        """Run every layer on the edge device."""
+        return cls(kind=ALL_EDGE)
+
+    @classmethod
+    def all_cloud(cls) -> "DeploymentOption":
+        """Upload the raw input and run every layer in the cloud."""
+        return cls(kind=ALL_CLOUD)
+
+    @classmethod
+    def split_after(cls, index: int, layer_name: Optional[str] = None) -> "DeploymentOption":
+        """Run layers ``0..index`` on the edge, transmit, finish in the cloud."""
+        if index < 0:
+            raise ValueError(f"split_index must be >= 0, got {index}")
+        return cls(kind=SPLIT, split_index=int(index), split_layer_name=layer_name)
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def is_split(self) -> bool:
+        """Whether the option is a genuine split (not all-edge / all-cloud)."""
+        return self.kind == SPLIT
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label (e.g. ``"All-Edge"`` or ``"Split@pool5"``)."""
+        if self.kind == ALL_EDGE:
+            return "All-Edge"
+        if self.kind == ALL_CLOUD:
+            return "All-Cloud"
+        name = self.split_layer_name or f"layer{self.split_index}"
+        return f"Split@{name}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "split_index": self.split_index,
+            "split_layer_name": self.split_layer_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeploymentOption":
+        return cls(
+            kind=data["kind"],
+            split_index=data.get("split_index"),
+            split_layer_name=data.get("split_layer_name"),
+        )
+
+
+@dataclass(frozen=True)
+class DeploymentMetrics:
+    """Estimated cost of running a model under one deployment option.
+
+    The edge-side and communication components are stored separately so the
+    runtime threshold analysis (paper §IV-E) can re-evaluate the same
+    deployment under a different uplink throughput without re-running the
+    layer predictors.
+
+    Attributes
+    ----------
+    option:
+        The deployment option being costed.
+    latency_s / energy_j:
+        Total end-to-end latency and edge-side energy (the paper's Eq. 1-2
+        with the cloud terms neglected).
+    edge_latency_s / edge_energy_j:
+        On-device compute components.
+    comm_latency_s / comm_energy_j:
+        Communication components (zero for All-Edge).
+    transferred_bytes:
+        Bytes uploaded to the cloud (zero for All-Edge; the raw input size for
+        All-Cloud; the split layer's output size for splits).
+    """
+
+    option: DeploymentOption
+    latency_s: float
+    energy_j: float
+    edge_latency_s: float
+    edge_energy_j: float
+    comm_latency_s: float
+    comm_energy_j: float
+    transferred_bytes: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "option": self.option.to_dict(),
+            "latency_s": self.latency_s,
+            "energy_j": self.energy_j,
+            "edge_latency_s": self.edge_latency_s,
+            "edge_energy_j": self.edge_energy_j,
+            "comm_latency_s": self.comm_latency_s,
+            "comm_energy_j": self.comm_energy_j,
+            "transferred_bytes": self.transferred_bytes,
+        }

@@ -1,0 +1,281 @@
+"""Layer-partitioning engine (core of the paper's Algorithm 1).
+
+Given per-layer latency/power predictions for an architecture on the edge
+device and a wireless channel, the partitioner
+
+1. identifies *candidate partition points* — layers whose output feature map
+   is smaller than the network input (transmitting anything larger is always
+   dominated by uploading the raw input, §II-A / Algorithm 1 line 9);
+2. computes, for every candidate split as well as All-Edge and All-Cloud, the
+   accumulated edge latency/energy plus the communication cost of shipping
+   the split tensor (Algorithm 1 lines 10-12);
+3. returns the option minimising each metric (lines 13-15).
+
+The cloud's own compute cost is neglected by default, as in the paper; an
+optional cloud predictor can be supplied for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.predictors import BaseLayerPredictor, LayerPrediction
+from repro.nn.architecture import Architecture, LayerSummary
+from repro.partition.deployment import DeploymentMetrics, DeploymentOption
+from repro.wireless.channel import WirelessChannel
+
+
+def identify_partition_points(
+    summaries: Sequence[LayerSummary],
+    input_bytes: float,
+    require_shrinkage: bool = True,
+) -> List[int]:
+    """Indices of layers whose output may be transmitted to the cloud.
+
+    A layer qualifies when it produces an activation tensor (structural layers
+    such as ``flatten`` are skipped) and — when ``require_shrinkage`` is true,
+    which is the paper's rule — its output is strictly smaller than the raw
+    network input.  The final layer is excluded: splitting after it is the
+    All-Edge deployment.
+    """
+    candidates: List[int] = []
+    last_index = len(summaries) - 1
+    for summary in summaries:
+        if summary.index >= last_index:
+            continue
+        if not summary.is_partition_candidate:
+            continue
+        if require_shrinkage and summary.output_bytes >= input_bytes:
+            continue
+        candidates.append(summary.index)
+    return candidates
+
+
+@dataclass
+class PartitionEvaluation:
+    """Result of evaluating every deployment option for one architecture.
+
+    Attributes
+    ----------
+    architecture_name:
+        Name of the evaluated architecture.
+    options:
+        One :class:`DeploymentMetrics` per considered deployment option
+        (All-Cloud, All-Edge and every candidate split), in that order.
+    layer_latencies_s / layer_energies_j / layer_output_bytes:
+        Per-layer predictions the costing was derived from, exposed for the
+        per-layer analyses (Fig. 1) and the runtime threshold study.
+    partition_point_indices:
+        Indices returned by :func:`identify_partition_points`.
+    """
+
+    architecture_name: str
+    options: Tuple[DeploymentMetrics, ...]
+    layer_latencies_s: Tuple[float, ...]
+    layer_energies_j: Tuple[float, ...]
+    layer_output_bytes: Tuple[int, ...]
+    partition_point_indices: Tuple[int, ...]
+
+    def metrics_for(self, option: DeploymentOption) -> DeploymentMetrics:
+        """Metrics of a specific deployment option."""
+        for metrics in self.options:
+            if metrics.option == option:
+                return metrics
+        raise KeyError(f"option {option.label} was not evaluated")
+
+    @property
+    def all_edge(self) -> DeploymentMetrics:
+        """Metrics of the All-Edge deployment."""
+        return self.metrics_for(DeploymentOption.all_edge())
+
+    @property
+    def all_cloud(self) -> DeploymentMetrics:
+        """Metrics of the All-Cloud deployment."""
+        return self.metrics_for(DeploymentOption.all_cloud())
+
+    @property
+    def split_options(self) -> Tuple[DeploymentMetrics, ...]:
+        """Metrics of every genuine split option."""
+        return tuple(m for m in self.options if m.option.is_split)
+
+    @property
+    def best_latency(self) -> DeploymentMetrics:
+        """Deployment option minimising end-to-end latency."""
+        return min(self.options, key=lambda m: m.latency_s)
+
+    @property
+    def best_energy(self) -> DeploymentMetrics:
+        """Deployment option minimising edge energy."""
+        return min(self.options, key=lambda m: m.energy_j)
+
+    def best_for(self, metric: str) -> DeploymentMetrics:
+        """Best deployment for ``"latency"`` or ``"energy"``."""
+        if metric == "latency":
+            return self.best_latency
+        if metric == "energy":
+            return self.best_energy
+        raise ValueError(f"metric must be 'latency' or 'energy', got {metric!r}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "architecture_name": self.architecture_name,
+            "options": [m.to_dict() for m in self.options],
+            "partition_point_indices": list(self.partition_point_indices),
+            "best_latency": self.best_latency.to_dict(),
+            "best_energy": self.best_energy.to_dict(),
+        }
+
+
+class PartitionAnalyzer:
+    """Evaluates all deployment options of an architecture (Algorithm 1).
+
+    Parameters
+    ----------
+    predictor:
+        Edge-device per-layer latency/power predictor.
+    channel:
+        Wireless channel carrying the expected design-time conditions
+        (technology, uplink throughput, round-trip time).
+    cloud_predictor:
+        Optional cloud-side predictor.  When provided, the cloud compute
+        latency of the offloaded suffix is added to split / All-Cloud
+        latencies (cloud *energy* is never charged to the edge device).  The
+        paper neglects cloud compute entirely, which is the default.
+    require_shrinkage:
+        Whether split candidates must shrink the data below the input size
+        (the paper's rule).
+    """
+
+    def __init__(
+        self,
+        predictor: BaseLayerPredictor,
+        channel: WirelessChannel,
+        cloud_predictor: Optional[BaseLayerPredictor] = None,
+        require_shrinkage: bool = True,
+    ):
+        self.predictor = predictor
+        self.channel = channel
+        self.cloud_predictor = cloud_predictor
+        self.require_shrinkage = bool(require_shrinkage)
+
+    # ------------------------------------------------------------------ helpers
+    def _cloud_suffix_latency(
+        self, architecture: Architecture, first_cloud_layer: int
+    ) -> float:
+        """Cloud compute latency of layers ``first_cloud_layer..end`` (optional)."""
+        if self.cloud_predictor is None:
+            return 0.0
+        summaries = architecture.summarize()[first_cloud_layer:]
+        return sum(
+            self.cloud_predictor.predict_layer(summary).latency_s
+            for summary in summaries
+        )
+
+    # ------------------------------------------------------------------ evaluation
+    def evaluate(
+        self,
+        architecture: Architecture,
+        predictions: Optional[Sequence[LayerPrediction]] = None,
+    ) -> PartitionEvaluation:
+        """Cost every deployment option of ``architecture``.
+
+        Parameters
+        ----------
+        architecture:
+            The candidate model, decoded with the *performance* input shape.
+        predictions:
+            Optional pre-computed per-layer predictions (used by the NAS loop
+            to avoid re-running the predictors when evaluating the same
+            architecture under several channels).
+        """
+        summaries = architecture.summarize()
+        if predictions is None:
+            predictions = self.predictor.predict_architecture(architecture)
+        if len(predictions) != len(summaries):
+            raise ValueError(
+                f"expected {len(summaries)} layer predictions, got {len(predictions)}"
+            )
+
+        latencies = np.array([p.latency_s for p in predictions])
+        energies = np.array([p.energy_j for p in predictions])
+        output_bytes = np.array([s.output_bytes for s in summaries])
+        cumulative_latency = np.cumsum(latencies)
+        cumulative_energy = np.cumsum(energies)
+        input_bytes = architecture.input_bytes
+
+        options: List[DeploymentMetrics] = []
+
+        # --- All-Cloud: upload the raw input, no edge compute.
+        cloud_cost = self.channel.cost(input_bytes)
+        options.append(
+            DeploymentMetrics(
+                option=DeploymentOption.all_cloud(),
+                latency_s=cloud_cost.latency_s
+                + self._cloud_suffix_latency(architecture, 0),
+                energy_j=cloud_cost.energy_j,
+                edge_latency_s=0.0,
+                edge_energy_j=0.0,
+                comm_latency_s=cloud_cost.latency_s,
+                comm_energy_j=cloud_cost.energy_j,
+                transferred_bytes=float(input_bytes),
+            )
+        )
+
+        # --- All-Edge: run everything locally, no transmission.
+        options.append(
+            DeploymentMetrics(
+                option=DeploymentOption.all_edge(),
+                latency_s=float(cumulative_latency[-1]),
+                energy_j=float(cumulative_energy[-1]),
+                edge_latency_s=float(cumulative_latency[-1]),
+                edge_energy_j=float(cumulative_energy[-1]),
+                comm_latency_s=0.0,
+                comm_energy_j=0.0,
+                transferred_bytes=0.0,
+            )
+        )
+
+        # --- Splits at every candidate partition point.
+        partition_points = identify_partition_points(
+            summaries, input_bytes, require_shrinkage=self.require_shrinkage
+        )
+        for index in partition_points:
+            transfer_bytes = float(output_bytes[index])
+            comm_cost = self.channel.cost(transfer_bytes)
+            edge_latency = float(cumulative_latency[index])
+            edge_energy = float(cumulative_energy[index])
+            options.append(
+                DeploymentMetrics(
+                    option=DeploymentOption.split_after(index, summaries[index].name),
+                    latency_s=edge_latency
+                    + comm_cost.latency_s
+                    + self._cloud_suffix_latency(architecture, index + 1),
+                    energy_j=edge_energy + comm_cost.energy_j,
+                    edge_latency_s=edge_latency,
+                    edge_energy_j=edge_energy,
+                    comm_latency_s=comm_cost.latency_s,
+                    comm_energy_j=comm_cost.energy_j,
+                    transferred_bytes=transfer_bytes,
+                )
+            )
+
+        return PartitionEvaluation(
+            architecture_name=architecture.name,
+            options=tuple(options),
+            layer_latencies_s=tuple(float(v) for v in latencies),
+            layer_energies_j=tuple(float(v) for v in energies),
+            layer_output_bytes=tuple(int(v) for v in output_bytes),
+            partition_point_indices=tuple(partition_points),
+        )
+
+    def with_channel(self, channel: WirelessChannel) -> "PartitionAnalyzer":
+        """Copy of this analyzer bound to a different wireless channel."""
+        return PartitionAnalyzer(
+            predictor=self.predictor,
+            channel=channel,
+            cloud_predictor=self.cloud_predictor,
+            require_shrinkage=self.require_shrinkage,
+        )

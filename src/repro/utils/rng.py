@@ -1,0 +1,53 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` and funnels it through
+:func:`ensure_rng` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for fresh OS entropy, an integer seed, or an existing
+        generator (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator that can be used for sampling.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, an int, or a numpy Generator, got {type(seed)!r}")
+
+
+def spawn_rng(rng: np.random.Generator, count: int = 1) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Child streams are statistically independent of the parent and of each
+    other, which lets concurrent components (e.g. the accuracy surrogate and
+    the hardware simulator) consume randomness without perturbing one
+    another's sequences.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,83 @@
+"""JSON-friendly serialization helpers.
+
+Search results, architectures and benchmark tables are exchanged as plain
+dictionaries so they can be dumped with :mod:`json` without custom encoders.
+The helpers here normalise numpy scalars/arrays to built-in Python types.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+import numpy as np
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable built-ins.
+
+    Handles numpy scalars, numpy arrays, tuples, sets, dataclass-like objects
+    exposing ``to_dict`` and nested containers thereof.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if hasattr(value, "to_dict") and callable(value.to_dict):
+        return to_jsonable(value.to_dict())
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    raise TypeError(f"cannot serialise value of type {type(value)!r}")
+
+
+def dump_json(value: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Serialise ``value`` to a JSON file and return the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(value), handle, indent=indent, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load a JSON file produced by :func:`dump_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_table(rows: list, headers: list, precision: int = 3) -> str:
+    """Render a list of row-sequences as a fixed-width text table.
+
+    Used by the benchmark harnesses to print the same rows the paper's tables
+    and figures report, without requiring a plotting backend.
+    """
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(str_headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(str_headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Small argument-validation helpers used across the library.
+
+These keep constructor bodies readable and produce consistent error messages
+("<name> must be positive, got -3") instead of ad-hoc asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple, Type, Union
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_between(value: float, low: float, high: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def require_in(value: Any, choices: Iterable[Any], name: str) -> Any:
+    """Raise ``ValueError`` unless ``value`` is one of ``choices``."""
+    choices = tuple(choices)
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {choices}, got {value!r}")
+    return value
+
+
+def require_type(
+    value: Any, types: Union[Type, Tuple[Type, ...]], name: str
+) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        raise TypeError(f"{name} must be of type {types}, got {type(value)!r}")
+    return value
+
+
+def require_shape(shape: Sequence[int], rank: int, name: str) -> Tuple[int, ...]:
+    """Validate a tensor shape: correct rank and strictly positive dims."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != rank:
+        raise ValueError(f"{name} must have rank {rank}, got shape {shape}")
+    if any(s <= 0 for s in shape):
+        raise ValueError(f"{name} dimensions must be positive, got {shape}")
+    return shape

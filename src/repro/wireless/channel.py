@@ -1,0 +1,120 @@
+"""Edge-to-cloud wireless channel model (Eq. 3-6 of the paper).
+
+The communication cost of offloading data of size ``Size(data)`` over an
+uplink of throughput ``tu`` is modelled as
+
+    L_Tx   = Size(data) / tu                      (transmission latency)
+    L_comm = L_Tx + L_RT                          (plus round-trip latency)
+    E_comm = E_Tx = P_Tx(tu) * L_Tx               (transmission energy)
+
+where ``P_Tx`` comes from the technology-specific
+:class:`~repro.wireless.power_models.RadioPowerModel`.  The cloud's download
+of results back to the edge is negligible (class scores are a few bytes) and
+is absorbed into the round-trip term, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.utils.units import mbps_to_bytes_per_second
+from repro.utils.validation import require_non_negative, require_positive
+from repro.wireless.power_models import RadioPowerModel
+
+
+@dataclass(frozen=True)
+class CommunicationCost:
+    """Latency and energy of one edge-to-cloud transfer."""
+
+    transmission_latency_s: float
+    round_trip_s: float
+    energy_j: float
+
+    @property
+    def latency_s(self) -> float:
+        """Total communication latency (transmission plus round trip)."""
+        return self.transmission_latency_s + self.round_trip_s
+
+
+@dataclass(frozen=True)
+class WirelessChannel:
+    """A wireless uplink characterised by technology, throughput and RTT.
+
+    Parameters
+    ----------
+    power_model:
+        Radio power model of the supported wireless technology.
+    uplink_mbps:
+        Expected upload throughput ``tu`` in Mbps (the design-time expectation
+        LENS folds into its objectives).
+    round_trip_s:
+        Average round-trip network latency ``L_RT`` in seconds (the paper
+        estimates it from repeated pings to the server).
+    """
+
+    power_model: RadioPowerModel
+    uplink_mbps: float
+    round_trip_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        require_positive(self.uplink_mbps, "uplink_mbps")
+        require_non_negative(self.round_trip_s, "round_trip_s")
+
+    @property
+    def technology(self) -> str:
+        """Wireless technology label of the underlying power model."""
+        return self.power_model.technology
+
+    @classmethod
+    def create(
+        cls, technology: str, uplink_mbps: float, round_trip_s: float = 0.01
+    ) -> "WirelessChannel":
+        """Build a channel from a technology name and expected conditions."""
+        return cls(
+            power_model=RadioPowerModel.for_technology(technology),
+            uplink_mbps=uplink_mbps,
+            round_trip_s=round_trip_s,
+        )
+
+    def with_uplink(self, uplink_mbps: float) -> "WirelessChannel":
+        """Copy of this channel with a different uplink throughput."""
+        return replace(self, uplink_mbps=uplink_mbps)
+
+    # ------------------------------------------------------------------ cost model
+    def transmission_latency_s(self, num_bytes: float) -> float:
+        """``L_Tx``: time to push ``num_bytes`` through the uplink."""
+        require_non_negative(num_bytes, "num_bytes")
+        return num_bytes / mbps_to_bytes_per_second(self.uplink_mbps)
+
+    def transmission_power_w(self) -> float:
+        """``P_Tx``: radio power while transmitting at the expected throughput."""
+        return self.power_model.power_w(self.uplink_mbps)
+
+    def transmission_energy_j(self, num_bytes: float) -> float:
+        """``E_Tx = P_Tx * L_Tx`` for a transfer of ``num_bytes``."""
+        return self.transmission_power_w() * self.transmission_latency_s(num_bytes)
+
+    def communication_latency_s(self, num_bytes: float) -> float:
+        """``L_comm = L_Tx + L_RT`` for a transfer of ``num_bytes``."""
+        return self.transmission_latency_s(num_bytes) + self.round_trip_s
+
+    def communication_energy_j(self, num_bytes: float) -> float:
+        """``E_comm = E_Tx`` for a transfer of ``num_bytes``."""
+        return self.transmission_energy_j(num_bytes)
+
+    def cost(self, num_bytes: float) -> CommunicationCost:
+        """Full communication cost record for a transfer of ``num_bytes``."""
+        return CommunicationCost(
+            transmission_latency_s=self.transmission_latency_s(num_bytes),
+            round_trip_s=self.round_trip_s,
+            energy_j=self.transmission_energy_j(num_bytes),
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "technology": self.technology,
+            "uplink_mbps": self.uplink_mbps,
+            "round_trip_s": self.round_trip_s,
+            "power_model": self.power_model.to_dict(),
+        }

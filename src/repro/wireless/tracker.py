@@ -1,0 +1,71 @@
+"""Online upload-throughput tracker (paper §IV-E).
+
+After deployment "an online throughput tracker can be exploited on the edge
+device to switch between different deployment options based on the tu value
+in real-time O(1)".  The tracker maintains an exponentially-weighted moving
+average of observed throughput measurements so single outliers do not cause
+spurious deployment switches, and exposes the current estimate to the
+:class:`~repro.core.runtime.DynamicDeploymentController`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.utils.validation import require_between, require_positive
+
+
+class ThroughputTracker:
+    """Exponentially-weighted moving-average estimator of uplink throughput.
+
+    Parameters
+    ----------
+    smoothing:
+        EWMA coefficient in (0, 1]; 1 means "trust only the latest sample"
+        (the behaviour assumed by the paper's O(1) switching argument), lower
+        values smooth out measurement noise.
+    initial_mbps:
+        Optional prior estimate before any observation arrives.
+    """
+
+    def __init__(self, smoothing: float = 1.0, initial_mbps: Optional[float] = None):
+        require_between(smoothing, 1e-6, 1.0, "smoothing")
+        self.smoothing = float(smoothing)
+        self._estimate: Optional[float] = None
+        self._history: List[float] = []
+        if initial_mbps is not None:
+            require_positive(initial_mbps, "initial_mbps")
+            self._estimate = float(initial_mbps)
+
+    @property
+    def estimate_mbps(self) -> Optional[float]:
+        """Current throughput estimate, or ``None`` before any observation."""
+        return self._estimate
+
+    @property
+    def num_observations(self) -> int:
+        """Number of throughput measurements consumed so far."""
+        return len(self._history)
+
+    @property
+    def history(self) -> List[float]:
+        """Copy of all observed raw measurements (Mbps)."""
+        return list(self._history)
+
+    def observe(self, uplink_mbps: float) -> float:
+        """Consume one measurement and return the updated estimate."""
+        require_positive(uplink_mbps, "uplink_mbps")
+        self._history.append(float(uplink_mbps))
+        if self._estimate is None:
+            self._estimate = float(uplink_mbps)
+        else:
+            self._estimate = (
+                self.smoothing * float(uplink_mbps)
+                + (1.0 - self.smoothing) * self._estimate
+            )
+        return self._estimate
+
+    def reset(self) -> None:
+        """Forget all observations and the current estimate."""
+        self._estimate = None
+        self._history.clear()

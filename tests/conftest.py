@@ -1,0 +1,106 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (trained performance predictors, search spaces, reference
+architectures) are session-scoped so the whole suite stays fast while every
+test still works with realistic objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.hardware.device import jetson_tx2_cpu, jetson_tx2_gpu
+from repro.hardware.predictors import LayerPerformancePredictor, OracleLayerPredictor
+from repro.nn.alexnet import build_alexnet
+from repro.nn.search_space import LensSearchSpace
+from repro.partition.partitioner import PartitionAnalyzer
+from repro.wireless.channel import WirelessChannel
+
+
+@pytest.fixture(scope="session")
+def gpu_device():
+    """The TX2-class GPU device profile."""
+    return jetson_tx2_gpu()
+
+
+@pytest.fixture(scope="session")
+def cpu_device():
+    """The TX2-class CPU device profile."""
+    return jetson_tx2_cpu()
+
+
+@pytest.fixture(scope="session")
+def gpu_oracle(gpu_device):
+    """Noise-free per-layer predictor for the GPU device."""
+    return OracleLayerPredictor(gpu_device)
+
+
+@pytest.fixture(scope="session")
+def cpu_oracle(cpu_device):
+    """Noise-free per-layer predictor for the CPU device."""
+    return OracleLayerPredictor(cpu_device)
+
+
+@pytest.fixture(scope="session")
+def gpu_predictor(gpu_device):
+    """Regression predictor trained from simulated profiling data (small sweep)."""
+    return LayerPerformancePredictor.train_for_device(
+        gpu_device, noise_std=0.02, samples_per_type=80, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def alexnet():
+    """The AlexNet reference architecture with a 224x224x3 input."""
+    return build_alexnet()
+
+
+@pytest.fixture(scope="session")
+def search_space():
+    """The paper's VGG-derived search space with default settings."""
+    return LensSearchSpace()
+
+
+@pytest.fixture(scope="session")
+def small_search_space():
+    """A reduced search space for fast search-loop tests."""
+    return LensSearchSpace(
+        num_blocks=3,
+        layers_per_block=(1, 2),
+        kernel_sizes=(3, 5),
+        filter_counts=(24, 64),
+        fc_units=(256, 1024),
+        min_pool_layers=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def wifi_channel():
+    """WiFi channel at the paper's design-time expectation of 3 Mbps."""
+    return WirelessChannel.create("wifi", uplink_mbps=3.0, round_trip_s=0.01)
+
+
+@pytest.fixture(scope="session")
+def lte_channel():
+    """LTE channel at a mid-range uplink throughput."""
+    return WirelessChannel.create("lte", uplink_mbps=7.5, round_trip_s=0.01)
+
+
+@pytest.fixture(scope="session")
+def gpu_wifi_analyzer(gpu_oracle, wifi_channel):
+    """Partition analyzer for the GPU/WiFi configuration."""
+    return PartitionAnalyzer(gpu_oracle, wifi_channel)
+
+
+@pytest.fixture(scope="session")
+def surrogate():
+    """The analytic accuracy surrogate."""
+    return AccuracySurrogate()
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,148 @@
+"""Tests for the numpy CNN, the SGD trainer and the synthetic dataset."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.dataset import SyntheticImageDataset
+from repro.accuracy.network import NumpyCNN
+from repro.accuracy.trainer import SGDTrainer, TrainedAccuracyEvaluator
+from repro.nn.architecture import Architecture
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D
+
+
+def small_cnn_architecture(input_shape=(3, 8, 8), num_classes=3) -> Architecture:
+    return Architecture(
+        "small-cnn",
+        input_shape,
+        [
+            Conv2D(name="conv1", out_channels=8, kernel_size=3),
+            MaxPool2D(name="pool1", pool_size=2),
+            Conv2D(name="conv2", out_channels=8, kernel_size=3),
+            MaxPool2D(name="pool2", pool_size=2),
+            Flatten(name="flatten"),
+            Dense(name="fc1", units=16),
+            Dropout(name="drop", rate=0.1),
+            Dense(name="classifier", units=num_classes, activation="softmax"),
+        ],
+    )
+
+
+class TestSyntheticDataset:
+    def test_shapes_and_normalisation(self):
+        dataset = SyntheticImageDataset.generate(
+            num_classes=3, num_train=60, num_test=30, image_shape=(3, 8, 8), seed=0
+        )
+        assert dataset.train_images.shape == (60, 3, 8, 8)
+        assert dataset.test_images.shape == (30, 3, 8, 8)
+        assert dataset.image_shape == (3, 8, 8)
+        assert abs(dataset.train_images.mean()) < 0.1
+        assert dataset.train_images.std() == pytest.approx(1.0, abs=0.1)
+
+    def test_labels_cover_all_classes(self):
+        dataset = SyntheticImageDataset.generate(num_classes=4, num_train=200, seed=1)
+        assert set(np.unique(dataset.train_labels)) == {0, 1, 2, 3}
+
+    def test_batches_partition_training_data(self):
+        dataset = SyntheticImageDataset.generate(num_train=50, num_test=10, seed=0)
+        batches = list(dataset.batches(batch_size=16, rng=0))
+        assert sum(len(labels) for _, labels in batches) == 50
+        assert batches[0][0].shape[1:] == dataset.image_shape
+
+    def test_generation_is_reproducible(self):
+        a = SyntheticImageDataset.generate(seed=3)
+        b = SyntheticImageDataset.generate(seed=3)
+        assert np.array_equal(a.train_images, b.train_images)
+
+    def test_requires_at_least_two_classes(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset.generate(num_classes=1)
+
+
+class TestNumpyCNN:
+    def test_forward_shape_matches_ir_prediction(self):
+        arch = small_cnn_architecture()
+        network = NumpyCNN(arch, seed=0)
+        logits = network.forward(np.random.default_rng(0).normal(size=(5, 3, 8, 8)))
+        assert logits.shape == (5, 3)
+
+    def test_parameter_count_matches_ir(self):
+        arch = small_cnn_architecture()
+        network = NumpyCNN(arch, seed=0)
+        # The IR counts batch-norm parameters only when enabled (it is not here).
+        assert network.num_parameters() == arch.total_params
+
+    def test_rejects_non_batched_input(self):
+        network = NumpyCNN(small_cnn_architecture(), seed=0)
+        with pytest.raises(ValueError):
+            network.forward(np.zeros((3, 8, 8)))
+
+    def test_loss_decreases_over_gradient_steps(self):
+        dataset = SyntheticImageDataset.generate(
+            num_classes=3, num_train=48, num_test=24, image_shape=(3, 8, 8), seed=0
+        )
+        network = NumpyCNN(small_cnn_architecture(), seed=0)
+        images, labels = dataset.train_images[:32], dataset.train_labels[:32]
+        losses = []
+        for _ in range(15):
+            loss = network.loss_and_gradients(images, labels)
+            losses.append(loss)
+            for layer, name in network.parameters():
+                layer.params[name] -= 0.05 * layer.grads[name]
+        assert losses[-1] < losses[0]
+
+    def test_error_rate_bounds(self):
+        dataset = SyntheticImageDataset.generate(num_train=30, num_test=20, seed=0)
+        arch = small_cnn_architecture(input_shape=dataset.image_shape, num_classes=dataset.num_classes)
+        network = NumpyCNN(arch, seed=0)
+        error = network.error_rate(dataset.test_images, dataset.test_labels)
+        assert 0.0 <= error <= 100.0
+
+
+class TestTrainer:
+    def test_training_reaches_better_than_chance(self):
+        dataset = SyntheticImageDataset.generate(
+            num_classes=3, num_train=90, num_test=45, image_shape=(3, 8, 8),
+            noise_std=0.25, seed=0,
+        )
+        arch = small_cnn_architecture(num_classes=3)
+        network = NumpyCNN(arch, seed=1)
+        trainer = SGDTrainer(learning_rate=0.05, epochs=4, batch_size=16, seed=0)
+        history = trainer.fit(network, dataset)
+        chance_error = 100.0 * (1 - 1 / dataset.num_classes)
+        assert history.final_test_error < chance_error
+        assert len(history.losses) == 4
+        assert history.losses[-1] < history.losses[0]
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGDTrainer(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGDTrainer(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGDTrainer(epochs=0)
+
+    def test_history_requires_epochs(self):
+        from repro.accuracy.trainer import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().final_test_error
+
+
+class TestTrainedAccuracyEvaluator:
+    def test_returns_error_percent_for_matching_architecture(self):
+        dataset = SyntheticImageDataset.generate(
+            num_classes=3, num_train=45, num_test=24, image_shape=(3, 8, 8), seed=0
+        )
+        evaluator = TrainedAccuracyEvaluator(
+            dataset=dataset, trainer=SGDTrainer(epochs=2, batch_size=16, seed=0), seed=0
+        )
+        error = evaluator.error_percent(
+            small_cnn_architecture(input_shape=(3, 8, 8), num_classes=3)
+        )
+        assert 0.0 <= error <= 100.0
+
+    def test_rejects_mismatched_input_shape(self):
+        dataset = SyntheticImageDataset.generate(image_shape=(3, 8, 8), seed=0)
+        evaluator = TrainedAccuracyEvaluator(dataset=dataset)
+        with pytest.raises(ValueError):
+            evaluator.error_percent(small_cnn_architecture(input_shape=(3, 16, 16)))

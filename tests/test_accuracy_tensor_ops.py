@@ -1,0 +1,156 @@
+"""Tests for the numpy tensor operations, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import tensor_ops as ops
+
+
+def numeric_gradient(function, array, epsilon=1e-5):
+    """Central-difference numerical gradient of a scalar-valued function."""
+    gradient = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + epsilon
+        plus = function()
+        array[index] = original - epsilon
+        minus = function()
+        array[index] = original
+        gradient[index] = (plus - minus) / (2 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+class TestIm2Col:
+    def test_output_shape(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        columns, out_h, out_w = ops.im2col(images, kernel=3, stride=1, pad=1)
+        assert (out_h, out_w) == (8, 8)
+        assert columns.shape == (2 * 64, 3 * 9)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> for random y (adjoint property)."""
+        images = rng.normal(size=(1, 2, 6, 6))
+        columns, _, _ = ops.im2col(images, kernel=3, stride=2, pad=1)
+        other = rng.normal(size=columns.shape)
+        lhs = np.sum(columns * other)
+        rhs = np.sum(images * ops.col2im(other, images.shape, kernel=3, stride=2, pad=1))
+        assert lhs == pytest.approx(rhs)
+
+    def test_kernel_too_large_raises(self, rng):
+        with pytest.raises(ValueError):
+            ops.im2col(rng.normal(size=(1, 1, 4, 4)), kernel=9, stride=1, pad=0)
+
+
+class TestConv2D:
+    def test_matches_direct_convolution(self, rng):
+        images = rng.normal(size=(1, 1, 5, 5))
+        weights = rng.normal(size=(1, 1, 3, 3))
+        bias = np.zeros(1)
+        output, _ = ops.conv2d_forward(images, weights, bias, stride=1, pad=0)
+        # Direct computation of one output element.
+        expected = np.sum(images[0, 0, 0:3, 0:3] * weights[0, 0])
+        assert output[0, 0, 0, 0] == pytest.approx(expected)
+        assert output.shape == (1, 1, 3, 3)
+
+    def test_gradients_match_numerical(self, rng):
+        images = rng.normal(size=(2, 2, 5, 5))
+        weights = rng.normal(size=(3, 2, 3, 3)) * 0.5
+        bias = rng.normal(size=3) * 0.1
+        target = rng.normal(size=(2, 3, 5, 5))
+
+        def loss():
+            out, _ = ops.conv2d_forward(images, weights, bias, stride=1, pad=1)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        output, cache = ops.conv2d_forward(images, weights, bias, stride=1, pad=1)
+        grad_output = output - target
+        grad_input, grad_weights, grad_bias = ops.conv2d_backward(grad_output, cache)
+        assert np.allclose(grad_weights, numeric_gradient(loss, weights), atol=1e-4)
+        assert np.allclose(grad_bias, numeric_gradient(loss, bias), atol=1e-4)
+        assert np.allclose(grad_input, numeric_gradient(loss, images), atol=1e-4)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        images = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        output, _ = ops.maxpool_forward(images, pool_size=2, stride=2)
+        assert output.shape == (1, 1, 2, 2)
+        assert np.array_equal(output[0, 0], np.array([[5.0, 7.0], [13.0, 15.0]]))
+
+    def test_backward_routes_to_argmax(self):
+        images = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        output, cache = ops.maxpool_forward(images, pool_size=2, stride=2)
+        grad = np.ones_like(output)
+        grad_input = ops.maxpool_backward(grad, cache)
+        assert grad_input.sum() == pytest.approx(4.0)
+        assert grad_input[0, 0, 1, 1] == 1.0  # position of value 5
+        assert grad_input[0, 0, 0, 0] == 0.0
+
+    def test_gradient_matches_numerical(self, rng):
+        images = rng.normal(size=(1, 2, 6, 6))
+        target = rng.normal(size=(1, 2, 3, 3))
+
+        def loss():
+            out, _ = ops.maxpool_forward(images, pool_size=2, stride=2)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        output, cache = ops.maxpool_forward(images, pool_size=2, stride=2)
+        grad_input = ops.maxpool_backward(output - target, cache)
+        assert np.allclose(grad_input, numeric_gradient(loss, images), atol=1e-4)
+
+
+class TestDenseReluSoftmax:
+    def test_dense_gradients(self, rng):
+        inputs = rng.normal(size=(4, 6))
+        weights = rng.normal(size=(6, 3))
+        bias = rng.normal(size=3)
+        target = rng.normal(size=(4, 3))
+
+        def loss():
+            out, _ = ops.dense_forward(inputs, weights, bias)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        output, cache = ops.dense_forward(inputs, weights, bias)
+        grad_input, grad_weights, grad_bias = ops.dense_backward(output - target, cache)
+        assert np.allclose(grad_weights, numeric_gradient(loss, weights), atol=1e-5)
+        assert np.allclose(grad_bias, numeric_gradient(loss, bias), atol=1e-5)
+        assert np.allclose(grad_input, numeric_gradient(loss, inputs), atol=1e-5)
+
+    def test_relu(self):
+        values = np.array([[-1.0, 2.0], [0.5, -3.0]])
+        output, mask = ops.relu_forward(values)
+        assert np.array_equal(output, np.array([[0.0, 2.0], [0.5, 0.0]]))
+        grad = ops.relu_backward(np.ones_like(values), mask)
+        assert np.array_equal(grad, np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(5, 4)) * 10
+        probabilities = ops.softmax(logits)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities > 0)
+
+    def test_softmax_is_shift_invariant(self, rng):
+        logits = rng.normal(size=(3, 4))
+        assert np.allclose(ops.softmax(logits), ops.softmax(logits + 100.0))
+
+    def test_cross_entropy_loss_and_gradient(self, rng):
+        logits = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 5, size=6)
+        loss, grad = ops.softmax_cross_entropy(logits, labels)
+        assert loss > 0
+        # Gradient rows sum to zero (softmax minus one-hot).
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+        def loss_fn():
+            value, _ = ops.softmax_cross_entropy(logits, labels)
+            return value
+
+        assert np.allclose(grad, numeric_gradient(loss_fn, logits), atol=1e-5)
+
+    def test_perfect_prediction_has_tiny_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = ops.softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6

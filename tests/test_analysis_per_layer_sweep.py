@@ -1,0 +1,119 @@
+"""Tests for the per-layer report (Fig. 1) and deployment sweeps (Fig. 2 / Table I)."""
+
+import pytest
+
+from repro.analysis.deployment_sweep import (
+    DeploymentConfiguration,
+    preference_changes,
+    regional_preferences,
+    sweep_deployments,
+)
+from repro.analysis.per_layer import latency_share_by_type, per_layer_report
+from repro.wireless.regions import paper_regions
+
+
+class TestPerLayerReport:
+    def test_rows_cover_every_layer(self, alexnet, gpu_oracle):
+        rows = per_layer_report(alexnet, gpu_oracle)
+        assert len(rows) == len(alexnet)
+        assert [row.name for row in rows] == [layer.name for layer in alexnet.layers]
+
+    def test_latency_shares_sum_to_one_hundred(self, alexnet, gpu_oracle):
+        rows = per_layer_report(alexnet, gpu_oracle)
+        assert sum(row.latency_share_percent for row in rows) == pytest.approx(100.0)
+
+    def test_fig1_takeaway_fc_layers_take_about_half_the_time(self, alexnet, gpu_oracle):
+        shares = latency_share_by_type(alexnet, gpu_oracle)
+        assert 35.0 < shares["fc"] < 75.0
+
+    def test_fig1_takeaway_early_layers_exceed_input_size(self, alexnet, gpu_oracle):
+        rows = {row.name: row for row in per_layer_report(alexnet, gpu_oracle)}
+        assert not rows["conv1"].smaller_than_input
+        assert not rows["conv3"].smaller_than_input
+        assert rows["pool5"].smaller_than_input
+        assert rows["fc6"].smaller_than_input
+
+    def test_output_sizes_reported_in_kilobytes(self, alexnet, gpu_oracle):
+        rows = {row.name: row for row in per_layer_report(alexnet, gpu_oracle)}
+        assert rows["pool5"].output_kilobytes == pytest.approx(36.0, abs=0.1)
+        assert rows["fc6"].output_kilobytes == pytest.approx(16.0, abs=0.1)
+
+    def test_row_serialisation(self, alexnet, gpu_oracle):
+        row = per_layer_report(alexnet, gpu_oracle)[0]
+        data = row.to_dict()
+        assert data["name"] == "conv1"
+        assert data["latency_share_percent"] > 0
+
+
+class TestDeploymentSweep:
+    @pytest.fixture(scope="class")
+    def configurations(self, gpu_oracle, cpu_oracle):
+        return [
+            DeploymentConfiguration("GPU/WiFi", gpu_oracle, "wifi"),
+            DeploymentConfiguration("CPU/LTE", cpu_oracle, "lte"),
+        ]
+
+    def test_sweep_produces_one_row_per_cell(self, alexnet, configurations):
+        rows = sweep_deployments(alexnet, configurations, (1.0, 10.0), ("latency", "energy"))
+        assert len(rows) == 2 * 2 * 2
+        assert {row.configuration for row in rows} == {"GPU/WiFi", "CPU/LTE"}
+
+    def test_best_value_never_exceeds_extremes(self, alexnet, configurations):
+        rows = sweep_deployments(alexnet, configurations, (0.7, 3.0, 16.1))
+        for row in rows:
+            assert row.best_value <= row.all_edge_value + 1e-12
+            assert row.best_value <= row.all_cloud_value + 1e-12
+
+    def test_fig2_shape_gpu_wifi_latency_prefers_split_only_at_high_throughput(
+        self, alexnet, configurations
+    ):
+        rows = sweep_deployments(alexnet, configurations[:1], (1.0, 30.0), ("latency",))
+        by_tu = {row.uplink_mbps: row.best_option for row in rows}
+        assert by_tu[1.0] == "All-Edge"
+        assert by_tu[30.0] != "All-Edge"
+
+    def test_fig2_shape_cpu_lte_prefers_cloud_at_high_throughput(
+        self, alexnet, configurations
+    ):
+        rows = sweep_deployments(alexnet, configurations[1:], (0.7, 16.1), ("latency",))
+        by_tu = {row.uplink_mbps: row.best_option for row in rows}
+        assert by_tu[0.7] == "All-Edge"
+        assert by_tu[16.1] == "All-Cloud"
+
+    def test_table1_regional_preferences_vary_across_regions(self, alexnet, configurations):
+        rows = regional_preferences(alexnet, configurations, paper_regions())
+        assert len(rows) == 3 * 2 * 2
+        assert preference_changes(rows) >= 2
+        # Afghanistan (0.7 Mbps) never prefers All-Cloud under any metric.
+        afghan = [row for row in rows if row.region == "Afghanistan"]
+        assert all(row.best_option != "All-Cloud" for row in afghan)
+
+    def test_table1_majority_of_paper_cells_reproduced(self, alexnet, configurations):
+        """At least 9 of the 12 Table I cells should match the paper."""
+        expected = {
+            ("South Korea", "GPU/WiFi", "latency"): "All-Edge",
+            ("South Korea", "GPU/WiFi", "energy"): "Split@pool5",
+            ("South Korea", "CPU/LTE", "latency"): "All-Cloud",
+            ("South Korea", "CPU/LTE", "energy"): "All-Cloud",
+            ("USA", "GPU/WiFi", "latency"): "All-Edge",
+            ("USA", "GPU/WiFi", "energy"): "Split@pool5",
+            ("USA", "CPU/LTE", "latency"): "Split@pool5",
+            ("USA", "CPU/LTE", "energy"): "All-Cloud",
+            ("Afghanistan", "GPU/WiFi", "latency"): "All-Edge",
+            ("Afghanistan", "GPU/WiFi", "energy"): "All-Edge",
+            ("Afghanistan", "CPU/LTE", "latency"): "All-Edge",
+            ("Afghanistan", "CPU/LTE", "energy"): "Split@pool5",
+        }
+        rows = regional_preferences(alexnet, configurations, paper_regions())
+        matches = sum(
+            1
+            for row in rows
+            if expected[(row.region, row.configuration, row.metric)] == row.best_option
+        )
+        assert matches >= 9
+
+    def test_row_serialisation(self, alexnet, configurations):
+        sweep_row = sweep_deployments(alexnet, configurations[:1], (3.0,))[0]
+        regional_row = regional_preferences(alexnet, configurations[:1], paper_regions()[:1])[0]
+        assert sweep_row.to_dict()["configuration"] == "GPU/WiFi"
+        assert regional_row.to_dict()["region"] == "South Korea"

@@ -1,0 +1,103 @@
+"""Tests for the Markdown experiment-report builder."""
+
+import pytest
+
+from repro.analysis.criteria import compare_criteria, paper_criteria
+from repro.analysis.pareto_metrics import compare_fronts
+from repro.analysis.reporting import ExperimentReport, _markdown_table
+from repro.analysis.runtime_eval import run_runtime_study
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.partition.deployment import DeploymentOption
+from repro.wireless.traces import generate_lte_trace
+
+
+def candidate(name, error, energy_mj, latency_ms=40.0):
+    return CandidateEvaluation(
+        genotype=(0,),
+        architecture_name=name,
+        error_percent=error,
+        latency_s=latency_ms / 1e3,
+        energy_j=energy_mj / 1e3,
+        best_latency_option=DeploymentOption.all_edge(),
+        best_energy_option=DeploymentOption.split_after(3, "pool3"),
+        all_edge_latency_s=latency_ms / 1e3,
+        all_edge_energy_j=energy_mj / 1e3,
+    )
+
+
+@pytest.fixture
+def lens_result():
+    return SearchResult(
+        [candidate("a", 20.0, 300.0), candidate("b", 28.0, 150.0), candidate("c", 35.0, 500.0)],
+        label="lens",
+    )
+
+
+@pytest.fixture
+def baseline_result():
+    return SearchResult(
+        [candidate("x", 22.0, 400.0), candidate("y", 30.0, 250.0)],
+        label="traditional",
+    )
+
+
+def test_markdown_table_shape_and_validation():
+    table = _markdown_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+    lines = table.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert "2.500" in lines[2]
+    with pytest.raises(ValueError):
+        _markdown_table(["a", "b"], [[1]])
+
+
+def test_search_summary_section(lens_result):
+    report = ExperimentReport().add_search_summary(lens_result)
+    text = report.render_markdown()
+    assert "Search summary — lens" in text
+    assert "Explored **3** architectures" in text
+    assert "Split@pool3" in text
+    assert report.num_sections == 1
+
+
+def test_front_comparison_section(lens_result, baseline_result):
+    comparison = compare_fronts(lens_result, baseline_result)
+    text = ExperimentReport().add_front_comparison(comparison).render_markdown()
+    assert "lens dominates traditional" in text
+    assert "combined frontier share of lens" in text
+
+
+def test_criteria_section(lens_result, baseline_result):
+    comparisons = compare_criteria(lens_result, baseline_result, paper_criteria())
+    text = ExperimentReport().add_criteria_comparison(comparisons).render_markdown()
+    assert "Err < 25" in text
+    assert "Ergy < 200" in text
+
+
+def test_runtime_section(alexnet, gpu_oracle, wifi_channel):
+    study = run_runtime_study(
+        "model A",
+        alexnet,
+        gpu_oracle,
+        wifi_channel,
+        generate_lte_trace(num_samples=10, mean_mbps=6.0, seed=0),
+        metric="energy",
+    )
+    text = ExperimentReport().add_runtime_study(study).render_markdown()
+    assert "Runtime study — model A (energy)" in text
+    assert "dynamic" in text
+    assert "Switching threshold" in text
+
+
+def test_full_report_round_trip(tmp_path, lens_result, baseline_result):
+    report = (
+        ExperimentReport(title="Custom reproduction")
+        .add_text("Setup", "WiFi at 3 Mbps, TX2-GPU.")
+        .add_search_summary(lens_result)
+        .add_front_comparison(compare_fronts(lens_result, baseline_result))
+    )
+    path = report.write(tmp_path / "report" / "experiments.md")
+    content = path.read_text()
+    assert content.startswith("# Custom reproduction")
+    assert content.count("## ") == 3
+    assert report.num_sections == 3

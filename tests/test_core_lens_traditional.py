@@ -1,0 +1,163 @@
+"""Tests for the LENS search, the Traditional baseline and their comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pareto_metrics import compare_fronts
+from repro.core.lens import LensConfig, LensSearch
+from repro.core.traditional import TraditionalSearch
+from repro.hardware.device import jetson_tx2_cpu
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return LensConfig(
+        wireless_technology="wifi",
+        expected_uplink_mbps=3.0,
+        num_initial=5,
+        num_iterations=8,
+        candidate_pool_size=32,
+        predictor_samples_per_type=60,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def lens_search(small_search_space_module, fast_config):
+    return LensSearch(search_space=small_search_space_module, config=fast_config)
+
+
+@pytest.fixture(scope="module")
+def small_search_space_module():
+    from repro.nn.search_space import LensSearchSpace
+
+    return LensSearchSpace(
+        num_blocks=3,
+        layers_per_block=(1, 2),
+        kernel_sizes=(3, 5),
+        filter_counts=(24, 64),
+        fc_units=(256, 1024),
+        min_pool_layers=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def lens_result(lens_search):
+    return lens_search.run()
+
+
+class TestLensConfig:
+    def test_device_resolution(self):
+        config = LensConfig(device="jetson-tx2-cpu")
+        assert config.resolve_device().name == "jetson-tx2-cpu"
+        custom = LensConfig(device=jetson_tx2_cpu())
+        assert custom.resolve_device().name == "jetson-tx2-cpu"
+
+    def test_channel_construction(self):
+        config = LensConfig(wireless_technology="lte", expected_uplink_mbps=7.5, round_trip_s=0.02)
+        channel = config.build_channel()
+        assert channel.technology == "lte"
+        assert channel.uplink_mbps == 7.5
+        assert channel.round_trip_s == 0.02
+
+
+class TestLensSearch:
+    def test_budget_is_respected(self, lens_result, fast_config):
+        assert len(lens_result) == fast_config.num_initial + fast_config.num_iterations
+        assert lens_result.label == "lens"
+
+    def test_candidates_carry_deployment_annotations(self, lens_result):
+        for candidate in lens_result:
+            assert candidate.best_energy_option.label in {
+                "All-Edge",
+                "All-Cloud",
+            } or candidate.best_energy_option.is_split
+            assert candidate.energy_j <= candidate.all_edge_energy_j + 1e-12
+            assert candidate.latency_s <= candidate.all_edge_latency_s + 1e-12
+
+    def test_phases_and_iterations_recorded(self, lens_result, fast_config):
+        phases = [c.phase for c in lens_result]
+        assert phases.count("init") == fast_config.num_initial
+        assert phases.count("bo") == fast_config.num_iterations
+        iterations = [c.iteration for c in lens_result]
+        assert iterations == sorted(iterations)
+
+    def test_pareto_front_is_non_empty(self, lens_result):
+        front = lens_result.pareto_candidates(("error_percent", "energy_j"))
+        assert len(front) >= 1
+
+    def test_reproducibility_with_same_seed(self, small_search_space_module, fast_config):
+        first = LensSearch(search_space=small_search_space_module, config=fast_config)
+        second = LensSearch(
+            search_space=small_search_space_module,
+            config=fast_config,
+            predictor=first.predictor,
+        )
+        a = first.run().objective_matrix(("error_percent", "energy_j"))
+        b = second.run().objective_matrix(("error_percent", "energy_j"))
+        assert np.allclose(a, b)
+
+    def test_progress_callback_invoked(self, small_search_space_module, fast_config):
+        calls = []
+        search = LensSearch(
+            search_space=small_search_space_module,
+            config=fast_config,
+            progress_callback=lambda index, evaluation: calls.append(evaluation),
+        )
+        result = search.run()
+        assert len(calls) == len(result)
+
+    def test_raw_result_exposed(self, lens_search, lens_result):
+        assert lens_search.raw_result is not None
+        assert len(lens_search.raw_result.points) == len(lens_result)
+
+
+class TestTraditionalSearch:
+    @pytest.fixture(scope="class")
+    def traditional(self, small_search_space_module, fast_config, lens_search):
+        return TraditionalSearch(
+            search_space=small_search_space_module,
+            config=fast_config,
+            predictor=lens_search.predictor,
+        )
+
+    @pytest.fixture(scope="class")
+    def traditional_result(self, traditional):
+        return traditional.run()
+
+    def test_partition_within_is_forced_off(self, traditional):
+        assert traditional.config.partition_within is False
+        assert traditional.evaluator.partition_within is False
+
+    def test_objectives_are_all_edge_values(self, traditional_result):
+        for candidate in traditional_result:
+            assert candidate.latency_s == pytest.approx(candidate.all_edge_latency_s)
+            assert candidate.energy_j == pytest.approx(candidate.all_edge_energy_j)
+        assert traditional_result.label == "traditional"
+
+    def test_post_hoc_partitioning_improves_or_preserves(self, traditional, traditional_result):
+        partitioned = traditional.partition_result(traditional_result)
+        assert partitioned.label == "traditional+partitioned"
+        original_front = {
+            c.architecture_name: c
+            for c in traditional_result.pareto_candidates(("error_percent", "energy_j"))
+        }
+        assert len(partitioned) == len(original_front)
+        for candidate in partitioned:
+            original = original_front[candidate.architecture_name]
+            assert candidate.energy_j <= original.energy_j + 1e-12
+            assert candidate.latency_s <= original.latency_s + 1e-12
+            assert candidate.error_percent == pytest.approx(original.error_percent)
+            assert candidate.extras.get("partitioned_after_search") is True
+
+    def test_partition_result_can_cover_all_candidates(self, traditional, traditional_result):
+        partitioned = traditional.partition_result(traditional_result, pareto_only=False)
+        assert len(partitioned) == len(traditional_result)
+
+    def test_front_comparison_against_lens(self, lens_result, traditional, traditional_result):
+        partitioned = traditional.partition_result(traditional_result)
+        comparison = compare_fronts(lens_result, partitioned, ("error_percent", "energy_j"))
+        assert 0.0 <= comparison.a_dominates_b_fraction <= 1.0
+        assert 0.0 <= comparison.combined_fraction_a <= 1.0
+        assert comparison.a_front_size >= 1
+        assert comparison.hypervolume_a >= 0.0

@@ -1,0 +1,75 @@
+"""Tests for the Table II feature-comparison data."""
+
+import pytest
+
+from repro.core.related_work import (
+    FEATURES,
+    RELATED_WORKS,
+    RelatedWork,
+    feature_matrix,
+    feature_matrix_headers,
+)
+
+
+def work(name):
+    return next(w for w in RELATED_WORKS if w.name == name)
+
+
+def test_all_four_systems_present_in_paper_order():
+    assert [w.name for w in RELATED_WORKS] == ["LENS", "NS", "SIEVE", "RNN"]
+
+
+def test_feature_list_matches_table_2():
+    assert len(FEATURES) == 8
+    assert "NAS support" in FEATURES
+    assert "E-C Layer-Partitioning" in FEATURES
+
+
+def test_lens_is_the_only_nas_and_wireless_aware_system():
+    for feature in ("NAS support", "Wireless expectancy at Design Time"):
+        supporters = [w.name for w in RELATED_WORKS if w.supports(feature)]
+        assert supporters == ["LENS"]
+
+
+def test_every_system_supports_runtime_optimization():
+    assert all(w.supports("Runtime Optimization") for w in RELATED_WORKS)
+
+
+def test_neurosurgeon_supports_partitioning_but_not_design_automation():
+    ns = work("NS")
+    assert ns.supports("E-C Layer-Partitioning")
+    assert not ns.supports("Design Automation")
+
+
+def test_sieve_supports_compression_and_hardware_optimization():
+    sieve = work("SIEVE")
+    assert sieve.supports("Compression")
+    assert sieve.supports("Hardware Optimization")
+    assert not sieve.supports("E-C Layer-Partitioning")
+
+
+def test_lens_does_not_claim_compression_or_hardware_optimization():
+    lens = work("LENS")
+    assert not lens.supports("Compression")
+    assert not lens.supports("Hardware Optimization")
+
+
+def test_unknown_feature_rejected():
+    with pytest.raises(ValueError):
+        work("LENS").supports("Quantization")
+
+
+def test_matrix_layout_matches_headers():
+    headers = feature_matrix_headers()
+    matrix = feature_matrix()
+    assert headers == ["Supported Features", "LENS", "NS", "SIEVE", "RNN"]
+    assert len(matrix) == len(FEATURES)
+    assert all(len(row) == len(headers) for row in matrix)
+    lens_marks = [row[1] for row in matrix]
+    assert lens_marks.count("yes") == 6
+
+
+def test_to_dict():
+    data = work("LENS").to_dict()
+    assert data["name"] == "LENS"
+    assert "NAS support" in data["supported"]

@@ -1,0 +1,156 @@
+"""Tests for result containers and the partition-aware evaluator (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.core.evaluation import PartitionAwareEvaluator
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.partition.deployment import DeploymentOption
+from repro.partition.partitioner import PartitionAnalyzer
+
+
+def make_candidate(error, energy_mj, latency_ms=50.0, **kwargs):
+    return CandidateEvaluation(
+        genotype=(0,),
+        architecture_name=kwargs.pop("name", f"cand-{error}-{energy_mj}"),
+        error_percent=error,
+        latency_s=latency_ms / 1e3,
+        energy_j=energy_mj / 1e3,
+        best_latency_option=DeploymentOption.all_edge(),
+        best_energy_option=DeploymentOption.all_edge(),
+        all_edge_latency_s=latency_ms / 1e3,
+        all_edge_energy_j=energy_mj / 1e3,
+        **kwargs,
+    )
+
+
+class TestCandidateEvaluation:
+    def test_unit_conversions(self):
+        candidate = make_candidate(20.0, 250.0, latency_ms=40.0)
+        assert candidate.energy_mj == pytest.approx(250.0)
+        assert candidate.latency_ms == pytest.approx(40.0)
+
+    def test_metric_lookup_and_validation(self):
+        candidate = make_candidate(20.0, 250.0)
+        assert candidate.metric("error_percent") == 20.0
+        with pytest.raises(ValueError):
+            candidate.metric("accuracy")
+
+    def test_to_dict_round_trippable_fields(self):
+        data = make_candidate(22.0, 300.0).to_dict()
+        assert data["error_percent"] == 22.0
+        assert data["best_energy_option"]["kind"] == "all_edge"
+
+
+class TestSearchResult:
+    def make_result(self):
+        return SearchResult(
+            [
+                make_candidate(30.0, 150.0, name="a"),
+                make_candidate(20.0, 250.0, name="b"),
+                make_candidate(25.0, 400.0, name="c"),  # dominated by b? no: error 25>20 but energy 400>250 -> dominated
+                make_candidate(18.0, 500.0, name="d"),
+            ],
+            label="test",
+        )
+
+    def test_pareto_front_extraction(self):
+        result = self.make_result()
+        front = result.pareto_candidates(("error_percent", "energy_j"))
+        assert {c.architecture_name for c in front} == {"a", "b", "d"}
+        assert result.pareto_objectives(("error_percent", "energy_j")).shape == (3, 2)
+
+    def test_objective_matrix_order(self):
+        result = self.make_result()
+        matrix = result.objective_matrix(("error_percent", "energy_j"))
+        assert matrix.shape == (4, 2)
+        assert matrix[0, 0] == 30.0
+
+    def test_best_by_metric(self):
+        result = self.make_result()
+        assert result.best_by("error_percent").architecture_name == "d"
+        assert result.best_by("energy_j").architecture_name == "a"
+        with pytest.raises(ValueError):
+            SearchResult([], label="empty").best_by("error_percent")
+
+    def test_count_satisfying_conjunction(self):
+        result = self.make_result()
+        assert result.count_satisfying(max_error_percent=26.0) == 3
+        assert result.count_satisfying(max_energy_mj=260.0) == 2
+        assert result.count_satisfying(max_error_percent=26.0, max_energy_mj=260.0) == 1
+        assert result.count_satisfying(max_latency_ms=10.0) == 0
+
+    def test_iteration_and_serialisation(self):
+        result = self.make_result()
+        assert len(result) == 4
+        assert len(list(result)) == 4
+        data = result.to_dict()
+        assert data["label"] == "test"
+        assert len(data["candidates"]) == 4
+
+
+class TestPartitionAwareEvaluator:
+    @pytest.fixture()
+    def evaluator(self, search_space, gpu_oracle, wifi_channel, surrogate):
+        analyzer = PartitionAnalyzer(gpu_oracle, wifi_channel)
+        return PartitionAwareEvaluator(search_space, surrogate, analyzer, partition_within=True)
+
+    def test_objectives_vector_layout(self, evaluator, search_space):
+        genotype = search_space.sample(0)
+        objectives, metadata = evaluator.evaluate_genotype(genotype)
+        assert objectives.shape == (3,)
+        error, latency, energy = objectives
+        assert 0 < error < 100
+        assert latency > 0 and energy > 0
+        evaluation = metadata["evaluation"]
+        assert evaluation.error_percent == pytest.approx(error)
+        assert evaluation.latency_s == pytest.approx(latency)
+        assert evaluation.energy_j == pytest.approx(energy)
+
+    def test_partition_within_never_worse_than_all_edge(self, evaluator, search_space):
+        for seed in range(5):
+            genotype = search_space.sample(seed)
+            _, metadata = evaluator.evaluate_genotype(genotype)
+            evaluation = metadata["evaluation"]
+            assert evaluation.latency_s <= evaluation.all_edge_latency_s + 1e-12
+            assert evaluation.energy_j <= evaluation.all_edge_energy_j + 1e-12
+
+    def test_partition_off_uses_all_edge_objectives(
+        self, search_space, gpu_oracle, wifi_channel, surrogate
+    ):
+        analyzer = PartitionAnalyzer(gpu_oracle, wifi_channel)
+        edge_only = PartitionAwareEvaluator(
+            search_space, surrogate, analyzer, partition_within=False
+        )
+        genotype = search_space.sample(3)
+        _, metadata = edge_only.evaluate_genotype(genotype)
+        evaluation = metadata["evaluation"]
+        assert evaluation.latency_s == pytest.approx(evaluation.all_edge_latency_s)
+        assert evaluation.energy_j == pytest.approx(evaluation.all_edge_energy_j)
+
+    def test_error_is_independent_of_partitioning_mode(
+        self, search_space, gpu_oracle, wifi_channel, surrogate
+    ):
+        analyzer = PartitionAnalyzer(gpu_oracle, wifi_channel)
+        lens_like = PartitionAwareEvaluator(search_space, surrogate, analyzer, True)
+        trad_like = PartitionAwareEvaluator(search_space, surrogate, analyzer, False)
+        genotype = search_space.sample(11)
+        error_a = lens_like.evaluate_genotype(genotype)[0][0]
+        error_b = trad_like.evaluate_genotype(genotype)[0][0]
+        assert error_a == pytest.approx(error_b)
+
+    def test_adapters_match_search_space(self, evaluator, search_space, rng):
+        genotype = evaluator.sample_fn(rng)
+        assert search_space.is_valid(genotype)
+        features = evaluator.feature_fn(genotype)
+        assert features.shape == (search_space.num_genes,)
+        neighbours = evaluator.neighbor_fn(genotype, 3, rng)
+        assert len(neighbours) == 3
+
+    def test_extras_contain_partition_diagnostics(self, evaluator, search_space):
+        _, metadata = evaluator.evaluate_genotype(search_space.sample(5))
+        extras = metadata["evaluation"].extras
+        assert extras["num_partition_points"] >= 0
+        assert extras["total_params"] > 0
+        assert extras["all_cloud_energy_j"] > 0

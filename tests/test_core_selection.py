@@ -1,0 +1,122 @@
+"""Tests for model selection and deployment packaging."""
+
+import pytest
+
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.core.selection import (
+    DeploymentPackage,
+    build_deployment_package,
+    select_by_constraints,
+    select_knee_point,
+)
+from repro.partition.deployment import DeploymentOption
+
+
+def candidate(name, error, energy_mj, latency_ms, genotype=None):
+    return CandidateEvaluation(
+        genotype=tuple(genotype) if genotype is not None else (0,),
+        architecture_name=name,
+        error_percent=error,
+        latency_s=latency_ms / 1e3,
+        energy_j=energy_mj / 1e3,
+        best_latency_option=DeploymentOption.all_edge(),
+        best_energy_option=DeploymentOption.all_edge(),
+        all_edge_latency_s=latency_ms / 1e3,
+        all_edge_energy_j=energy_mj / 1e3,
+    )
+
+
+@pytest.fixture
+def result():
+    return SearchResult(
+        [
+            candidate("accurate", 18.0, 500.0, 60.0),
+            candidate("balanced", 23.0, 220.0, 35.0),
+            candidate("frugal", 32.0, 110.0, 18.0),
+            candidate("dominated", 33.0, 400.0, 50.0),
+        ],
+        label="lens",
+    )
+
+
+class TestConstraintSelection:
+    def test_selects_most_accurate_within_energy_budget(self, result):
+        chosen = select_by_constraints(result, max_energy_mj=250.0)
+        assert chosen.architecture_name == "balanced"
+
+    def test_prefer_other_metric(self, result):
+        chosen = select_by_constraints(result, max_error_percent=35.0, prefer="energy_j")
+        assert chosen.architecture_name == "frugal"
+
+    def test_multiple_constraints(self, result):
+        chosen = select_by_constraints(
+            result, max_error_percent=25.0, max_latency_ms=40.0
+        )
+        assert chosen.architecture_name == "balanced"
+
+    def test_infeasible_constraints_raise(self, result):
+        with pytest.raises(ValueError, match="no explored candidate"):
+            select_by_constraints(result, max_error_percent=10.0)
+
+
+class TestKneeSelection:
+    def test_knee_prefers_compromise(self, result):
+        chosen = select_knee_point(result, ("error_percent", "energy_j"))
+        assert chosen.architecture_name == "balanced"
+
+    def test_empty_result_raises(self):
+        with pytest.raises(ValueError):
+            select_knee_point(SearchResult([], label="empty"))
+
+    def test_single_candidate_is_returned(self):
+        single = SearchResult([candidate("only", 20.0, 100.0, 10.0)], label="one")
+        assert select_knee_point(single).architecture_name == "only"
+
+
+class TestDeploymentPackage:
+    @pytest.fixture
+    def package(self, search_space, gpu_oracle, wifi_channel):
+        genotype = search_space.sample(3)
+        chosen = candidate("picked", 22.0, 250.0, 40.0, genotype=genotype)
+        return build_deployment_package(
+            chosen, search_space, gpu_oracle, wifi_channel, metric="energy"
+        )
+
+    def test_package_contents(self, package, wifi_channel):
+        assert isinstance(package, DeploymentPackage)
+        assert package.metric == "energy"
+        assert package.expected_uplink_mbps == wifi_channel.uplink_mbps
+        assert len(package.options) >= 2
+        assert len(package.dominance_intervals) >= 1
+        assert package.architecture.input_shape == (3, 224, 224)
+
+    def test_recommended_option_is_a_participating_option(self, package):
+        recommended = package.recommended_option()
+        assert recommended.option in [m.option for m in package.options]
+        # At an extreme throughput the recommendation may differ but must
+        # still come from the packaged options.
+        extreme = package.recommended_option(80.0)
+        assert extreme.option in [m.option for m in package.options]
+
+    def test_recommendation_matches_design_expectation_best(self, package):
+        """At the design-time throughput the recommended option minimises the metric."""
+        recommended = package.recommended_option()
+        values = [
+            package._analysis.value(option, package.expected_uplink_mbps)
+            for option in package.options
+        ]
+        assert package._analysis.value(
+            recommended, package.expected_uplink_mbps
+        ) == pytest.approx(min(values))
+
+    def test_controller_can_be_instantiated_and_driven(self, package):
+        controller = package.make_controller()
+        chosen = controller.observe_and_select(5.0)
+        assert chosen.option in [m.option for m in package.options]
+
+    def test_to_dict_is_serialisable(self, package):
+        from repro.utils.serialization import to_jsonable
+
+        data = to_jsonable(package.to_dict())
+        assert data["metric"] == "energy"
+        assert len(data["options"]) == len(package.options)

@@ -1,0 +1,69 @@
+"""Tests for feature extraction and the profiling-dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.features import (
+    feature_dimension,
+    layer_features,
+    stack_features,
+)
+from repro.hardware.profiler import LayerProfiler, ProfilingDataset
+from repro.hardware.simulator import LayerCostSimulator
+
+
+class TestFeatures:
+    def test_feature_dimensions_match_extractors(self, alexnet):
+        for summary in alexnet.summarize():
+            features = layer_features(summary)
+            assert features.shape == (feature_dimension(summary.layer_type),)
+            assert np.all(np.isfinite(features))
+            assert np.all(features >= 0)
+
+    def test_conv_features_scale_with_layer_size(self, alexnet):
+        by_name = {s.name: s for s in alexnet.summarize()}
+        small = layer_features(by_name["conv1"])
+        large = layer_features(by_name["conv2"])
+        # conv2 has more MACs than conv1 (feature index 2).
+        assert large[2] > small[2]
+
+    def test_stack_features_groups_by_family(self, alexnet):
+        grouped = stack_features(list(alexnet.summarize()))
+        assert set(grouped) >= {"conv", "fc", "pool"}
+        assert grouped["conv"].shape == (5, feature_dimension("conv"))
+        assert grouped["fc"].shape == (3, feature_dimension("fc"))
+
+
+class TestProfilingDataset:
+    def test_validates_row_counts(self):
+        with pytest.raises(ValueError):
+            ProfilingDataset("conv", np.zeros((3, 2)), np.zeros(2), np.zeros(3))
+
+    def test_len(self):
+        dataset = ProfilingDataset("fc", np.zeros((4, 2)), np.zeros(4), np.ones(4))
+        assert len(dataset) == 4
+
+
+class TestLayerProfiler:
+    @pytest.fixture(scope="class")
+    def profiler(self, gpu_device):
+        simulator = LayerCostSimulator(gpu_device, noise_std=0.02, rng=0)
+        return LayerProfiler(simulator, samples_per_type=40, rng=0)
+
+    def test_profile_all_families(self, profiler):
+        datasets = profiler.profile_all()
+        assert set(datasets) == {"conv", "fc", "pool"}
+        for family, dataset in datasets.items():
+            assert dataset.layer_type == family
+            assert len(dataset) == 40
+            assert np.all(dataset.latencies_s > 0)
+            assert np.all(dataset.powers_w > 0)
+
+    def test_profiles_cover_a_wide_latency_range(self, profiler):
+        conv = profiler.profile_conv()
+        assert conv.latencies_s.max() / conv.latencies_s.min() > 10
+
+    def test_rejects_tiny_sample_budget(self, gpu_device):
+        simulator = LayerCostSimulator(gpu_device)
+        with pytest.raises(ValueError):
+            LayerProfiler(simulator, samples_per_type=5)

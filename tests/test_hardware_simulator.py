@@ -1,0 +1,116 @@
+"""Tests for the roofline layer-cost simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.simulator import LayerCostSimulator
+from repro.nn.alexnet import build_alexnet
+from repro.nn.architecture import Architecture
+from repro.nn.layers import Conv2D, Dense, Flatten
+
+
+def summaries_by_name(architecture):
+    return {s.name: s for s in architecture.summarize()}
+
+
+class TestLatencyModel:
+    def test_conv_layers_are_compute_bound_on_gpu(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        conv2 = summaries_by_name(alexnet)["conv2"]
+        assert sim.compute_time(conv2) > sim.memory_time(conv2)
+        assert sim.utilization(conv2) == pytest.approx(1.0)
+
+    def test_large_fc_layers_are_memory_bound(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        fc6 = summaries_by_name(alexnet)["fc6"]
+        assert sim.memory_time(fc6) > sim.compute_time(fc6)
+        assert sim.utilization(fc6) < 0.2
+
+    def test_latency_includes_overhead(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        pool1 = summaries_by_name(alexnet)["pool1"]
+        assert sim.latency(pool1) >= gpu_device.layer_overhead_s
+
+    def test_cpu_is_slower_than_gpu(self, gpu_device, cpu_device, alexnet):
+        gpu_sim = LayerCostSimulator(gpu_device)
+        cpu_sim = LayerCostSimulator(cpu_device)
+        conv2 = summaries_by_name(alexnet)["conv2"]
+        assert cpu_sim.latency(conv2) > gpu_sim.latency(conv2)
+
+    def test_latency_monotone_in_layer_size(self, gpu_device):
+        sim = LayerCostSimulator(gpu_device)
+        small = Architecture("s", (3, 32, 32), [Conv2D(name="c", out_channels=16)])
+        large = Architecture("l", (3, 32, 32), [Conv2D(name="c", out_channels=256)])
+        assert sim.latency(large.summarize()[0]) > sim.latency(small.summarize()[0])
+
+
+class TestPowerModel:
+    def test_power_between_idle_and_peak(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        for summary in alexnet.summarize():
+            power = sim.power(summary)
+            assert gpu_device.idle_power_w <= power
+            assert power <= gpu_device.idle_power_w + gpu_device.busy_power_w + 1e-9
+
+    def test_compute_bound_layers_draw_more_power(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        by_name = summaries_by_name(alexnet)
+        assert sim.power(by_name["conv2"]) > sim.power(by_name["fc6"])
+
+
+class TestMeasurement:
+    def test_noiseless_measurement_is_deterministic(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device, noise_std=0.0)
+        conv1 = alexnet.summarize()[0]
+        first = sim.measure(conv1)
+        second = sim.measure(conv1)
+        assert first.latency_s == second.latency_s
+        assert first.power_w == second.power_w
+        assert first.energy_j == pytest.approx(first.latency_s * first.power_w)
+
+    def test_noise_perturbs_measurements(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device, noise_std=0.1, rng=0)
+        conv1 = alexnet.summarize()[0]
+        values = {sim.measure(conv1).latency_s for _ in range(5)}
+        assert len(values) > 1
+
+    def test_noise_is_seed_reproducible(self, gpu_device, alexnet):
+        conv1 = alexnet.summarize()[0]
+        a = LayerCostSimulator(gpu_device, noise_std=0.1, rng=3).measure(conv1)
+        b = LayerCostSimulator(gpu_device, noise_std=0.1, rng=3).measure(conv1)
+        assert a.latency_s == b.latency_s
+
+    def test_measure_architecture_totals(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        measurements, total_latency, total_energy = sim.measure_architecture(alexnet)
+        assert len(measurements) == len(alexnet)
+        assert total_latency == pytest.approx(sum(m.latency_s for m in measurements))
+        assert total_energy == pytest.approx(sum(m.energy_j for m in measurements))
+
+    def test_negative_noise_rejected(self, gpu_device):
+        with pytest.raises(ValueError):
+            LayerCostSimulator(gpu_device, noise_std=-0.1)
+
+
+class TestPaperCalibration:
+    """The simulator must reproduce the motivational-example structure (Fig. 1)."""
+
+    def test_alexnet_gpu_latency_in_tens_of_milliseconds(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        _, total_latency, _ = sim.measure_architecture(alexnet)
+        assert 0.01 < total_latency < 0.2
+
+    def test_fc_layers_take_roughly_half_the_latency(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        measurements, total_latency, _ = sim.measure_architecture(alexnet)
+        fc_latency = sum(
+            m.latency_s
+            for m, s in zip(measurements, alexnet.summarize())
+            if s.layer_type == "fc"
+        )
+        assert 0.35 < fc_latency / total_latency < 0.75
+
+    def test_alexnet_gpu_energy_in_hundreds_of_millijoules(self, gpu_device, alexnet):
+        sim = LayerCostSimulator(gpu_device)
+        _, _, total_energy = sim.measure_architecture(alexnet)
+        assert 0.05 < total_energy < 1.0

@@ -1,0 +1,113 @@
+"""Tests for repro.nn.encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.encoding import EncodingScheme, Gene
+
+
+def simple_scheme() -> EncodingScheme:
+    return EncodingScheme(
+        [
+            Gene("layers", (1, 2, 3)),
+            Gene("kernel", (3, 5, 7)),
+            Gene("filters", (24, 36, 64, 96, 128, 256)),
+            Gene("pool", (False, True)),
+        ]
+    )
+
+
+class TestGene:
+    def test_cardinality_and_lookup(self):
+        gene = Gene("kernel", (3, 5, 7))
+        assert gene.cardinality == 3
+        assert gene.value(1) == 5
+        assert gene.index_of(7) == 2
+
+    def test_rejects_empty_or_duplicate_choices(self):
+        with pytest.raises(ValueError):
+            Gene("x", ())
+        with pytest.raises(ValueError):
+            Gene("x", (1, 1))
+
+    def test_value_out_of_range(self):
+        with pytest.raises(IndexError):
+            Gene("x", (1, 2)).value(5)
+
+    def test_index_of_unknown_value(self):
+        with pytest.raises(ValueError):
+            Gene("x", (1, 2)).index_of(9)
+
+
+class TestEncodingScheme:
+    def test_rejects_duplicate_gene_names(self):
+        with pytest.raises(ValueError):
+            EncodingScheme([Gene("a", (1,)), Gene("a", (2,))])
+
+    def test_total_combinations(self):
+        assert simple_scheme().total_combinations() == 3 * 3 * 6 * 2
+
+    def test_values_round_trip(self):
+        scheme = simple_scheme()
+        indices = np.array([2, 0, 5, 1])
+        values = scheme.values(indices)
+        assert values == {"layers": 3, "kernel": 3, "filters": 256, "pool": True}
+        assert np.array_equal(scheme.indices_from_values(values), indices)
+
+    def test_indices_from_values_requires_all_genes(self):
+        with pytest.raises(ValueError, match="missing"):
+            simple_scheme().indices_from_values({"layers": 1})
+
+    def test_validate_rejects_wrong_length_and_range(self):
+        scheme = simple_scheme()
+        with pytest.raises(ValueError):
+            scheme.validate_indices([0, 0, 0])
+        with pytest.raises(ValueError):
+            scheme.validate_indices([0, 0, 9, 0])
+
+    def test_unit_projection_bounds_and_round_trip(self):
+        scheme = simple_scheme()
+        indices = scheme.sample_indices(0)
+        unit = scheme.to_unit(indices)
+        assert np.all(unit >= 0) and np.all(unit <= 1)
+        assert np.array_equal(scheme.from_unit(unit), indices)
+
+    def test_single_choice_gene_maps_to_half(self):
+        scheme = EncodingScheme([Gene("only", (42,)), Gene("pick", (1, 2))])
+        unit = scheme.to_unit([0, 1])
+        assert unit[0] == 0.5
+        assert unit[1] == 1.0
+
+    def test_mutation_changes_at_least_one_gene(self):
+        scheme = simple_scheme()
+        rng = np.random.default_rng(0)
+        base = scheme.sample_indices(rng)
+        for _ in range(10):
+            mutated = scheme.mutate(base, rng)
+            assert scheme.hamming_distance(base, mutated) >= 1
+
+    def test_sampling_is_reproducible(self):
+        scheme = simple_scheme()
+        assert np.array_equal(scheme.sample_indices(5), scheme.sample_indices(5))
+
+    def test_gene_lookup_by_name(self):
+        scheme = simple_scheme()
+        assert scheme.gene("filters").cardinality == 6
+        assert scheme.gene_position("pool") == 3
+        with pytest.raises(KeyError):
+            scheme.gene("missing")
+
+    def test_describe_lists_genes(self):
+        text = simple_scheme().describe()
+        assert "filters" in text and "kernel" in text
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_sampled_indices_always_valid_and_unit_round_trips(seed):
+    scheme = simple_scheme()
+    indices = scheme.sample_indices(seed)
+    validated = scheme.validate_indices(indices)
+    assert np.array_equal(validated, indices)
+    assert np.array_equal(scheme.from_unit(scheme.to_unit(indices)), indices)

@@ -1,0 +1,139 @@
+"""Tests for repro.nn.layers."""
+
+import pytest
+
+from repro.nn.layers import (
+    BYTES_PER_ELEMENT,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    element_count,
+    layer_from_dict,
+    shape_bytes,
+)
+
+
+def test_element_count_and_shape_bytes():
+    assert element_count((3, 32, 32)) == 3072
+    assert shape_bytes((3, 32, 32)) == 3072 * BYTES_PER_ELEMENT
+
+
+class TestConv2D:
+    def test_same_padding_preserves_spatial_size(self):
+        conv = Conv2D(name="c", out_channels=64, kernel_size=3, padding="same")
+        assert conv.output_shape((3, 32, 32)) == (64, 32, 32)
+
+    def test_valid_padding_shrinks(self):
+        conv = Conv2D(name="c", out_channels=8, kernel_size=5, padding="valid")
+        assert conv.output_shape((3, 32, 32)) == (8, 28, 28)
+
+    def test_integer_padding_matches_formula(self):
+        conv = Conv2D(name="c", out_channels=96, kernel_size=11, stride=4, padding=2)
+        assert conv.output_shape((3, 224, 224)) == (96, 55, 55)
+
+    def test_strided_same_padding_uses_ceil(self):
+        conv = Conv2D(name="c", out_channels=16, kernel_size=3, stride=2, padding="same")
+        assert conv.output_shape((3, 33, 33)) == (16, 17, 17)
+
+    def test_param_count_includes_bias_and_batchnorm(self):
+        conv = Conv2D(name="c", out_channels=10, kernel_size=3, batch_norm=True)
+        # weights 10*3*3*3 + bias 10 + bn 20
+        assert conv.param_count((3, 8, 8)) == 270 + 10 + 20
+
+    def test_macs_match_hand_calculation(self):
+        conv = Conv2D(name="c", out_channels=4, kernel_size=3, padding="same")
+        # 4 output channels * 8*8 spatial * 2 in_channels * 9
+        assert conv.macs((2, 8, 8)) == 4 * 64 * 2 * 9
+
+    def test_rejects_invalid_padding(self):
+        with pytest.raises(ValueError):
+            Conv2D(name="c", padding="full")
+        with pytest.raises(ValueError):
+            Conv2D(name="c", padding=-1)
+
+    def test_rejects_non_positive_channels(self):
+        with pytest.raises(ValueError):
+            Conv2D(name="c", out_channels=0)
+
+    def test_valid_padding_kernel_too_large_raises(self):
+        conv = Conv2D(name="c", out_channels=4, kernel_size=9, padding="valid")
+        with pytest.raises(ValueError):
+            conv.output_shape((3, 5, 5))
+
+    def test_requires_three_dimensional_input(self):
+        conv = Conv2D(name="c")
+        with pytest.raises(ValueError):
+            conv.output_shape((100,))
+
+
+class TestMaxPool2D:
+    def test_default_stride_equals_pool_size(self):
+        pool = MaxPool2D(name="p", pool_size=2)
+        assert pool.effective_stride == 2
+        assert pool.output_shape((64, 32, 32)) == (64, 16, 16)
+
+    def test_overlapping_pooling(self):
+        pool = MaxPool2D(name="p", pool_size=3, stride=2)
+        assert pool.output_shape((96, 55, 55)) == (96, 27, 27)
+
+    def test_tiny_input_clamps_to_one(self):
+        pool = MaxPool2D(name="p", pool_size=2)
+        assert pool.output_shape((8, 1, 1)) == (8, 1, 1)
+
+    def test_has_no_parameters(self):
+        pool = MaxPool2D(name="p")
+        assert pool.param_count((8, 16, 16)) == 0
+
+
+class TestDenseAndOthers:
+    def test_dense_shapes_and_params(self):
+        fc = Dense(name="fc", units=128)
+        assert fc.output_shape((256,)) == (128,)
+        assert fc.param_count((256,)) == 256 * 128 + 128
+        assert fc.macs((256,)) == 256 * 128
+
+    def test_dense_flattens_spatial_input(self):
+        fc = Dense(name="fc", units=10)
+        assert fc.param_count((4, 2, 2)) == 16 * 10 + 10
+
+    def test_flatten_is_not_partition_candidate(self):
+        flat = Flatten(name="flatten")
+        assert not flat.is_partition_candidate
+        assert flat.output_shape((4, 3, 3)) == (36,)
+        assert flat.macs((4, 3, 3)) == 0
+
+    def test_dropout_preserves_shape_and_costs_nothing(self):
+        drop = Dropout(name="drop", rate=0.5)
+        assert drop.output_shape((128,)) == (128,)
+        assert drop.param_count((128,)) == 0
+        assert not drop.is_partition_candidate
+
+    def test_dropout_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(name="drop", rate=1.0)
+
+    def test_flops_are_twice_macs(self):
+        fc = Dense(name="fc", units=32)
+        assert fc.flops((64,)) == 2 * fc.macs((64,))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "layer",
+        [
+            Conv2D(name="c", out_channels=32, kernel_size=5, stride=2, padding=1, batch_norm=True),
+            MaxPool2D(name="p", pool_size=3, stride=2),
+            Dense(name="fc", units=99, activation="softmax"),
+            Flatten(name="flat"),
+            Dropout(name="drop", rate=0.3),
+        ],
+    )
+    def test_round_trip(self, layer):
+        rebuilt = layer_from_dict(layer.to_dict())
+        assert rebuilt == layer
+
+    def test_unknown_layer_type_rejected(self):
+        with pytest.raises(ValueError):
+            layer_from_dict({"layer_type": "lstm", "name": "x"})

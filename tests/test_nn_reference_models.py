@@ -1,0 +1,79 @@
+"""Tests for the AlexNet and VGG reference architectures."""
+
+import pytest
+
+from repro.nn.alexnet import build_alexnet
+from repro.nn.vgg import build_vgg16, build_vgg_like
+
+
+class TestAlexNet:
+    def test_layer_sequence_matches_paper_figure(self):
+        alex = build_alexnet()
+        names = [layer.name for layer in alex.layers]
+        assert names == [
+            "conv1", "pool1", "conv2", "pool2", "conv3", "conv4",
+            "conv5", "pool5", "flatten", "fc6", "fc7", "fc8",
+        ]
+
+    def test_canonical_feature_map_sizes(self):
+        alex = build_alexnet()
+        shapes = {s.name: s.output_shape for s in alex.summarize()}
+        assert shapes["conv1"] == (96, 55, 55)
+        assert shapes["pool1"] == (96, 27, 27)
+        assert shapes["pool2"] == (256, 13, 13)
+        assert shapes["pool5"] == (256, 6, 6)
+        assert shapes["fc6"] == (4096,)
+
+    def test_parameter_count_matches_published_value(self):
+        # AlexNet has roughly 61 million parameters.
+        alex = build_alexnet()
+        assert alex.total_params == pytest.approx(61e6, rel=0.05)
+
+    def test_input_is_147_kilobytes(self):
+        alex = build_alexnet()
+        assert alex.input_bytes == 224 * 224 * 3
+        assert alex.input_bytes / 1024 == pytest.approx(147.0, abs=0.1)
+
+    def test_fc_layers_hold_most_parameters(self):
+        alex = build_alexnet()
+        fc_params = sum(s.params for s in alex.summarize() if s.layer_type == "fc")
+        assert fc_params / alex.total_params > 0.9
+
+    def test_custom_class_count(self):
+        alex = build_alexnet(num_classes=10)
+        assert alex.output_shape == (10,)
+
+
+class TestVGG:
+    def test_vgg16_has_sixteen_weight_layers(self):
+        vgg = build_vgg16()
+        assert vgg.depth == 16
+
+    def test_vgg16_parameter_count_matches_published_value(self):
+        # VGG-16 has roughly 138 million parameters.
+        vgg = build_vgg16()
+        assert vgg.total_params == pytest.approx(138e6, rel=0.05)
+
+    def test_vgg16_final_feature_map(self):
+        vgg = build_vgg16()
+        shapes = {s.name: s.output_shape for s in vgg.summarize()}
+        assert shapes["pool5"] == (512, 7, 7)
+
+    def test_vgg_like_block_structure(self):
+        arch = build_vgg_like(
+            name="custom",
+            block_filters=(16, 32),
+            block_depths=(1, 2),
+            fc_units=(64,),
+            num_classes=5,
+            input_shape=(3, 32, 32),
+        )
+        assert arch.count_layers("conv") == 3
+        assert arch.count_layers("pool") == 2
+        assert arch.output_shape == (5,)
+
+    def test_vgg_like_rejects_mismatched_blocks(self):
+        with pytest.raises(ValueError):
+            build_vgg_like(
+                name="bad", block_filters=(16, 32), block_depths=(1,), fc_units=()
+            )

@@ -1,0 +1,171 @@
+"""Tests for Pareto utilities, archives and quality indicators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optim.pareto import (
+    ParetoArchive,
+    combined_front_composition,
+    coverage,
+    dominates,
+    hypervolume,
+    hypervolume_2d,
+    non_dominated_sort,
+    pareto_front_indices,
+    pareto_front_mask,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 2.0], [2.0, 3.0])
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+
+    def test_no_dominance_between_trade_offs(self):
+        assert not dominates([1.0, 5.0], [2.0, 3.0])
+        assert not dominates([2.0, 3.0], [1.0, 5.0])
+
+    def test_identical_points_do_not_dominate(self):
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates([1.0], [1.0, 2.0])
+
+
+class TestFrontMask:
+    def test_simple_front(self):
+        Y = np.array([[1, 5], [2, 2], [5, 1], [4, 4], [3, 3]])
+        mask = pareto_front_mask(Y)
+        assert list(mask) == [True, True, True, False, False]
+        assert list(pareto_front_indices(Y)) == [0, 1, 2]
+
+    def test_duplicates_are_kept(self):
+        Y = np.array([[1, 1], [1, 1], [2, 2]])
+        assert list(pareto_front_mask(Y)) == [True, True, False]
+
+    def test_single_point(self):
+        assert list(pareto_front_mask(np.array([[3.0, 4.0]]))) == [True]
+
+    def test_non_dominated_sort_layers(self):
+        Y = np.array([[1, 4], [4, 1], [2, 5], [5, 2], [6, 6]])
+        fronts = non_dominated_sort(Y)
+        assert set(fronts[0]) == {0, 1}
+        assert set(fronts[1]) == {2, 3}
+        assert set(fronts[2]) == {4}
+
+
+class TestArchive:
+    def test_insertion_maintains_non_domination(self):
+        archive = ParetoArchive(2)
+        assert archive.add("a", [2.0, 2.0])
+        assert archive.add("b", [1.0, 3.0])
+        assert not archive.add("c", [3.0, 3.0])  # dominated by "a"
+        assert archive.add("d", [1.5, 1.5])      # dominates "a", coexists with "b"
+        assert len(archive) == 2
+        assert set(archive.payloads) == {"b", "d"}
+        assert archive.add("e", [0.5, 0.5])      # dominates everything left
+        assert len(archive) == 1
+        assert archive.payloads == ["e"]
+
+    def test_dimension_validation(self):
+        archive = ParetoArchive(2)
+        with pytest.raises(ValueError):
+            archive.add("x", [1.0])
+        with pytest.raises(ValueError):
+            ParetoArchive(0)
+
+    def test_update_many_counts_accepted(self):
+        archive = ParetoArchive(2)
+        accepted = archive.update_many(
+            [("a", [1, 2]), ("b", [2, 1]), ("c", [3, 3])]
+        )
+        assert accepted == 2
+
+    def test_objective_matrix_and_to_dict(self):
+        archive = ParetoArchive(2)
+        archive.add("a", [1.0, 2.0])
+        archive.add("b", [2.0, 1.0])
+        assert archive.objective_matrix().shape == (2, 2)
+        data = archive.to_dict()
+        assert data["num_objectives"] == 2
+        assert len(data["entries"]) == 2
+
+    def test_empty_archive_matrix_shape(self):
+        assert ParetoArchive(3).objective_matrix().shape == (0, 3)
+
+
+class TestIndicators:
+    def test_coverage_metric(self):
+        A = np.array([[1.0, 1.0]])
+        B = np.array([[2.0, 2.0], [0.5, 3.0], [3.0, 0.5]])
+        assert coverage(A, B) == pytest.approx(1 / 3)
+        assert coverage(B, A) == 0.0
+        assert coverage(np.empty((0, 2)), B) == 0.0
+        assert coverage(A, np.empty((0, 2))) == 0.0
+
+    def test_combined_front_composition(self):
+        A = np.array([[1.0, 4.0], [2.0, 2.0]])
+        B = np.array([[4.0, 1.0], [3.0, 3.0]])
+        composition = combined_front_composition(A, B)
+        # Joint front: (1,4), (2,2), (4,1) -> 2 from A, 1 from B.
+        assert composition["combined_size"] == 3
+        assert composition["fraction_a"] == pytest.approx(2 / 3)
+        assert composition["fraction_b"] == pytest.approx(1 / 3)
+
+    def test_combined_front_with_empty_inputs(self):
+        A = np.array([[1.0, 1.0]])
+        empty = np.empty((0, 2))
+        assert combined_front_composition(A, empty)["fraction_a"] == 1.0
+        assert combined_front_composition(empty, A)["fraction_b"] == 1.0
+        assert combined_front_composition(empty, empty)["combined_size"] == 0.0
+
+    def test_hypervolume_2d_rectangle(self):
+        points = np.array([[1.0, 1.0]])
+        assert hypervolume_2d(points, [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_hypervolume_2d_staircase(self):
+        points = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+        # Union of rectangles to reference (4, 4): 3x1 + 2x1 + 1x1.
+        assert hypervolume_2d(points, [4.0, 4.0]) == pytest.approx(6.0)
+
+    def test_hypervolume_ignores_points_outside_reference(self):
+        points = np.array([[5.0, 5.0]])
+        assert hypervolume_2d(points, [2.0, 2.0]) == 0.0
+
+    def test_hypervolume_monte_carlo_close_to_exact_for_3d_box(self):
+        points = np.array([[0.0, 0.0, 0.0]])
+        estimate = hypervolume(points, [1.0, 1.0, 1.0], num_samples=5000, seed=0)
+        assert estimate == pytest.approx(1.0, rel=0.05)
+
+    def test_hypervolume_dimension_check(self):
+        with pytest.raises(ValueError):
+            hypervolume(np.array([[1.0, 2.0]]), [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.array([[1.0, 2.0, 3.0]]), [1.0, 2.0, 3.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_front_members_are_mutually_non_dominated(points):
+    Y = np.array(points)
+    front = Y[pareto_front_mask(Y)]
+    assert front.shape[0] >= 1
+    for i in range(front.shape[0]):
+        for j in range(front.shape[0]):
+            if i != j:
+                assert not dominates(front[i], front[j])
+    # Every dropped point is dominated by some front member.
+    dropped = Y[~pareto_front_mask(Y)]
+    for point in dropped:
+        assert any(dominates(f, point) for f in front)

@@ -1,0 +1,60 @@
+"""Tests for deployment options and metrics."""
+
+import pytest
+
+from repro.partition.deployment import (
+    ALL_CLOUD,
+    ALL_EDGE,
+    SPLIT,
+    DeploymentMetrics,
+    DeploymentOption,
+)
+
+
+class TestDeploymentOption:
+    def test_constructors_and_labels(self):
+        assert DeploymentOption.all_edge().label == "All-Edge"
+        assert DeploymentOption.all_cloud().label == "All-Cloud"
+        split = DeploymentOption.split_after(7, "pool5")
+        assert split.label == "Split@pool5"
+        assert split.is_split
+        assert not DeploymentOption.all_edge().is_split
+
+    def test_split_without_name_uses_index(self):
+        assert DeploymentOption.split_after(3).label == "Split@layer3"
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentOption(kind="hybrid")
+        with pytest.raises(ValueError):
+            DeploymentOption(kind=SPLIT)
+        with pytest.raises(ValueError):
+            DeploymentOption(kind=ALL_EDGE, split_index=3)
+        with pytest.raises(ValueError):
+            DeploymentOption.split_after(-1)
+
+    def test_equality_and_round_trip(self):
+        option = DeploymentOption.split_after(5, "conv5")
+        rebuilt = DeploymentOption.from_dict(option.to_dict())
+        assert rebuilt == option
+        assert DeploymentOption.all_edge() == DeploymentOption.all_edge()
+        assert DeploymentOption.all_edge() != DeploymentOption.all_cloud()
+
+
+class TestDeploymentMetrics:
+    def test_to_dict_contains_components(self):
+        metrics = DeploymentMetrics(
+            option=DeploymentOption.split_after(2, "pool2"),
+            latency_s=0.05,
+            energy_j=0.2,
+            edge_latency_s=0.03,
+            edge_energy_j=0.15,
+            comm_latency_s=0.02,
+            comm_energy_j=0.05,
+            transferred_bytes=1024.0,
+        )
+        data = metrics.to_dict()
+        assert data["option"]["kind"] == SPLIT
+        assert data["latency_s"] == 0.05
+        assert data["transferred_bytes"] == 1024.0
+        assert data["comm_energy_j"] == 0.05

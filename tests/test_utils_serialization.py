@@ -1,0 +1,58 @@
+"""Tests for repro.utils.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dump_json, format_table, load_json, to_jsonable
+
+
+def test_to_jsonable_handles_numpy_scalars():
+    assert to_jsonable(np.int64(3)) == 3
+    assert to_jsonable(np.float64(1.5)) == 1.5
+    assert to_jsonable(np.bool_(True)) is True
+
+
+def test_to_jsonable_handles_arrays_and_containers():
+    value = {"a": np.arange(3), "b": (1, 2), "c": {np.float32(1.0)}}
+    result = to_jsonable(value)
+    assert result["a"] == [0, 1, 2]
+    assert result["b"] == [1, 2]
+    assert result["c"] == [1.0]
+
+
+def test_to_jsonable_uses_to_dict():
+    class Thing:
+        def to_dict(self):
+            return {"x": np.int32(7)}
+
+    assert to_jsonable(Thing()) == {"x": 7}
+
+
+def test_to_jsonable_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        to_jsonable(object())
+
+
+def test_dump_and_load_round_trip(tmp_path):
+    payload = {"values": [1, 2.5, "x"], "nested": {"flag": True}}
+    path = dump_json(payload, tmp_path / "out" / "data.json")
+    assert path.exists()
+    assert load_json(path) == payload
+
+
+def test_format_table_alignment_and_precision():
+    table = format_table(
+        rows=[["alexnet", 39.94321, 1], ["vgg16", 120.5, 22]],
+        headers=["model", "latency_ms", "splits"],
+        precision=2,
+    )
+    lines = table.splitlines()
+    assert lines[0].startswith("model")
+    assert "39.94" in table
+    assert "120.50" in table
+    assert len(lines) == 4  # header, separator, two rows
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(rows=[[1, 2], [1]], headers=["a", "b"])

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    require_between,
+    require_in,
+    require_non_negative,
+    require_positive,
+    require_shape,
+    require_type,
+)
+
+
+def test_require_positive_accepts_positive():
+    assert require_positive(3.5, "x") == 3.5
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.001])
+def test_require_positive_rejects_non_positive(value):
+    with pytest.raises(ValueError, match="x must be positive"):
+        require_positive(value, "x")
+
+
+def test_require_non_negative():
+    assert require_non_negative(0, "x") == 0
+    with pytest.raises(ValueError):
+        require_non_negative(-1e-9, "x")
+
+
+def test_require_between():
+    assert require_between(0.5, 0, 1, "x") == 0.5
+    with pytest.raises(ValueError):
+        require_between(1.5, 0, 1, "x")
+
+
+def test_require_in():
+    assert require_in("a", ("a", "b"), "x") == "a"
+    with pytest.raises(ValueError):
+        require_in("c", ("a", "b"), "x")
+
+
+def test_require_type():
+    assert require_type(3, int, "x") == 3
+    with pytest.raises(TypeError):
+        require_type(3, str, "x")
+
+
+def test_require_shape_valid():
+    assert require_shape((3, 32, 32), 3, "shape") == (3, 32, 32)
+
+
+def test_require_shape_wrong_rank():
+    with pytest.raises(ValueError, match="rank"):
+        require_shape((3, 32), 3, "shape")
+
+
+def test_require_shape_non_positive_dim():
+    with pytest.raises(ValueError, match="positive"):
+        require_shape((3, 0, 32), 3, "shape")

@@ -1,0 +1,82 @@
+"""Tests for the wireless channel cost model (paper Eq. 3-6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wireless.channel import WirelessChannel
+
+
+def test_transmission_latency_matches_equation_5():
+    channel = WirelessChannel.create("wifi", uplink_mbps=3.0, round_trip_s=0.02)
+    # 147 kB over 3 Mbps
+    num_bytes = 224 * 224 * 3
+    expected = num_bytes * 8 / 3e6
+    assert channel.transmission_latency_s(num_bytes) == pytest.approx(expected)
+
+
+def test_communication_latency_adds_round_trip():
+    channel = WirelessChannel.create("wifi", uplink_mbps=10.0, round_trip_s=0.05)
+    assert channel.communication_latency_s(1000) == pytest.approx(
+        channel.transmission_latency_s(1000) + 0.05
+    )
+
+
+def test_energy_matches_equation_6():
+    channel = WirelessChannel.create("lte", uplink_mbps=5.0)
+    num_bytes = 50_000
+    expected = channel.transmission_power_w() * channel.transmission_latency_s(num_bytes)
+    assert channel.communication_energy_j(num_bytes) == pytest.approx(expected)
+    assert channel.transmission_power_w() == pytest.approx(0.43839 * 5 + 1.28804)
+
+
+def test_cost_bundles_all_terms():
+    channel = WirelessChannel.create("wifi", uplink_mbps=8.0, round_trip_s=0.01)
+    cost = channel.cost(10_000)
+    assert cost.latency_s == pytest.approx(cost.transmission_latency_s + 0.01)
+    assert cost.energy_j == pytest.approx(channel.transmission_energy_j(10_000))
+
+
+def test_zero_bytes_costs_only_round_trip():
+    channel = WirelessChannel.create("wifi", uplink_mbps=8.0, round_trip_s=0.01)
+    cost = channel.cost(0)
+    assert cost.transmission_latency_s == 0.0
+    assert cost.energy_j == 0.0
+    assert cost.latency_s == pytest.approx(0.01)
+
+
+def test_with_uplink_changes_only_throughput():
+    channel = WirelessChannel.create("wifi", uplink_mbps=3.0, round_trip_s=0.02)
+    faster = channel.with_uplink(30.0)
+    assert faster.uplink_mbps == 30.0
+    assert faster.round_trip_s == 0.02
+    assert faster.technology == "wifi"
+    assert faster.transmission_latency_s(1000) < channel.transmission_latency_s(1000)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        WirelessChannel.create("wifi", uplink_mbps=0.0)
+    with pytest.raises(ValueError):
+        WirelessChannel.create("wifi", uplink_mbps=1.0, round_trip_s=-0.1)
+    channel = WirelessChannel.create("wifi", uplink_mbps=1.0)
+    with pytest.raises(ValueError):
+        channel.transmission_latency_s(-1)
+
+
+def test_to_dict_round_trip_fields():
+    data = WirelessChannel.create("lte", 7.5, 0.015).to_dict()
+    assert data["technology"] == "lte"
+    assert data["uplink_mbps"] == 7.5
+    assert data["round_trip_s"] == 0.015
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tu=st.floats(min_value=0.1, max_value=100.0),
+    num_bytes=st.integers(min_value=1, max_value=10_000_000),
+)
+def test_property_latency_decreases_with_throughput_and_increases_with_size(tu, num_bytes):
+    slow = WirelessChannel.create("wifi", uplink_mbps=tu)
+    fast = WirelessChannel.create("wifi", uplink_mbps=tu * 2)
+    assert fast.transmission_latency_s(num_bytes) < slow.transmission_latency_s(num_bytes)
+    assert slow.transmission_latency_s(num_bytes * 2) > slow.transmission_latency_s(num_bytes)

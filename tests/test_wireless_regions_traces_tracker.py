@@ -1,0 +1,129 @@
+"""Tests for the regional catalogue, throughput traces and the online tracker."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.regions import (
+    ALL_REGIONS,
+    PAPER_REGIONS,
+    Region,
+    all_regions,
+    paper_regions,
+    region_by_name,
+)
+from repro.wireless.tracker import ThroughputTracker
+from repro.wireless.traces import (
+    ThroughputSample,
+    ThroughputTrace,
+    generate_lte_trace,
+    paper_like_traces,
+)
+
+
+class TestRegions:
+    def test_paper_regions_match_table_1(self):
+        by_name = {r.name: r.avg_uplink_mbps for r in PAPER_REGIONS}
+        assert by_name == {"South Korea": 16.1, "USA": 7.5, "Afghanistan": 0.7}
+
+    def test_lookup_is_case_insensitive(self):
+        assert region_by_name("usa").avg_uplink_mbps == 7.5
+        with pytest.raises(KeyError):
+            region_by_name("atlantis")
+
+    def test_catalogue_is_sorted_by_throughput(self):
+        speeds = [r.avg_uplink_mbps for r in all_regions()]
+        assert speeds == sorted(speeds, reverse=True)
+        assert len(all_regions()) == len(ALL_REGIONS)
+
+    def test_paper_regions_accessor_preserves_order(self):
+        assert [r.name for r in paper_regions()] == ["South Korea", "USA", "Afghanistan"]
+
+    def test_region_requires_positive_throughput(self):
+        with pytest.raises(ValueError):
+            Region("nowhere", 0.0)
+
+
+class TestTraces:
+    def test_default_trace_matches_collection_protocol(self):
+        trace = generate_lte_trace(seed=0)
+        assert len(trace) == 40
+        assert trace.times_s[1] - trace.times_s[0] == pytest.approx(300.0)
+
+    def test_trace_values_positive_and_reproducible(self):
+        a = generate_lte_trace(seed=5)
+        b = generate_lte_trace(seed=5)
+        assert np.array_equal(a.uplinks_mbps, b.uplinks_mbps)
+        assert np.all(a.uplinks_mbps > 0)
+
+    def test_mean_throughput_tracks_requested_mean(self):
+        trace = generate_lte_trace(num_samples=500, mean_mbps=8.0, seed=1)
+        assert 4.0 < trace.mean_mbps < 14.0
+
+    def test_statistics_accessors(self):
+        trace = ThroughputTrace.from_values([1.0, 5.0, 3.0])
+        assert trace.min_mbps == 1.0
+        assert trace.max_mbps == 5.0
+        assert trace.mean_mbps == pytest.approx(3.0)
+        assert trace[1].uplink_mbps == 5.0
+
+    def test_requires_ordered_samples(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace(
+                [ThroughputSample(10.0, 1.0), ThroughputSample(5.0, 2.0)]
+            )
+        with pytest.raises(ValueError):
+            ThroughputTrace([])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_lte_trace(num_samples=0)
+        with pytest.raises(ValueError):
+            generate_lte_trace(correlation=1.5)
+        with pytest.raises(ValueError):
+            generate_lte_trace(mean_mbps=-1.0)
+
+    def test_paper_like_traces_cover_both_models(self):
+        traces = paper_like_traces(seed=7)
+        assert set(traces) == {"model_a", "model_b"}
+        assert traces["model_b"].mean_mbps > traces["model_a"].mean_mbps
+
+    def test_to_dict(self):
+        data = generate_lte_trace(num_samples=3, seed=0).to_dict()
+        assert len(data["samples"]) == 3
+
+
+class TestTracker:
+    def test_memoryless_tracker_returns_latest(self):
+        tracker = ThroughputTracker(smoothing=1.0)
+        assert tracker.estimate_mbps is None
+        tracker.observe(5.0)
+        tracker.observe(9.0)
+        assert tracker.estimate_mbps == 9.0
+        assert tracker.num_observations == 2
+
+    def test_smoothing_averages_observations(self):
+        tracker = ThroughputTracker(smoothing=0.5)
+        tracker.observe(4.0)
+        tracker.observe(8.0)
+        assert tracker.estimate_mbps == pytest.approx(6.0)
+
+    def test_initial_estimate(self):
+        tracker = ThroughputTracker(smoothing=0.5, initial_mbps=10.0)
+        assert tracker.estimate_mbps == 10.0
+        tracker.observe(20.0)
+        assert tracker.estimate_mbps == pytest.approx(15.0)
+
+    def test_reset_clears_state(self):
+        tracker = ThroughputTracker()
+        tracker.observe(3.0)
+        tracker.reset()
+        assert tracker.estimate_mbps is None
+        assert tracker.history == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ThroughputTracker(smoothing=0.0)
+        with pytest.raises(ValueError):
+            ThroughputTracker(initial_mbps=-1.0)
+        with pytest.raises(ValueError):
+            ThroughputTracker().observe(0.0)
