@@ -1,0 +1,91 @@
+"""Evaluation-engine cache: cold vs. warm deployment-sweep timings.
+
+The :class:`~repro.api.engine.EvaluationEngine` memoises per-layer
+predictions and per-channel partition evaluations, so a deployment sweep
+re-run against a warm engine does dictionary lookups instead of re-running
+the predictors and Algorithm 1.  This benchmark times a Fig. 2-style sweep
+(two device/radio configurations x a dense throughput grid, AlexNet) against
+a cold engine and again against the warmed engine, asserts the cached path
+is faster, and emits the timings as JSON.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import save_table
+
+from repro.analysis.deployment_sweep import DeploymentConfiguration, sweep_deployments
+from repro.api.engine import EvaluationEngine
+from repro.utils.serialization import format_table
+
+#: Dense throughput grid (Mbps) — 30 channel evaluations per configuration.
+UPLINKS_MBPS = tuple(0.5 + 1.0 * i for i in range(30))
+
+#: Best-of-N timing repetitions to damp scheduler noise.
+REPETITIONS = 3
+
+
+def _time_sweep(alexnet, configurations, engine) -> float:
+    start = time.perf_counter()
+    rows = sweep_deployments(alexnet, configurations, UPLINKS_MBPS, engine=engine)
+    elapsed = time.perf_counter() - start
+    assert len(rows) == len(configurations) * len(UPLINKS_MBPS) * 2
+    return elapsed
+
+
+def test_engine_cache_speeds_up_deployment_sweep(alexnet, gpu_oracle, cpu_oracle):
+    """Warm-engine sweep must beat the cold-engine sweep it repeats."""
+    configurations = [
+        DeploymentConfiguration("GPU/WiFi", gpu_oracle, "wifi"),
+        DeploymentConfiguration("CPU/LTE", cpu_oracle, "lte"),
+    ]
+
+    cold_times = []
+    warm_times = []
+    stats = {}
+    for _ in range(REPETITIONS):
+        engine = EvaluationEngine()
+        cold_times.append(_time_sweep(alexnet, configurations, engine))
+        warm_times.append(_time_sweep(alexnet, configurations, engine))
+        stats = engine.stats_dict()
+
+    cold_s = min(cold_times)
+    warm_s = min(warm_times)
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    cells = len(configurations) * len(UPLINKS_MBPS)
+    rows = [
+        ["cold", round(cold_s * 1e3, 3), round(cold_s / cells * 1e6, 1)],
+        ["warm", round(warm_s * 1e3, 3), round(warm_s / cells * 1e6, 1)],
+    ]
+    text = (
+        "Evaluation-engine cache — cold vs warm deployment sweep "
+        f"(AlexNet, {len(configurations)} configs x {len(UPLINKS_MBPS)} uplinks)\n"
+        + format_table(rows, ["engine state", "sweep ms", "us per cell"])
+        + f"\nspeedup: {speedup:.1f}x"
+    )
+    print("\n" + text)
+    save_table(
+        "engine_cache",
+        text,
+        {
+            "uplinks_mbps": list(UPLINKS_MBPS),
+            "configurations": [c.label for c in configurations],
+            "repetitions": REPETITIONS,
+            "cold_s": cold_times,
+            "warm_s": warm_times,
+            "best_cold_s": cold_s,
+            "best_warm_s": warm_s,
+            "speedup": speedup,
+            "engine_stats": stats,
+        },
+    )
+
+    # After one cold pass every (architecture, channel) pair is cached, so the
+    # warm pass does no predictor or partition work at all.
+    assert stats["partition_hits"] >= cells
+    assert warm_s < cold_s, (
+        f"cached sweep ({warm_s * 1e3:.2f} ms) should be faster than the cold "
+        f"sweep ({cold_s * 1e3:.2f} ms)"
+    )

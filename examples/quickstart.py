@@ -2,37 +2,39 @@
 
 LENS searches for architectures for a two-tier edge-cloud deployment, costing
 every candidate according to its best layer-partitioning option under the
-*expected* wireless conditions.  This example runs a reduced-budget search
-(the paper uses 300 evaluations; here we use 60 so the script finishes in a
-few seconds) and prints the resulting error/energy Pareto frontier together
-with each model's preferred deployment.
+*expected* wireless conditions.  This example declares the run through the
+unified experiment API — scenario and strategy by name, budgets in a
+versioned request envelope — executes it (the paper uses 300 evaluations;
+here we use 60 so the script finishes in a few seconds), and prints the
+resulting error/energy Pareto frontier together with each model's preferred
+deployment.  The outcome round-trips through JSON, so the same run can be
+persisted and replayed.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import LensConfig, LensSearch
+from repro.api import SearchRequest, run_search
 from repro.utils.serialization import format_table
 
 
 def main() -> None:
-    config = LensConfig(
-        wireless_technology="wifi",     # the radio the edge device will use
-        expected_uplink_mbps=3.0,       # the design-time throughput expectation
-        round_trip_s=0.01,              # measured average round-trip time
-        device="jetson-tx2-gpu",        # edge device profile
-        num_initial=15,                 # random initialisation budget
-        num_iterations=45,              # Bayesian-optimization budget
+    request = SearchRequest(
+        scenario="wifi-3mbps/jetson-tx2-gpu",  # device + radio + expected uplink
+        strategy="lens",                       # partition-aware MOBO (Algorithm 2)
+        num_initial=15,                        # random initialisation budget
+        num_iterations=45,                     # Bayesian-optimization budget
         seed=0,
     )
-    search = LensSearch(config=config)
-    print("Running LENS search "
-          f"({config.num_initial + config.num_iterations} evaluations, "
-          f"{config.wireless_technology} @ {config.expected_uplink_mbps} Mbps)...")
-    result = search.run()
+    print(
+        f"Running {request.strategy} search ({request.num_evaluations} evaluations, "
+        f"scenario {request.scenario_name})..."
+    )
+    outcome = run_search(request)
+    result = outcome.result
 
-    front = result.pareto_candidates(("error_percent", "energy_j"))
+    front = outcome.pareto_candidates(("error_percent", "energy_j"))
     front = sorted(front, key=lambda c: c.error_percent)
     rows = [
         [
@@ -46,15 +48,22 @@ def main() -> None:
         for candidate in front
     ]
     headers = ["model", "error %", "energy mJ", "latency ms", "best deployment", "All-Edge mJ"]
-    print(f"\nExplored {len(result)} architectures; "
+    print(f"\nExplored {len(result)} architectures in {outcome.wall_time_s:.1f} s; "
           f"{len(front)} are Pareto-optimal on (error, energy):\n")
     print(format_table(rows, headers))
 
-    best_energy = result.best_by("energy_j")
+    best_energy = outcome.best_by("energy_j")
     print(
         f"\nMost energy-efficient model: {best_energy.architecture_name} at "
         f"{best_energy.energy_mj:.1f} mJ using {best_energy.best_energy_option.label} "
         f"(All-Edge would cost {best_energy.all_edge_energy_j * 1e3:.1f} mJ)."
+    )
+
+    # The whole run — request, scenario, every candidate — is plain data:
+    payload = outcome.to_dict()
+    print(
+        f"\nOutcome serialises to {len(payload['candidates'])} candidate records "
+        "(outcome.to_dict() -> json.dumps(...) -> SearchOutcome.from_dict)."
     )
 
 

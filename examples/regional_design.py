@@ -2,51 +2,55 @@
 
 The same application deployed in South Korea (16.1 Mbps average uplink), the
 USA (7.5 Mbps) and Afghanistan (0.7 Mbps) faces very different communication
-costs.  This example runs one reduced-budget LENS search per region — each
-with the region's average throughput as the design-time expectation — and
-compares the energy-optimal models and their preferred deployments.  It shows
-LENS recommending offload-friendly designs where the uplink is fast and
-edge-heavy designs where it is slow.
+costs.  This example derives one scenario per region of the paper's Table I
+catalogue with :meth:`Scenario.from_region` (the registry also ships LTE
+presets under ``region-<name>-lte/<device>``) and runs one reduced-budget LENS
+search per scenario, all backed by a single evaluation engine — the
+device-specific performance predictor is trained once and every run shares
+it through the engine's cache.  It shows LENS recommending offload-friendly
+designs where the uplink is fast and edge-heavy designs where it is slow.
 
 Run with:  python examples/regional_design.py
 """
 
 from __future__ import annotations
 
-from repro import LensConfig, LensSearch
-from repro.hardware.predictors import LayerPerformancePredictor
-from repro.hardware.device import jetson_tx2_gpu
+from repro.api import EvaluationEngine, Scenario, run_search
 from repro.utils.serialization import format_table
 from repro.wireless.regions import paper_regions
 
+#: The paper's GPU/WiFi configuration, at each region's average uplink.
+SCENARIOS = [
+    Scenario.from_region(region, device="jetson-tx2-gpu", wireless_technology="wifi")
+    for region in paper_regions()
+]
+
 
 def main() -> None:
-    # Train the per-layer performance predictors once; they are device-specific,
-    # not region-specific, so all searches share them.
-    predictor = LayerPerformancePredictor.train_for_device(
-        jetson_tx2_gpu(), noise_std=0.03, samples_per_type=150, seed=0
-    )
+    # One engine backs every run: the first search trains the TX2-GPU
+    # predictor, the remaining ones reuse it from the cache.
+    engine = EvaluationEngine()
 
     rows = []
-    for region in paper_regions():
-        config = LensConfig(
-            wireless_technology="wifi",
-            expected_uplink_mbps=region.avg_uplink_mbps,
+    for scenario in SCENARIOS:
+        outcome = run_search(
+            scenario=scenario,
+            strategy="lens",
             num_initial=12,
             num_iterations=36,
+            predictor_samples_per_type=150,
             seed=42,
+            engine=engine,
         )
-        search = LensSearch(config=config, predictor=predictor)
-        result = search.run()
-        best_energy = result.best_by("energy_j")
+        best_energy = outcome.best_by("energy_j")
         balanced = min(
-            result.pareto_candidates(("error_percent", "energy_j")),
+            outcome.pareto_candidates(("error_percent", "energy_j")),
             key=lambda c: c.error_percent + c.energy_mj / 10.0,
         )
         rows.append(
             [
-                region.name,
-                region.avg_uplink_mbps,
+                scenario.region,
+                scenario.uplink_mbps,
                 round(best_energy.energy_mj, 1),
                 best_energy.best_energy_option.label,
                 round(balanced.error_percent, 1),
@@ -54,11 +58,13 @@ def main() -> None:
                 balanced.best_energy_option.label,
             ]
         )
+        stats = outcome.engine_stats
         print(
-            f"{region.name:>12} ({region.avg_uplink_mbps:>4.1f} Mbps): "
-            f"explored {len(result)} candidates, "
+            f"{scenario.region:>12} ({scenario.uplink_mbps:>4.1f} Mbps): "
+            f"explored {len(outcome)} candidates in {outcome.wall_time_s:.1f} s, "
             f"energy floor {best_energy.energy_mj:.1f} mJ via "
-            f"{best_energy.best_energy_option.label}"
+            f"{best_energy.best_energy_option.label} "
+            f"(predictor cache: {stats['predictor_hits']} hits)"
         )
 
     headers = [

@@ -6,8 +6,41 @@ their best layer-partitioning option under the *expected* wireless conditions,
 so the search discovers models whose best deployment may be a split between
 the edge device and the cloud.
 
-The public API is organised by substrate:
+The canonical way to define and run experiments is the unified experiment
+API, :mod:`repro.api`: deployment contexts are named
+:class:`~repro.api.scenario.Scenario` objects, runs are declared as
+versioned :class:`~repro.api.envelopes.SearchRequest` envelopes (persist,
+replay, compare), components are addressable by name through string-keyed
+registries, and every run shares one caching
+:class:`~repro.api.engine.EvaluationEngine`.
 
+Quickstart::
+
+    from repro.api import run_search
+
+    outcome = run_search(
+        strategy="lens",                          # or "traditional" / "random"
+        scenario="wifi-3mbps/jetson-tx2-gpu",     # a registered scenario name
+        num_initial=10, num_iterations=30, seed=0,
+    )
+    for candidate in outcome.pareto_candidates(("error_percent", "energy_j")):
+        print(candidate.architecture_name, candidate.error_percent,
+              candidate.energy_mj, candidate.best_energy_option.label)
+    payload = outcome.to_dict()                   # JSON-ready round trip
+
+The legacy constructor-wired entry point keeps working unchanged and
+produces identical results for identical seeds::
+
+    from repro import LensConfig, LensSearch
+
+    config = LensConfig(wireless_technology="wifi", expected_uplink_mbps=3.0,
+                        num_initial=8, num_iterations=20, seed=0)
+    result = LensSearch(config=config).run()
+
+Underneath, the library is organised by substrate:
+
+* :mod:`repro.api` — scenarios, registries, request/outcome envelopes, the
+  evaluation engine and ``run_search``;
 * :mod:`repro.nn` — architecture IR, reference models, the VGG-derived search
   space;
 * :mod:`repro.hardware` — edge-device profiles, the layer-cost simulator and
@@ -22,19 +55,12 @@ The public API is organised by substrate:
 * :mod:`repro.core` — the LENS search, the Traditional baseline, and runtime
   adaptation;
 * :mod:`repro.analysis` — figure/table-level analyses built on the above.
-
-Quickstart::
-
-    from repro import LensConfig, LensSearch
-
-    config = LensConfig(wireless_technology="wifi", expected_uplink_mbps=3.0,
-                        num_initial=8, num_iterations=20, seed=0)
-    result = LensSearch(config=config).run()
-    for candidate in result.pareto_candidates(("error_percent", "energy_j")):
-        print(candidate.architecture_name, candidate.error_percent,
-              candidate.energy_mj, candidate.best_energy_option.label)
 """
 
+from repro.api.engine import EvaluationEngine, default_engine
+from repro.api.envelopes import SearchOutcome, SearchRequest
+from repro.api.scenario import SCENARIOS, Scenario, ScenarioRegistry, scenario_by_name
+from repro.api.session import run_search
 from repro.core.lens import LensConfig, LensSearch
 from repro.core.results import CandidateEvaluation, SearchResult
 from repro.core.runtime import ThresholdAnalysis, simulate_runtime
@@ -47,9 +73,18 @@ from repro.nn.vgg import build_vgg16
 from repro.partition.partitioner import PartitionAnalyzer
 from repro.wireless.channel import WirelessChannel
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "EvaluationEngine",
+    "default_engine",
+    "SearchOutcome",
+    "SearchRequest",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRegistry",
+    "scenario_by_name",
+    "run_search",
     "LensConfig",
     "LensSearch",
     "CandidateEvaluation",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.engine import EvaluationEngine, default_engine
 from repro.hardware.predictors import BaseLayerPredictor
 from repro.nn.architecture import Architecture
 from repro.partition.partitioner import PartitionAnalyzer, PartitionEvaluation
@@ -58,15 +59,22 @@ def evaluate_under(
     architecture: Architecture,
     configuration: DeploymentConfiguration,
     uplink_mbps: float,
+    engine: Optional[EvaluationEngine] = None,
 ) -> PartitionEvaluation:
-    """Evaluate every deployment option under one throughput value."""
+    """Evaluate every deployment option under one throughput value.
+
+    Goes through an :class:`EvaluationEngine` (the shared process-wide one by
+    default), so the architecture's per-layer predictions are computed once
+    per predictor no matter how many throughput values are evaluated.
+    """
     channel = WirelessChannel.create(
         technology=configuration.technology,
         uplink_mbps=uplink_mbps,
         round_trip_s=configuration.round_trip_s,
     )
     analyzer = PartitionAnalyzer(configuration.predictor, channel)
-    return analyzer.evaluate(architecture)
+    engine = engine or default_engine()
+    return engine.evaluate_partitions(architecture, analyzer)
 
 
 def sweep_deployments(
@@ -74,17 +82,31 @@ def sweep_deployments(
     configurations: Sequence[DeploymentConfiguration],
     uplink_values_mbps: Sequence[float],
     metrics: Sequence[str] = ("latency", "energy"),
+    engine: Optional[EvaluationEngine] = None,
 ) -> List[SweepRow]:
     """Best deployment per configuration, throughput and metric (Fig. 2).
 
     Returns one row per (configuration, throughput, metric) combination with
     the winning option's label and value, plus the All-Edge / All-Cloud
-    values for reference.
+    values for reference.  The sweep is batched through the evaluation
+    engine: each configuration's per-layer predictions are computed once and
+    reused across every throughput value.
     """
+    engine = engine or default_engine()
     rows: List[SweepRow] = []
     for configuration in configurations:
-        for uplink in uplink_values_mbps:
-            evaluation = evaluate_under(architecture, configuration, uplink)
+        channels = [
+            WirelessChannel.create(
+                technology=configuration.technology,
+                uplink_mbps=float(uplink),
+                round_trip_s=configuration.round_trip_s,
+            )
+            for uplink in uplink_values_mbps
+        ]
+        evaluations = engine.sweep_channels(
+            architecture, configuration.predictor, channels
+        )
+        for uplink, evaluation in zip(uplink_values_mbps, evaluations):
             for metric in metrics:
                 best = evaluation.best_for(metric)
                 if metric == "latency":
@@ -134,6 +156,7 @@ def regional_preferences(
     configurations: Sequence[DeploymentConfiguration],
     regions: Sequence[Region],
     metrics: Sequence[str] = ("latency", "energy"),
+    engine: Optional[EvaluationEngine] = None,
 ) -> List[RegionalPreferenceRow]:
     """Preferred deployment option per region (Table I).
 
@@ -141,11 +164,12 @@ def regional_preferences(
     experienced upload throughput under each device/radio configuration, and
     the option minimising each metric is reported.
     """
+    engine = engine or default_engine()
     rows: List[RegionalPreferenceRow] = []
     for region in regions:
         for configuration in configurations:
             evaluation = evaluate_under(
-                architecture, configuration, region.avg_uplink_mbps
+                architecture, configuration, region.avg_uplink_mbps, engine=engine
             )
             for metric in metrics:
                 best = evaluation.best_for(metric)

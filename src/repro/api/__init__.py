@@ -1,0 +1,89 @@
+"""repro.api — the unified experiment API.
+
+The canonical way to define and run experiments:
+
+* :mod:`repro.api.registry` — string-keyed registries for devices, wireless
+  technologies and acquisitions (:data:`DEVICES`,
+  :data:`WIRELESS_TECHNOLOGIES`, :data:`ACQUISITIONS`);
+* :mod:`repro.api.scenario` — :class:`Scenario` (device + channel +
+  provenance) and the :data:`SCENARIOS` registry of built-ins;
+* :mod:`repro.api.envelopes` — versioned :class:`SearchRequest` /
+  :class:`SearchOutcome` envelopes that persist and replay runs;
+* :mod:`repro.api.engine` — the shared, caching :class:`EvaluationEngine`;
+* :mod:`repro.api.session` — the :data:`STRATEGIES` registry and
+  :func:`run_search`.
+
+Quickstart::
+
+    from repro.api import run_search
+
+    outcome = run_search(
+        strategy="lens",
+        scenario="wifi-3mbps/jetson-tx2-gpu",
+        num_initial=10,
+        num_iterations=30,
+        seed=0,
+    )
+    for candidate in outcome.pareto_candidates(("error_percent", "energy_j")):
+        print(candidate.architecture_name, candidate.best_energy_option.label)
+"""
+
+from repro.api.engine import EngineStats, EvaluationEngine, default_engine
+from repro.api.envelopes import (
+    SCHEMA_VERSION,
+    SearchOutcome,
+    SearchRequest,
+    check_schema_version,
+)
+from repro.api.registry import (
+    ACQUISITIONS,
+    DEVICES,
+    WIRELESS_TECHNOLOGIES,
+    Registry,
+    RegistryError,
+    register_device,
+)
+from repro.api.scenario import (
+    DEFAULT_SCENARIO,
+    SCENARIOS,
+    Scenario,
+    ScenarioRegistry,
+    builtin_scenarios,
+    scenario_by_name,
+)
+from repro.api.session import (
+    OBJECTIVES,
+    STRATEGIES,
+    SearchContext,
+    build_context,
+    execute_strategy,
+    run_search,
+)
+
+__all__ = [
+    "EngineStats",
+    "EvaluationEngine",
+    "default_engine",
+    "SCHEMA_VERSION",
+    "SearchOutcome",
+    "SearchRequest",
+    "check_schema_version",
+    "ACQUISITIONS",
+    "DEVICES",
+    "WIRELESS_TECHNOLOGIES",
+    "Registry",
+    "RegistryError",
+    "register_device",
+    "DEFAULT_SCENARIO",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRegistry",
+    "builtin_scenarios",
+    "scenario_by_name",
+    "OBJECTIVES",
+    "STRATEGIES",
+    "SearchContext",
+    "build_context",
+    "execute_strategy",
+    "run_search",
+]

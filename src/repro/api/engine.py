@@ -1,0 +1,280 @@
+"""Shared evaluation engine: predictor, layer-cost and partition caches.
+
+Every search strategy and analysis sweep ultimately does the same two things:
+(1) run a per-layer performance predictor over an architecture, and (2) cost
+that architecture's deployment options under a wireless channel.  Step (1)
+depends only on ``(predictor, architecture)`` and step (2) only on
+``(predictor, architecture, channel)`` — so a multi-scenario sweep that
+re-evaluates the same architecture under thirty throughput values used to
+re-run the predictors thirty times.
+
+:class:`EvaluationEngine` memoises both steps:
+
+* ``predictor_for`` caches *trained* predictors per
+  ``(device, training settings, seed)`` — training is seconds of work and is
+  deterministic for integer seeds, so sharing is safe;
+* ``layer_predictions`` caches per-layer predictions per
+  ``(predictor, architecture)`` — architectures hash by structure, so
+  genotype duplicates across strategies and scenarios hit the cache;
+* ``evaluate_partitions`` / ``sweep_channels`` cost deployment options on
+  top of the cached predictions, caching full
+  :class:`~repro.partition.partitioner.PartitionEvaluation` records per
+  channel.
+
+One engine can (and should) back many runs: pass the same instance to
+:func:`repro.api.session.run_search`, the deployment sweeps and the
+benchmarks, and consult :meth:`EvaluationEngine.stats` to see the reuse.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.hardware.device import DeviceProfile
+from repro.hardware.predictors import (
+    BaseLayerPredictor,
+    LayerPerformancePredictor,
+    LayerPrediction,
+    OracleLayerPredictor,
+)
+from repro.nn.architecture import Architecture
+from repro.partition.partitioner import PartitionAnalyzer, PartitionEvaluation
+from repro.wireless.channel import WirelessChannel
+
+#: Cache key of a wireless channel: everything that affects costing,
+#: including the power-model coefficients (custom models may reuse a
+#: built-in technology label).
+ChannelKey = Tuple[str, float, float, float, float]
+
+
+def _channel_key(channel: WirelessChannel) -> ChannelKey:
+    return (
+        channel.technology,
+        float(channel.power_model.alpha_w_per_mbps),
+        float(channel.power_model.beta_w),
+        float(channel.uplink_mbps),
+        float(channel.round_trip_s),
+    )
+
+
+def _device_key(device: DeviceProfile) -> tuple:
+    """Full identity of a device profile (names alone may be reused)."""
+    return (
+        device.name,
+        device.kind,
+        tuple(sorted(device.compute_rate_flops.items())),
+        float(device.memory_bandwidth_bps),
+        float(device.layer_overhead_s),
+        float(device.idle_power_w),
+        float(device.busy_power_w),
+    )
+
+
+@dataclass
+class EngineStats:
+    """Hit/miss counters of every engine cache."""
+
+    predictor_hits: int = 0
+    predictor_misses: int = 0
+    layer_hits: int = 0
+    layer_misses: int = 0
+    partition_hits: int = 0
+    partition_misses: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "predictor_hits": self.predictor_hits,
+            "predictor_misses": self.predictor_misses,
+            "layer_hits": self.layer_hits,
+            "layer_misses": self.layer_misses,
+            "partition_hits": self.partition_hits,
+            "partition_misses": self.partition_misses,
+        }
+
+    def since(self, earlier: "EngineStats") -> Dict[str, int]:
+        """Counter increments between an earlier snapshot and this one."""
+        before = earlier.to_dict()
+        return {name: count - before[name] for name, count in self.to_dict().items()}
+
+    def snapshot(self) -> "EngineStats":
+        """Copy of the current counters."""
+        return EngineStats(**self.to_dict())
+
+
+class EvaluationEngine:
+    """Caching, batching back-end for partition-aware evaluation.
+
+    The engine is deliberately *stateful but deterministic*: every cached
+    value is a pure function of its key (predictor training is seeded), so
+    runs backed by a warm engine produce bit-identical results to cold runs.
+
+    Cached :class:`PartitionEvaluation` records are shared between callers
+    and must be treated as read-only.
+    """
+
+    def __init__(self):
+        self._predictors: Dict[tuple, BaseLayerPredictor] = {}
+        # predictor -> {architecture: per-layer predictions}; weak keys so
+        # discarding a predictor releases its cached predictions too.
+        self._layer_cache: "weakref.WeakKeyDictionary[BaseLayerPredictor, Dict[Architecture, Tuple[LayerPrediction, ...]]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # predictor -> {(architecture, channel key, require_shrinkage): evaluation}
+        self._partition_cache: "weakref.WeakKeyDictionary[BaseLayerPredictor, Dict[tuple, PartitionEvaluation]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------ predictors
+    def predictor_for(
+        self,
+        device: DeviceProfile,
+        *,
+        noise_std: float = 0.03,
+        samples_per_type: int = 200,
+        seed: Union[int, None] = 0,
+        oracle: bool = False,
+    ) -> BaseLayerPredictor:
+        """A (cached) per-layer predictor for ``device``.
+
+        Training is deterministic for integer seeds, so repeated requests
+        with the same settings share one predictor.  Non-integer seeds (live
+        generators) bypass the cache.
+        """
+        if oracle:
+            key = (_device_key(device), "oracle")
+            if key in self._predictors:
+                self.stats.predictor_hits += 1
+                return self._predictors[key]
+            self.stats.predictor_misses += 1
+            predictor: BaseLayerPredictor = OracleLayerPredictor(device)
+            self._predictors[key] = predictor
+            return predictor
+
+        cacheable = seed is None or isinstance(seed, (int, np.integer))
+        key = (
+            _device_key(device),
+            float(noise_std),
+            int(samples_per_type),
+            None if seed is None else int(seed) if cacheable else None,
+        )
+        if cacheable and key in self._predictors:
+            self.stats.predictor_hits += 1
+            return self._predictors[key]
+        self.stats.predictor_misses += 1
+        predictor = LayerPerformancePredictor.train_for_device(
+            device,
+            noise_std=noise_std,
+            samples_per_type=samples_per_type,
+            seed=seed,
+        )
+        if cacheable:
+            self._predictors[key] = predictor
+        return predictor
+
+    # ------------------------------------------------------------------ layer costs
+    def layer_predictions(
+        self, predictor: BaseLayerPredictor, architecture: Architecture
+    ) -> Tuple[LayerPrediction, ...]:
+        """Per-layer predictions, cached per ``(predictor, architecture)``."""
+        per_predictor = self._layer_cache.setdefault(predictor, {})
+        cached = per_predictor.get(architecture)
+        if cached is not None:
+            self.stats.layer_hits += 1
+            return cached
+        self.stats.layer_misses += 1
+        predictions = tuple(predictor.predict_architecture(architecture))
+        per_predictor[architecture] = predictions
+        return predictions
+
+    # ------------------------------------------------------------------ partition costing
+    def evaluate_partitions(
+        self, architecture: Architecture, analyzer: PartitionAnalyzer
+    ) -> PartitionEvaluation:
+        """Cost every deployment option, reusing cached layer predictions.
+
+        Equivalent to ``analyzer.evaluate(architecture)`` but both the layer
+        predictions and the resulting evaluation are memoised.  Analyzers
+        with a cloud predictor are passed through uncached (their costing
+        depends on state the cache key does not capture).
+        """
+        if analyzer.cloud_predictor is not None:
+            return analyzer.evaluate(
+                architecture,
+                predictions=self.layer_predictions(analyzer.predictor, architecture),
+            )
+        per_predictor = self._partition_cache.setdefault(analyzer.predictor, {})
+        key = (architecture, _channel_key(analyzer.channel), analyzer.require_shrinkage)
+        cached = per_predictor.get(key)
+        if cached is not None:
+            self.stats.partition_hits += 1
+            return cached
+        self.stats.partition_misses += 1
+        evaluation = analyzer.evaluate(
+            architecture,
+            predictions=self.layer_predictions(analyzer.predictor, architecture),
+        )
+        per_predictor[key] = evaluation
+        return evaluation
+
+    def sweep_channels(
+        self,
+        architecture: Architecture,
+        predictor: BaseLayerPredictor,
+        channels: Sequence[WirelessChannel],
+        require_shrinkage: bool = True,
+    ) -> List[PartitionEvaluation]:
+        """Batched costing of one architecture under many channels.
+
+        The per-layer predictions are computed (or fetched) once and shared
+        across every channel — the hot path of the Fig. 2 / Table I sweeps.
+        """
+        evaluations: List[PartitionEvaluation] = []
+        for channel in channels:
+            analyzer = PartitionAnalyzer(
+                predictor, channel, require_shrinkage=require_shrinkage
+            )
+            evaluations.append(self.evaluate_partitions(architecture, analyzer))
+        return evaluations
+
+    # ------------------------------------------------------------------ maintenance
+    def cache_sizes(self) -> Dict[str, int]:
+        """Number of live entries per cache."""
+        return {
+            "predictors": len(self._predictors),
+            "layer_predictions": sum(
+                len(entries) for entries in self._layer_cache.values()
+            ),
+            "partition_evaluations": sum(
+                len(entries) for entries in self._partition_cache.values()
+            ),
+        }
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Hit/miss counters plus live cache sizes."""
+        merged = self.stats.to_dict()
+        merged.update(self.cache_sizes())
+        return merged
+
+    def clear(self) -> None:
+        """Drop every cached value and reset the counters."""
+        self._predictors.clear()
+        self._layer_cache.clear()
+        self._partition_cache.clear()
+        self.stats = EngineStats()
+
+
+#: Process-wide default engine used when callers do not supply one.
+_DEFAULT_ENGINE: Optional[EvaluationEngine] = None
+
+
+def default_engine() -> EvaluationEngine:
+    """The lazily-created process-wide :class:`EvaluationEngine`."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = EvaluationEngine()
+    return _DEFAULT_ENGINE

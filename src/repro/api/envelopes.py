@@ -1,0 +1,243 @@
+"""Versioned request/outcome envelopes for search runs.
+
+A :class:`SearchRequest` declares *what* to run — scenario, strategy and
+budgets — entirely in plain data, so runs can be persisted, replayed and
+compared; a :class:`SearchOutcome` pairs the request with every explored
+candidate plus timing and cache statistics.  Both round-trip losslessly
+through ``to_dict``/``from_dict`` and serialize with
+:func:`repro.utils.serialization.to_jsonable` / :mod:`json` without custom
+encoders.
+
+Envelopes carry a ``schema_version``; :func:`check_schema_version` rejects
+payloads written by a *newer* library (older versions are upgraded in
+``from_dict`` as the schema evolves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.scenario import DEFAULT_SCENARIO, SCENARIOS, Scenario, ScenarioRegistry
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.utils.validation import require_positive
+
+#: Current envelope schema version.
+SCHEMA_VERSION = 1
+
+
+def check_schema_version(data: Mapping[str, Any], what: str) -> int:
+    """Validate the ``schema_version`` field of a serialized envelope."""
+    version = int(data.get("schema_version", SCHEMA_VERSION))
+    if version < 1 or version > SCHEMA_VERSION:
+        raise ValueError(
+            f"cannot read {what} with schema_version={version}; "
+            f"this library supports versions 1..{SCHEMA_VERSION}"
+        )
+    return version
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """Declarative description of one search run.
+
+    Parameters
+    ----------
+    scenario:
+        Scenario name (resolved through a :class:`ScenarioRegistry`) or an
+        inline :class:`Scenario`.
+    strategy:
+        Search strategy name (``"lens"``, ``"traditional"`` or ``"random"``,
+        see :data:`repro.api.session.STRATEGIES`).
+    num_initial / num_iterations / candidate_pool_size / acquisition:
+        Budgets and acquisition of the optimization loop (Algorithm 2).
+    predictor_noise_std / predictor_samples_per_type:
+        Performance-predictor training settings (ignored when a pre-trained
+        predictor is supplied to :func:`repro.api.session.run_search`).
+    seed:
+        Master seed of the run.  Must be an integer (or ``None``) for the
+        request to be serializable.
+    tags:
+        Free-form metadata carried through to the outcome.
+    """
+
+    scenario: Union[str, Scenario] = DEFAULT_SCENARIO
+    strategy: str = "lens"
+    num_initial: int = 10
+    num_iterations: int = 50
+    candidate_pool_size: int = 128
+    acquisition: str = "ts"
+    predictor_noise_std: float = 0.03
+    predictor_samples_per_type: int = 200
+    seed: Optional[int] = 0
+    tags: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_initial, "num_initial")
+        if self.num_iterations < 0:
+            raise ValueError(
+                f"num_iterations must be >= 0, got {self.num_iterations}"
+            )
+        require_positive(self.candidate_pool_size, "candidate_pool_size")
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def num_evaluations(self) -> int:
+        """Total evaluation budget of the run."""
+        return self.num_initial + self.num_iterations
+
+    @property
+    def scenario_name(self) -> str:
+        """Name of the requested scenario."""
+        if isinstance(self.scenario, Scenario):
+            return self.scenario.name
+        return str(self.scenario)
+
+    def resolve_scenario(
+        self, scenarios: Optional[ScenarioRegistry] = None
+    ) -> Scenario:
+        """The scenario object, resolved by name when necessary."""
+        return (scenarios or SCENARIOS).resolve(self.scenario)
+
+    def replace(self, **changes: Any) -> "SearchRequest":
+        """Copy of this request with the given fields changed."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        scenario: Any = self.scenario
+        if isinstance(scenario, Scenario):
+            scenario = scenario.to_dict()
+        seed = self.seed
+        if seed is not None and not isinstance(seed, int):
+            raise TypeError(
+                f"only integer (or None) seeds are serializable, got {type(seed)!r}"
+            )
+        return {
+            "schema_version": self.schema_version,
+            "scenario": scenario,
+            "strategy": self.strategy,
+            "num_initial": self.num_initial,
+            "num_iterations": self.num_iterations,
+            "candidate_pool_size": self.candidate_pool_size,
+            "acquisition": self.acquisition,
+            "predictor_noise_std": self.predictor_noise_std,
+            "predictor_samples_per_type": self.predictor_samples_per_type,
+            "seed": seed,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchRequest":
+        version = check_schema_version(data, "SearchRequest")
+        scenario = data.get("scenario", DEFAULT_SCENARIO)
+        if isinstance(scenario, dict):
+            scenario = Scenario.from_dict(scenario)
+        seed = data.get("seed", 0)
+        return cls(
+            scenario=scenario,
+            strategy=data.get("strategy", "lens"),
+            num_initial=int(data.get("num_initial", 10)),
+            num_iterations=int(data.get("num_iterations", 50)),
+            candidate_pool_size=int(data.get("candidate_pool_size", 128)),
+            acquisition=data.get("acquisition", "ts"),
+            predictor_noise_std=float(data.get("predictor_noise_std", 0.03)),
+            predictor_samples_per_type=int(
+                data.get("predictor_samples_per_type", 200)
+            ),
+            seed=None if seed is None else int(seed),
+            tags=dict(data.get("tags", {})),
+            schema_version=version,
+        )
+
+
+@dataclass
+class SearchOutcome:
+    """Everything one search run produced, paired with its request.
+
+    Attributes
+    ----------
+    request:
+        The request that was executed.
+    scenario:
+        The *resolved* scenario (inlined so the outcome stays interpretable
+        even if the registry changes later).
+    label:
+        Result label (strategy name).
+    candidates:
+        Every explored :class:`CandidateEvaluation`, in evaluation order.
+    wall_time_s:
+        Wall-clock duration of the run.
+    engine_stats:
+        Cache statistics of the evaluation engine that backed the run.
+    """
+
+    request: SearchRequest
+    scenario: Scenario
+    label: str
+    candidates: Tuple[CandidateEvaluation, ...]
+    wall_time_s: float = 0.0
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        self.candidates = tuple(self.candidates)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def result(self) -> SearchResult:
+        """The candidates as a :class:`SearchResult` (Pareto helpers etc.)."""
+        return SearchResult(self.candidates, label=self.label)
+
+    def pareto_candidates(
+        self, metrics: Sequence[str] = ("error_percent", "energy_j")
+    ) -> List[CandidateEvaluation]:
+        """Candidates on the Pareto front of the requested metrics."""
+        return self.result.pareto_candidates(metrics)
+
+    def best_by(self, metric: str) -> CandidateEvaluation:
+        """Candidate minimising a single metric."""
+        return self.result.best_by(metric)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact run summary (for logs and comparison tables)."""
+        return {
+            "scenario": self.scenario.name,
+            "strategy": self.label,
+            "num_candidates": len(self.candidates),
+            "pareto_size": len(self.pareto_candidates()),
+            "wall_time_s": self.wall_time_s,
+        }
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "request": self.request.to_dict(),
+            "scenario": self.scenario.to_dict(),
+            "label": self.label,
+            "candidates": [c.to_dict() for c in self.candidates],
+            "wall_time_s": self.wall_time_s,
+            "engine_stats": dict(self.engine_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchOutcome":
+        version = check_schema_version(data, "SearchOutcome")
+        return cls(
+            request=SearchRequest.from_dict(data["request"]),
+            scenario=Scenario.from_dict(data["scenario"]),
+            label=data.get("label", "search"),
+            candidates=tuple(
+                CandidateEvaluation.from_dict(c) for c in data.get("candidates", [])
+            ),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            engine_stats={
+                str(k): int(v) for k, v in data.get("engine_stats", {}).items()
+            },
+            schema_version=version,
+        )

@@ -1,0 +1,275 @@
+"""Running declared experiments: strategy registry and ``run_search``.
+
+This module is the execution half of the experiment API: it resolves a
+:class:`~repro.api.envelopes.SearchRequest` into concrete components
+(scenario → device, channel, predictor; strategy → search loop), runs the
+strategy, and wraps everything into a
+:class:`~repro.api.envelopes.SearchOutcome`.
+
+Strategies are registered by name in :data:`STRATEGIES`:
+
+* ``"lens"`` — partition-aware MOBO (the paper's Algorithm 2);
+* ``"traditional"`` — platform-aware MOBO using the All-Edge objectives;
+* ``"random"`` — uniform-random sampling with the same evaluation budget.
+
+A strategy is a callable ``strategy(context) -> (SearchResult,
+OptimizationResult | None)``; registering a new one makes it addressable
+from request envelopes immediately.
+
+The legacy entry points (:class:`repro.core.lens.LensSearch`,
+:class:`repro.core.traditional.TraditionalSearch`) are thin wrappers over
+:func:`build_context` and :func:`execute_strategy`, so both API generations
+share one code path and produce identical results for identical seeds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.accuracy.surrogate import AccuracyModel, AccuracySurrogate
+from repro.api.engine import EvaluationEngine, default_engine
+from repro.api.envelopes import SearchOutcome, SearchRequest
+from repro.api.registry import ACQUISITIONS, Registry
+from repro.api.scenario import Scenario, ScenarioRegistry
+from repro.core.evaluation import PartitionAwareEvaluator
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.hardware.device import DeviceProfile
+from repro.hardware.predictors import BaseLayerPredictor
+from repro.nn.search_space import LensSearchSpace
+from repro.optim.mobo import MultiObjectiveBayesianOptimizer, OptimizationResult
+from repro.partition.partitioner import PartitionAnalyzer
+from repro.utils.rng import ensure_rng
+from repro.wireless.channel import WirelessChannel
+
+#: The three objectives every strategy minimises, in order.
+OBJECTIVES = ("error_percent", "latency_s", "energy_j")
+
+#: Optional ``callback(evaluation_index, candidate_evaluation)``.
+ProgressCallback = Callable[[int, CandidateEvaluation], None]
+
+
+@dataclass
+class SearchContext:
+    """Fully-resolved components of one search run."""
+
+    request: SearchRequest
+    scenario: Scenario
+    search_space: LensSearchSpace
+    accuracy_model: AccuracyModel
+    device: DeviceProfile
+    channel: WirelessChannel
+    predictor: BaseLayerPredictor
+    analyzer: PartitionAnalyzer
+    evaluator: PartitionAwareEvaluator
+    engine: EvaluationEngine
+    progress_callback: Optional[ProgressCallback] = None
+
+
+def build_context(
+    request: Union[SearchRequest, Dict],
+    *,
+    scenarios: Optional[ScenarioRegistry] = None,
+    search_space: Optional[LensSearchSpace] = None,
+    accuracy_model: Optional[AccuracyModel] = None,
+    predictor: Optional[BaseLayerPredictor] = None,
+    engine: Optional[EvaluationEngine] = None,
+    progress_callback: Optional[ProgressCallback] = None,
+) -> SearchContext:
+    """Resolve a request into ready-to-run components.
+
+    ``search_space``, ``accuracy_model`` and ``predictor`` override the
+    defaults (the paper's VGG-derived space, the analytic accuracy
+    surrogate, and an engine-cached predictor trained for the scenario's
+    device with the request's training settings).
+    """
+    if isinstance(request, dict):
+        request = SearchRequest.from_dict(request)
+    ACQUISITIONS.get(request.acquisition)  # raises a listing KeyError if unknown
+    engine = engine or default_engine()
+    scenario = request.resolve_scenario(scenarios)
+    device = scenario.resolve_device()
+    channel = scenario.build_channel()
+    if predictor is None:
+        predictor = engine.predictor_for(
+            device,
+            noise_std=request.predictor_noise_std,
+            samples_per_type=request.predictor_samples_per_type,
+            seed=request.seed,
+        )
+    analyzer = PartitionAnalyzer(predictor, channel)
+    evaluator = PartitionAwareEvaluator(
+        search_space=search_space or LensSearchSpace(),
+        accuracy_model=accuracy_model or AccuracySurrogate(),
+        analyzer=analyzer,
+        partition_within=request.strategy != "traditional",
+        engine=engine,
+    )
+    return SearchContext(
+        request=request,
+        scenario=scenario,
+        search_space=evaluator.search_space,
+        accuracy_model=evaluator.accuracy_model,
+        device=device,
+        channel=channel,
+        predictor=predictor,
+        analyzer=analyzer,
+        evaluator=evaluator,
+        engine=engine,
+        progress_callback=progress_callback,
+    )
+
+
+# ---------------------------------------------------------------------- strategies
+
+def _collect_candidates(raw: OptimizationResult) -> List[CandidateEvaluation]:
+    candidates: List[CandidateEvaluation] = []
+    for point in raw.points:
+        evaluation: CandidateEvaluation = point.metadata["evaluation"]
+        evaluation.iteration = point.iteration
+        evaluation.phase = point.phase
+        candidates.append(evaluation)
+    return candidates
+
+
+def _run_mobo(context: SearchContext, label: str) -> Tuple[SearchResult, OptimizationResult]:
+    """Shared MOBO loop behind the lens and traditional strategies."""
+    request = context.request
+    callback = None
+    if context.progress_callback is not None:
+        progress = context.progress_callback
+
+        def callback(index, point, _archive):
+            progress(index, point.metadata["evaluation"])
+
+    optimizer = MultiObjectiveBayesianOptimizer(
+        sample_fn=context.evaluator.sample_fn,
+        feature_fn=context.evaluator.feature_fn,
+        objective_fn=context.evaluator.objective_fn,
+        num_objectives=len(OBJECTIVES),
+        num_initial=request.num_initial,
+        num_iterations=request.num_iterations,
+        candidate_pool_size=request.candidate_pool_size,
+        acquisition=request.acquisition,
+        neighbor_fn=context.evaluator.neighbor_fn,
+        seed=request.seed,
+        callback=callback,
+    )
+    raw = optimizer.run()
+    return SearchResult(_collect_candidates(raw), label=label), raw
+
+
+def _lens_strategy(context: SearchContext) -> Tuple[SearchResult, OptimizationResult]:
+    """Partition-aware MOBO (paper Algorithm 2)."""
+    return _run_mobo(context, label="lens")
+
+
+def _traditional_strategy(context: SearchContext) -> Tuple[SearchResult, OptimizationResult]:
+    """Platform-aware MOBO on All-Edge objectives (the paper's baseline)."""
+    if context.evaluator.partition_within:
+        raise ValueError(
+            "traditional strategy requires an evaluator with partition_within=False; "
+            "build the context with strategy='traditional'"
+        )
+    return _run_mobo(context, label="traditional")
+
+
+def _random_strategy(context: SearchContext) -> Tuple[SearchResult, None]:
+    """Uniform-random search with the same budget (sanity baseline)."""
+    request = context.request
+    rng = ensure_rng(request.seed)
+    evaluator = context.evaluator
+    seen = set()
+    candidates: List[CandidateEvaluation] = []
+    budget = request.num_evaluations
+    attempts = 0
+    while len(candidates) < budget and attempts < budget * 20:
+        attempts += 1
+        genotype = evaluator.sample_fn(rng)
+        key = np.asarray(genotype, dtype=int).tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        _, metadata = evaluator.evaluate_genotype(genotype)
+        evaluation: CandidateEvaluation = metadata["evaluation"]
+        evaluation.iteration = len(candidates)
+        evaluation.phase = "random"
+        candidates.append(evaluation)
+        if context.progress_callback is not None:
+            context.progress_callback(len(candidates) - 1, evaluation)
+    return SearchResult(candidates, label="random"), None
+
+
+#: Search strategies addressable from request envelopes.
+STRATEGIES = Registry(
+    "search strategy",
+    {
+        "lens": _lens_strategy,
+        "traditional": _traditional_strategy,
+        "random": _random_strategy,
+    },
+)
+
+
+# ---------------------------------------------------------------------- execution
+
+def execute_strategy(
+    context: SearchContext,
+) -> Tuple[SearchResult, Optional[OptimizationResult]]:
+    """Run the context's strategy and return its result (plus raw MOBO data)."""
+    strategy = STRATEGIES.get(context.request.strategy)
+    return strategy(context)
+
+
+def run_search(
+    request: Union[SearchRequest, Dict, None] = None,
+    *,
+    scenarios: Optional[ScenarioRegistry] = None,
+    search_space: Optional[LensSearchSpace] = None,
+    accuracy_model: Optional[AccuracyModel] = None,
+    predictor: Optional[BaseLayerPredictor] = None,
+    engine: Optional[EvaluationEngine] = None,
+    progress_callback: Optional[ProgressCallback] = None,
+    **request_fields,
+) -> SearchOutcome:
+    """Execute a declared search end to end and return its outcome.
+
+    ``run_search(strategy="lens", scenario="wifi-3mbps/jetson-tx2-gpu")`` is
+    the canonical entry point; a full :class:`SearchRequest` (or its dict
+    form) may be passed instead, and keyword request fields are applied on
+    top of it.  The outcome embeds the request, the resolved scenario, every
+    explored candidate and the engine's cache statistics, and round-trips
+    through ``to_dict``/``from_dict``.
+    """
+    if request is None:
+        request = SearchRequest(**request_fields)
+    else:
+        if isinstance(request, dict):
+            request = SearchRequest.from_dict(request)
+        if request_fields:
+            request = request.replace(**request_fields)
+    engine = engine or default_engine()
+    stats_before = engine.stats.snapshot()  # report per-run deltas, not lifetime totals
+    context = build_context(
+        request,
+        scenarios=scenarios,
+        search_space=search_space,
+        accuracy_model=accuracy_model,
+        predictor=predictor,
+        engine=engine,
+        progress_callback=progress_callback,
+    )
+    start = time.perf_counter()
+    result, _raw = execute_strategy(context)
+    elapsed = time.perf_counter() - start
+    return SearchOutcome(
+        request=request,
+        scenario=context.scenario,
+        label=result.label,
+        candidates=tuple(result),
+        wall_time_s=elapsed,
+        engine_stats=engine.stats.since(stats_before),
+    )

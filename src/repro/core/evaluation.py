@@ -21,7 +21,7 @@ partition-within-vs-after ablation (Fig. 7).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.accuracy.surrogate import AccuracyModel
 from repro.core.results import CandidateEvaluation
 from repro.nn.search_space import LensSearchSpace
 from repro.partition.partitioner import PartitionAnalyzer
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a core <-> api cycle
+    from repro.api.engine import EvaluationEngine
 
 
 class PartitionAwareEvaluator:
@@ -46,6 +49,11 @@ class PartitionAwareEvaluator:
     partition_within:
         ``True`` (LENS): objectives use each candidate's best deployment
         option.  ``False`` (Traditional): objectives use the All-Edge values.
+    engine:
+        Optional :class:`~repro.api.engine.EvaluationEngine`; when supplied,
+        layer predictions and partition evaluations are fetched through its
+        caches so repeated genotypes (across strategies, scenarios or runs)
+        are costed once.
     """
 
     def __init__(
@@ -54,11 +62,13 @@ class PartitionAwareEvaluator:
         accuracy_model: AccuracyModel,
         analyzer: PartitionAnalyzer,
         partition_within: bool = True,
+        engine: Optional["EvaluationEngine"] = None,
     ):
         self.search_space = search_space
         self.accuracy_model = accuracy_model
         self.analyzer = analyzer
         self.partition_within = bool(partition_within)
+        self.engine = engine
 
     # ------------------------------------------------------------------ evaluation
     def evaluate_genotype(
@@ -74,7 +84,12 @@ class PartitionAwareEvaluator:
         performance_arch = self.search_space.decode_for_performance(genotype)
 
         error = float(self.accuracy_model.error_percent(accuracy_arch))
-        partition_eval = self.analyzer.evaluate(performance_arch)
+        if self.engine is not None:
+            partition_eval = self.engine.evaluate_partitions(
+                performance_arch, self.analyzer
+            )
+        else:
+            partition_eval = self.analyzer.evaluate(performance_arch)
 
         all_edge = partition_eval.all_edge
         best_latency = partition_eval.best_latency

@@ -1,13 +1,16 @@
-"""The LENS search methodology (paper §IV, Algorithm 2).
+"""The LENS search methodology (paper §IV, Algorithm 2) — legacy entry point.
 
-:class:`LensSearch` wires together every substrate of the library:
+:class:`LensSearch` is the original, constructor-wired way to run a search.
+It is now a thin back-compat wrapper over the unified experiment API
+(:mod:`repro.api`): the configuration is translated into a
+:class:`~repro.api.envelopes.SearchRequest`, components are resolved through
+:func:`repro.api.session.build_context` (sharing the process-wide
+:class:`~repro.api.engine.EvaluationEngine` caches), and :meth:`LensSearch.run`
+executes the registered ``"lens"`` / ``"traditional"`` strategy.  Results are
+bit-identical to the by-name path::
 
-* the VGG-derived search space (§IV-B) supplies candidate genotypes;
-* the per-layer performance predictors (§IV-C) and the wireless channel model
-  (§III-A) feed the partition-aware objective evaluation (§IV-D, Algorithm 1);
-* the accuracy model supplies the error objective;
-* the multi-objective Bayesian optimizer (§III-B, Algorithm 2) drives the
-  search and maintains the Pareto frontier.
+    from repro.api import run_search
+    outcome = run_search(strategy="lens", scenario="wifi-3mbps/jetson-tx2-gpu")
 
 Users supply the expected wireless technology and upload throughput — the
 design-time knowledge LENS is built around — plus the usual search budget
@@ -18,19 +21,22 @@ option.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
-from repro.accuracy.surrogate import AccuracyModel, AccuracySurrogate
-from repro.core.evaluation import PartitionAwareEvaluator
+from repro.accuracy.surrogate import AccuracyModel
 from repro.core.results import CandidateEvaluation, SearchResult
 from repro.hardware.device import DeviceProfile, device_by_name
-from repro.hardware.predictors import BaseLayerPredictor, LayerPerformancePredictor
+from repro.hardware.predictors import BaseLayerPredictor
 from repro.nn.search_space import LensSearchSpace
-from repro.optim.mobo import MultiObjectiveBayesianOptimizer, OptimizationResult
-from repro.partition.partitioner import PartitionAnalyzer
+from repro.optim.mobo import OptimizationResult
 from repro.utils.rng import SeedLike
 from repro.wireless.channel import WirelessChannel
+
+if TYPE_CHECKING:  # runtime imports stay lazy: repro.api imports repro.core
+    from repro.api.engine import EvaluationEngine
+    from repro.api.envelopes import SearchRequest
+    from repro.api.scenario import Scenario
 
 #: The three objectives LENS minimises, in order.
 LENS_OBJECTIVES = ("error_percent", "latency_s", "energy_j")
@@ -91,6 +97,42 @@ class LensConfig:
             round_trip_s=self.round_trip_s,
         )
 
+    # ------------------------------------------------------------------ API bridge
+    def to_scenario(self, name: Optional[str] = None) -> "Scenario":
+        """This configuration's deployment context as an inline scenario."""
+        from repro.api.scenario import Scenario
+
+        device_name = (
+            self.device.name
+            if isinstance(self.device, DeviceProfile)
+            else str(self.device)
+        )
+        return Scenario(
+            name=name
+            or f"{self.wireless_technology}-{self.expected_uplink_mbps:g}mbps/{device_name}",
+            device=self.device,
+            wireless_technology=self.wireless_technology,
+            uplink_mbps=self.expected_uplink_mbps,
+            round_trip_s=self.round_trip_s,
+            description="inline scenario derived from a LensConfig",
+        )
+
+    def to_request(self) -> "SearchRequest":
+        """This configuration as a :class:`~repro.api.envelopes.SearchRequest`."""
+        from repro.api.envelopes import SearchRequest
+
+        return SearchRequest(
+            scenario=self.to_scenario(),
+            strategy="lens" if self.partition_within else "traditional",
+            num_initial=self.num_initial,
+            num_iterations=self.num_iterations,
+            candidate_pool_size=self.candidate_pool_size,
+            acquisition=self.acquisition,
+            predictor_noise_std=self.predictor_noise_std,
+            predictor_samples_per_type=self.predictor_samples_per_type,
+            seed=self.seed,
+        )
+
 
 class LensSearch:
     """Multi-objective, partition-aware NAS for edge-cloud hierarchies.
@@ -106,10 +148,14 @@ class LensSearch:
     predictor:
         Pre-trained per-layer performance predictor for the configured
         device.  When omitted, one is trained from simulated profiling data
-        (which takes a few seconds).
+        (and cached in the evaluation engine, so equal configurations share
+        the few seconds of training).
     progress_callback:
         Optional ``callback(evaluation_index, candidate_evaluation)`` invoked
         after every architecture evaluation.
+    engine:
+        Optional :class:`~repro.api.engine.EvaluationEngine`; defaults to the
+        process-wide shared engine.
     """
 
     def __init__(
@@ -119,64 +165,71 @@ class LensSearch:
         accuracy_model: Optional[AccuracyModel] = None,
         predictor: Optional[BaseLayerPredictor] = None,
         progress_callback: Optional[Callable[[int, CandidateEvaluation], None]] = None,
+        engine: Optional["EvaluationEngine"] = None,
     ):
+        from repro.api.session import build_context
+
         self.config = config or LensConfig()
-        self.search_space = search_space or LensSearchSpace()
-        self.accuracy_model = accuracy_model or AccuracySurrogate()
-        self.device = self.config.resolve_device()
-        self.channel = self.config.build_channel()
-        if predictor is None:
-            predictor = LayerPerformancePredictor.train_for_device(
-                self.device,
-                noise_std=self.config.predictor_noise_std,
-                samples_per_type=self.config.predictor_samples_per_type,
-                seed=self.config.seed,
-            )
-        self.predictor = predictor
-        self.analyzer = PartitionAnalyzer(self.predictor, self.channel)
-        self.evaluator = PartitionAwareEvaluator(
-            search_space=self.search_space,
-            accuracy_model=self.accuracy_model,
-            analyzer=self.analyzer,
-            partition_within=self.config.partition_within,
-        )
         self.progress_callback = progress_callback
+        self.context = build_context(
+            self.config.to_request(),
+            search_space=search_space,
+            accuracy_model=accuracy_model,
+            predictor=predictor,
+            engine=engine,
+            progress_callback=progress_callback,
+        )
         self._raw_result: Optional[OptimizationResult] = None
 
+    # ------------------------------------------------------------------ component views
+    @property
+    def search_space(self) -> LensSearchSpace:
+        """The architecture search space in use."""
+        return self.context.search_space
+
+    @property
+    def accuracy_model(self) -> AccuracyModel:
+        """The error estimator in use."""
+        return self.context.accuracy_model
+
+    @property
+    def device(self) -> DeviceProfile:
+        """The resolved edge-device profile."""
+        return self.context.device
+
+    @property
+    def channel(self) -> WirelessChannel:
+        """The expected wireless channel."""
+        return self.context.channel
+
+    @property
+    def predictor(self) -> BaseLayerPredictor:
+        """The per-layer performance predictor backing the objectives."""
+        return self.context.predictor
+
+    @property
+    def analyzer(self):
+        """The Algorithm 1 partition analyzer."""
+        return self.context.analyzer
+
+    @property
+    def evaluator(self):
+        """The partition-aware objective evaluator."""
+        return self.context.evaluator
+
+    @property
+    def engine(self) -> "EvaluationEngine":
+        """The evaluation engine (caches) backing this search."""
+        return self.context.engine
+
     # ------------------------------------------------------------------ search
-    def _make_optimizer(self) -> MultiObjectiveBayesianOptimizer:
-        callback = None
-        if self.progress_callback is not None:
-            def callback(index, point, _archive):
-                self.progress_callback(index, point.metadata["evaluation"])
-
-        return MultiObjectiveBayesianOptimizer(
-            sample_fn=self.evaluator.sample_fn,
-            feature_fn=self.evaluator.feature_fn,
-            objective_fn=self.evaluator.objective_fn,
-            num_objectives=len(LENS_OBJECTIVES),
-            num_initial=self.config.num_initial,
-            num_iterations=self.config.num_iterations,
-            candidate_pool_size=self.config.candidate_pool_size,
-            acquisition=self.config.acquisition,
-            neighbor_fn=self.evaluator.neighbor_fn,
-            seed=self.config.seed,
-            callback=callback,
-        )
-
     def run(self) -> SearchResult:
         """Execute the search and return every explored candidate."""
-        optimizer = self._make_optimizer()
-        raw = optimizer.run()
+        from repro.api.session import execute_strategy
+
+        result, raw = execute_strategy(self.context)
         self._raw_result = raw
-        candidates = []
-        for point in raw.points:
-            evaluation: CandidateEvaluation = point.metadata["evaluation"]
-            evaluation.iteration = point.iteration
-            evaluation.phase = point.phase
-            candidates.append(evaluation)
-        label = "lens" if self.config.partition_within else "traditional"
-        return SearchResult(candidates, label=label)
+        return result
 
     @property
     def raw_result(self) -> Optional[OptimizationResult]:

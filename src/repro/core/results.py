@@ -84,6 +84,24 @@ class CandidateEvaluation:
             "extras": self.extras,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CandidateEvaluation":
+        """Inverse of :meth:`to_dict` (used by persisted search outcomes)."""
+        return cls(
+            genotype=tuple(int(v) for v in data["genotype"]),
+            architecture_name=data["architecture_name"],
+            error_percent=float(data["error_percent"]),
+            latency_s=float(data["latency_s"]),
+            energy_j=float(data["energy_j"]),
+            best_latency_option=DeploymentOption.from_dict(data["best_latency_option"]),
+            best_energy_option=DeploymentOption.from_dict(data["best_energy_option"]),
+            all_edge_latency_s=float(data["all_edge_latency_s"]),
+            all_edge_energy_j=float(data["all_edge_energy_j"]),
+            iteration=int(data.get("iteration", 0)),
+            phase=data.get("phase", "init"),
+            extras=dict(data.get("extras", {})),
+        )
+
 
 class SearchResult:
     """All candidates explored by one search run, with Pareto-set helpers."""
@@ -168,3 +186,11 @@ class SearchResult:
             "label": self.label,
             "candidates": [c.to_dict() for c in self.candidates],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SearchResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            candidates=[CandidateEvaluation.from_dict(c) for c in data["candidates"]],
+            label=data.get("label", "search"),
+        )

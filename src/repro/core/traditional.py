@@ -48,7 +48,11 @@ class TraditionalSearch(LensSearch):
             performance_arch = self.search_space.decode_for_performance(
                 candidate.genotype
             )
-            evaluation = self.analyzer.evaluate(performance_arch)
+            # The engine already holds this candidate's partition evaluation
+            # from the search itself, so re-costing the frontier is cache hits.
+            evaluation = self.engine.evaluate_partitions(
+                performance_arch, self.analyzer
+            )
             best_latency = evaluation.best_latency
             best_energy = evaluation.best_energy
             partitioned.append(

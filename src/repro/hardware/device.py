@@ -101,6 +101,21 @@ class DeviceProfile:
             "busy_power_w": self.busy_power_w,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeviceProfile":
+        """Inverse of :meth:`to_dict` (used by serialized scenarios)."""
+        return cls(
+            name=data["name"],
+            kind=data.get("kind", "edge"),
+            compute_rate_flops={
+                str(k): float(v) for k, v in data["compute_rate_flops"].items()
+            },
+            memory_bandwidth_bps=float(data["memory_bandwidth_bps"]),
+            layer_overhead_s=float(data["layer_overhead_s"]),
+            idle_power_w=float(data["idle_power_w"]),
+            busy_power_w=float(data["busy_power_w"]),
+        )
+
 
 def jetson_tx2_gpu() -> DeviceProfile:
     """TX2-class embedded GPU profile (the paper's GPU/WiFi configuration)."""
@@ -170,10 +185,15 @@ BUILTIN_DEVICES = {
 
 
 def device_by_name(name: str) -> DeviceProfile:
-    """Instantiate a built-in device profile by name."""
-    try:
-        return BUILTIN_DEVICES[name]()
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown device {name!r}; available: {sorted(BUILTIN_DEVICES)}"
-        ) from exc
+    """Instantiate a registered device profile by name.
+
+    Lookup goes through the API device registry
+    (:data:`repro.api.registry.DEVICES`), so custom devices registered with
+    :func:`repro.api.registry.register_device` are found too.  Unknown names
+    raise a :class:`KeyError` listing every registered device and, when one
+    is close, a spelling suggestion.
+    """
+    # Imported lazily: the registry module imports this one for the built-ins.
+    from repro.api.registry import DEVICES
+
+    return DEVICES.create(name)

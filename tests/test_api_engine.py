@@ -1,0 +1,109 @@
+"""Tests for the shared, caching EvaluationEngine."""
+
+import numpy as np
+import pytest
+
+from repro.api.engine import EvaluationEngine, default_engine
+from repro.partition.partitioner import PartitionAnalyzer
+from repro.wireless.channel import WirelessChannel
+
+
+@pytest.fixture()
+def engine():
+    return EvaluationEngine()
+
+
+class TestPredictorCache:
+    def test_same_settings_share_one_predictor(self, engine, gpu_device):
+        first = engine.predictor_for(gpu_device, samples_per_type=60, seed=3)
+        second = engine.predictor_for(gpu_device, samples_per_type=60, seed=3)
+        assert first is second
+        assert engine.stats.predictor_hits == 1
+        assert engine.stats.predictor_misses == 1
+
+    def test_different_settings_do_not_collide(self, engine, gpu_device, cpu_device):
+        a = engine.predictor_for(gpu_device, samples_per_type=60, seed=3)
+        b = engine.predictor_for(gpu_device, samples_per_type=60, seed=4)
+        c = engine.predictor_for(cpu_device, samples_per_type=60, seed=3)
+        assert a is not b and a is not c
+
+    def test_generator_seeds_bypass_the_cache(self, engine, gpu_device):
+        rng = np.random.default_rng(0)
+        first = engine.predictor_for(gpu_device, samples_per_type=60, seed=rng)
+        second = engine.predictor_for(gpu_device, samples_per_type=60, seed=rng)
+        assert first is not second
+
+    def test_oracle_predictors_cached_separately(self, engine, gpu_device):
+        oracle = engine.predictor_for(gpu_device, oracle=True)
+        assert engine.predictor_for(gpu_device, oracle=True) is oracle
+        trained = engine.predictor_for(gpu_device, samples_per_type=60, seed=0)
+        assert trained is not oracle
+
+
+class TestLayerAndPartitionCaches:
+    def test_layer_predictions_cached_and_identical(self, engine, gpu_oracle, alexnet):
+        first = engine.layer_predictions(gpu_oracle, alexnet)
+        second = engine.layer_predictions(gpu_oracle, alexnet)
+        assert first is second
+        assert engine.stats.layer_hits == 1 and engine.stats.layer_misses == 1
+        direct = gpu_oracle.predict_architecture(alexnet)
+        assert [p.latency_s for p in first] == [p.latency_s for p in direct]
+
+    def test_evaluate_partitions_matches_direct_evaluation(
+        self, engine, gpu_oracle, alexnet
+    ):
+        channel = WirelessChannel.create("wifi", uplink_mbps=3.0)
+        analyzer = PartitionAnalyzer(gpu_oracle, channel)
+        via_engine = engine.evaluate_partitions(alexnet, analyzer)
+        direct = analyzer.evaluate(alexnet)
+        assert via_engine.best_latency.option == direct.best_latency.option
+        assert via_engine.best_latency.latency_s == pytest.approx(
+            direct.best_latency.latency_s
+        )
+        assert via_engine.best_energy.energy_j == pytest.approx(
+            direct.best_energy.energy_j
+        )
+
+    def test_partition_cache_hits_per_channel(self, engine, gpu_oracle, alexnet):
+        channel = WirelessChannel.create("wifi", uplink_mbps=3.0)
+        analyzer = PartitionAnalyzer(gpu_oracle, channel)
+        first = engine.evaluate_partitions(alexnet, analyzer)
+        # A fresh analyzer with an equal channel must still hit the cache.
+        second = engine.evaluate_partitions(
+            alexnet, PartitionAnalyzer(gpu_oracle, channel.with_uplink(3.0))
+        )
+        assert first is second
+        # A different uplink is a different cache entry with different costs.
+        third = engine.evaluate_partitions(
+            alexnet, PartitionAnalyzer(gpu_oracle, channel.with_uplink(30.0))
+        )
+        assert third is not first
+        assert engine.stats.partition_hits == 1
+        assert engine.stats.partition_misses == 2
+
+    def test_sweep_channels_computes_layers_once(self, engine, gpu_oracle, alexnet):
+        channels = [
+            WirelessChannel.create("wifi", uplink_mbps=u) for u in (0.5, 3.0, 16.1)
+        ]
+        evaluations = engine.sweep_channels(alexnet, gpu_oracle, channels)
+        assert len(evaluations) == 3
+        assert engine.stats.layer_misses == 1
+        assert engine.stats.layer_hits == 2
+        # Costs must differ across channels (communication term changes).
+        cloud_latencies = {e.all_cloud.latency_s for e in evaluations}
+        assert len(cloud_latencies) == 3
+
+    def test_clear_resets_everything(self, engine, gpu_oracle, alexnet):
+        engine.layer_predictions(gpu_oracle, alexnet)
+        engine.clear()
+        assert engine.cache_sizes() == {
+            "predictors": 0,
+            "layer_predictions": 0,
+            "partition_evaluations": 0,
+        }
+        assert engine.stats.layer_misses == 0
+
+
+def test_default_engine_is_a_process_singleton():
+    assert default_engine() is default_engine()
+    assert isinstance(default_engine(), EvaluationEngine)

@@ -1,8 +1,14 @@
 """Tests for repro.utils.serialization."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro.api.envelopes import SearchOutcome, SearchRequest
+from repro.api.scenario import scenario_by_name
+from repro.core.results import CandidateEvaluation
+from repro.partition.deployment import DeploymentOption
 from repro.utils.serialization import dump_json, format_table, load_json, to_jsonable
 
 
@@ -56,3 +62,76 @@ def test_format_table_alignment_and_precision():
 def test_format_table_rejects_ragged_rows():
     with pytest.raises(ValueError):
         format_table(rows=[[1, 2], [1]], headers=["a", "b"])
+
+
+# ---------------------------------------------------------------------- envelope round trips
+
+def _sample_candidate() -> CandidateEvaluation:
+    return CandidateEvaluation(
+        genotype=(np.int64(1), 0, 2, 1, 0, 1),
+        architecture_name="lens-000123",
+        error_percent=np.float64(17.25),
+        latency_s=0.042,
+        energy_j=0.128,
+        best_latency_option=DeploymentOption.split_after(4, "pool2"),
+        best_energy_option=DeploymentOption.all_edge(),
+        all_edge_latency_s=0.051,
+        all_edge_energy_j=0.128,
+        iteration=7,
+        phase="bo",
+        extras={"total_macs": np.int64(123456), "num_partition_points": 3},
+    )
+
+
+def test_candidate_evaluation_round_trips_through_json():
+    candidate = _sample_candidate()
+    payload = json.loads(json.dumps(to_jsonable(candidate)))
+    restored = CandidateEvaluation.from_dict(payload)
+    assert restored.genotype == tuple(int(v) for v in candidate.genotype)
+    assert restored.architecture_name == candidate.architecture_name
+    assert restored.error_percent == pytest.approx(candidate.error_percent)
+    assert restored.best_latency_option == candidate.best_latency_option
+    assert restored.best_energy_option == candidate.best_energy_option
+    assert restored.phase == "bo" and restored.iteration == 7
+    assert restored.extras["total_macs"] == 123456
+
+
+def test_search_request_round_trips_through_json():
+    request = SearchRequest(
+        scenario="lte-3mbps/jetson-tx2-cpu",
+        strategy="traditional",
+        num_initial=6,
+        num_iterations=14,
+        candidate_pool_size=48,
+        acquisition="ucb",
+        seed=11,
+        tags={"experiment": "ablation-7"},
+    )
+    payload = json.loads(json.dumps(to_jsonable(request)))
+    assert SearchRequest.from_dict(payload) == request
+
+
+def test_search_request_rejects_future_schema_versions():
+    data = SearchRequest().to_dict()
+    data["schema_version"] = 999
+    with pytest.raises(ValueError, match="schema_version=999"):
+        SearchRequest.from_dict(data)
+
+
+def test_search_outcome_round_trips_through_json():
+    outcome = SearchOutcome(
+        request=SearchRequest(num_initial=2, num_iterations=0),
+        scenario=scenario_by_name("wifi-3mbps/jetson-tx2-gpu"),
+        label="lens",
+        candidates=(_sample_candidate(),),
+        wall_time_s=1.5,
+        engine_stats={"layer_hits": np.int64(10), "layer_misses": 2},
+    )
+    payload = json.loads(json.dumps(to_jsonable(outcome)))
+    restored = SearchOutcome.from_dict(payload)
+    assert restored.label == "lens"
+    assert restored.scenario == outcome.scenario
+    assert restored.request == outcome.request
+    assert len(restored) == 1
+    assert restored.engine_stats == {"layer_hits": 10, "layer_misses": 2}
+    assert restored.wall_time_s == pytest.approx(1.5)
