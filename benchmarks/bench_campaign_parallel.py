@@ -1,0 +1,84 @@
+"""Campaign fan-out: serial vs parallel execution of one search grid.
+
+Runs the same scenarios x strategies campaign grid serially and across
+worker processes into separate run stores, verifies both stores hold the
+same fingerprints and report the same per-scenario winners (execution mode
+must never change results), and emits the wall-clock comparison as a table.
+
+Speedup depends on grid shape vs core count and on the per-process cost of
+retraining predictors (worker processes cannot share the parent's engine
+caches), so the timings are reported rather than asserted.
+"""
+
+from __future__ import annotations
+
+from conftest import FAST_MODE, save_table
+
+from repro.analysis.reporting import summarize_campaign
+from repro.campaign import CampaignSpec, RunStore, run_campaign
+from repro.utils.serialization import format_table
+
+SPEC = CampaignSpec(
+    scenarios=(
+        "wifi-3mbps/jetson-tx2-gpu",
+        "lte-3mbps/jetson-tx2-gpu",
+        "3g-3mbps/jetson-tx2-cpu",
+    ),
+    strategies=("lens", "random"),
+    seeds=(2021,),
+    num_initial=4 if FAST_MODE else 10,
+    num_iterations=8 if FAST_MODE else 40,
+    candidate_pool_size=16 if FAST_MODE else 64,
+    predictor_samples_per_type=40 if FAST_MODE else 200,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _winners(store: RunStore):
+    summary = summarize_campaign(store.outcomes())
+    return sorted((w.scenario, w.winner) for w in summary.winners)
+
+
+def test_parallel_campaign_matches_serial(tmp_path):
+    """Every worker count produces identical stores; timings are reported."""
+    rows = []
+    timings = {}
+    reference_fingerprints = None
+    reference_winners = None
+    for workers in WORKER_COUNTS:
+        store = RunStore(tmp_path / f"workers-{workers}")
+        result = run_campaign(SPEC, store, workers=workers)
+        assert len(result.executed) == SPEC.num_cells
+        fingerprints = sorted(store.fingerprints())
+        winners = _winners(store)
+        if reference_fingerprints is None:
+            reference_fingerprints, reference_winners = fingerprints, winners
+        else:
+            assert fingerprints == reference_fingerprints
+            assert winners == reference_winners
+        timings[workers] = result.wall_time_s
+        rows.append([
+            workers,
+            round(result.wall_time_s, 3),
+            round(timings[1] / result.wall_time_s, 2),
+        ])
+
+    text = (
+        f"Campaign fan-out — {SPEC.num_cells} cells "
+        f"({len(SPEC.scenarios)} scenarios x {len(SPEC.strategies)} strategies, "
+        f"{SPEC.num_initial}+{SPEC.num_iterations} evaluations per cell)\n"
+        + format_table(rows, ["workers", "wall s", "speedup vs serial"])
+        + "\nwinners: " + ", ".join(f"{s} -> {w}" for s, w in reference_winners)
+    )
+    print("\n" + text)
+    save_table(
+        "campaign_parallel",
+        text,
+        {
+            "spec": SPEC.to_dict(),
+            "worker_counts": list(WORKER_COUNTS),
+            "wall_time_s": {str(w): t for w, t in timings.items()},
+            "winners": [list(pair) for pair in reference_winners],
+        },
+    )

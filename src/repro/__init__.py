@@ -54,13 +54,17 @@ Underneath, the library is organised by substrate:
 * :mod:`repro.accuracy` — numpy CNN training and the accuracy surrogate;
 * :mod:`repro.core` — the LENS search, the Traditional baseline, and runtime
   adaptation;
-* :mod:`repro.analysis` — figure/table-level analyses built on the above.
+* :mod:`repro.analysis` — figure/table-level analyses built on the above;
+* :mod:`repro.campaign` — parallel, resumable campaign runs of the
+  experiment API into persistent run stores (also scriptable as
+  ``python -m repro``).
 """
 
 from repro.api.engine import EvaluationEngine, default_engine
 from repro.api.envelopes import SearchOutcome, SearchRequest
 from repro.api.scenario import SCENARIOS, Scenario, ScenarioRegistry, scenario_by_name
 from repro.api.session import run_search
+from repro.campaign import CampaignSpec, RunStore, run_campaign
 from repro.core.lens import LensConfig, LensSearch
 from repro.core.results import CandidateEvaluation, SearchResult
 from repro.core.runtime import ThresholdAnalysis, simulate_runtime
@@ -73,13 +77,16 @@ from repro.nn.vgg import build_vgg16
 from repro.partition.partitioner import PartitionAnalyzer
 from repro.wireless.channel import WirelessChannel
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "EvaluationEngine",
     "default_engine",
     "SearchOutcome",
     "SearchRequest",
+    "CampaignSpec",
+    "RunStore",
+    "run_campaign",
     "SCENARIOS",
     "Scenario",
     "ScenarioRegistry",

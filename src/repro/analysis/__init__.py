@@ -21,7 +21,15 @@ from repro.analysis.pareto_metrics import (
     compare_fronts,
     frontier_extremes,
 )
-from repro.analysis.reporting import ExperimentReport
+from repro.analysis.reporting import (
+    CampaignCell,
+    CampaignSummary,
+    ExperimentReport,
+    ScenarioWinner,
+    combined_front_shares,
+    merged_results,
+    summarize_campaign,
+)
 from repro.analysis.per_layer import (
     LayerReportRow,
     latency_share_by_type,
@@ -49,7 +57,13 @@ __all__ = [
     "FrontComparison",
     "compare_fronts",
     "frontier_extremes",
+    "CampaignCell",
+    "CampaignSummary",
     "ExperimentReport",
+    "ScenarioWinner",
+    "combined_front_shares",
+    "merged_results",
+    "summarize_campaign",
     "LayerReportRow",
     "latency_share_by_type",
     "per_layer_report",

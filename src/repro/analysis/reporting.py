@@ -1,4 +1,4 @@
-"""Markdown experiment-report builder.
+"""Markdown experiment-report builder and campaign aggregation.
 
 The benchmark harness writes one table per figure; users replicating the
 study on their own device profiles or wireless expectations usually want a
@@ -7,17 +7,30 @@ the criteria counts and the runtime study.  :class:`ExperimentReport` builds
 that document from the library's result objects and renders it as Markdown
 (the same format as EXPERIMENTS.md), so a custom reproduction can be diffed
 against the shipped one.
+
+:func:`summarize_campaign` is the store-backed half: it aggregates the
+outcomes of a campaign (typically streamed from a
+:class:`~repro.campaign.store.RunStore`) into per-scenario/strategy cells
+and per-scenario winners — the strategy owning the largest share of the
+scenario's combined Pareto front, the comparison behind the paper's Fig. 6.
+Aggregation depends only on the *set* of outcomes, never their order, so
+serial, parallel and resumed campaigns report identically.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.analysis.criteria import CriterionComparison
 from repro.analysis.pareto_metrics import FrontComparison
 from repro.analysis.runtime_eval import RuntimeStudy
-from repro.core.results import SearchResult
+from repro.api.envelopes import SearchOutcome
+from repro.core.results import CandidateEvaluation, SearchResult
+from repro.optim.pareto import pareto_front_mask
 
 
 def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -180,3 +193,262 @@ class ExperimentReport:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(self.render_markdown(), encoding="utf-8")
         return path
+
+    def add_campaign_summary(
+        self, summary: "CampaignSummary", heading: str = "Campaign summary"
+    ) -> "ExperimentReport":
+        """Add a campaign's per-cell table and per-scenario winners."""
+        cell_headers, cell_rows = summary.cell_table()
+        winner_headers, winner_rows = summary.winner_table()
+        body = (
+            f"**{summary.num_runs}** stored runs over "
+            f"**{len(summary.winners)}** scenarios "
+            f"(metrics: {' / '.join(summary.metrics)}).\n\n"
+            + _markdown_table(cell_headers, cell_rows)
+            + "\n\n### Winners (largest combined-frontier share)\n\n"
+            + _markdown_table(winner_headers, winner_rows)
+        )
+        return self.add_text(heading, body)
+
+
+# ---------------------------------------------------------------------- campaigns
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """Aggregate of every stored run of one scenario x strategy pair."""
+
+    scenario: str
+    strategy: str
+    seeds: Tuple[Optional[int], ...]
+    num_runs: int
+    num_candidates: int
+    pareto_size: int
+    best: Dict[str, float]
+    wall_time_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "strategy": self.strategy,
+            "seeds": list(self.seeds),
+            "num_runs": self.num_runs,
+            "num_candidates": self.num_candidates,
+            "pareto_size": self.pareto_size,
+            "best": dict(self.best),
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioWinner:
+    """Which strategy owns a scenario's combined Pareto front.
+
+    ``shares[strategy]`` is the fraction of the scenario's combined frontier
+    (Pareto front over *all* strategies' candidates pooled together)
+    contributed by that strategy — the Fig. 6 comparison, generalised past
+    two strategies.  Ties break toward the better best-``metrics[0]`` value,
+    then alphabetically, so the winner is deterministic.
+    """
+
+    scenario: str
+    winner: str
+    shares: Dict[str, float]
+    front_size: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "winner": self.winner,
+            "shares": dict(self.shares),
+            "front_size": self.front_size,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Everything :func:`summarize_campaign` derives from a run store."""
+
+    metrics: Tuple[str, str]
+    num_runs: int
+    cells: Tuple[CampaignCell, ...]
+    winners: Tuple[ScenarioWinner, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metrics": list(self.metrics),
+            "num_runs": self.num_runs,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "winners": [winner.to_dict() for winner in self.winners],
+        }
+
+    def winner_for(self, scenario: str) -> str:
+        """Winning strategy of one scenario."""
+        for winner in self.winners:
+            if winner.scenario == scenario:
+                return winner.winner
+        raise KeyError(f"no runs stored for scenario {scenario!r}")
+
+    # ------------------------------------------------------------------ tables
+    def cell_table(
+        self, include_wall_time: bool = True
+    ) -> Tuple[List[str], List[List[Any]]]:
+        """``(headers, rows)`` of the per-cell table, for any renderer.
+
+        ``include_wall_time=False`` leaves out the one column that varies
+        between executions of the same grid, making the rendered table
+        byte-reproducible (the CLI report relies on this).
+        """
+        headers = [
+            "scenario", "strategy", "runs", "candidates", "pareto",
+            f"best {self.metrics[0]}", f"best {self.metrics[1]}",
+        ]
+        rows: List[List[Any]] = [
+            [
+                cell.scenario,
+                cell.strategy,
+                cell.num_runs,
+                cell.num_candidates,
+                cell.pareto_size,
+                round(cell.best[self.metrics[0]], 3),
+                round(cell.best[self.metrics[1]], 4),
+            ]
+            for cell in self.cells
+        ]
+        if include_wall_time:
+            headers.append("wall s")
+            for cell, row in zip(self.cells, rows):
+                row.append(round(cell.wall_time_s, 2))
+        return headers, rows
+
+    def winner_table(self) -> Tuple[List[str], List[List[Any]]]:
+        """``(headers, rows)`` of the per-scenario winner table."""
+        headers = ["scenario", "winner", "front share", "front size"]
+        rows = [
+            [
+                winner.scenario,
+                winner.winner,
+                f"{100 * winner.shares[winner.winner]:.1f}%",
+                winner.front_size,
+            ]
+            for winner in self.winners
+        ]
+        return headers, rows
+
+
+def merged_results(
+    outcomes: Iterable[SearchOutcome],
+) -> Dict[str, Dict[str, SearchResult]]:
+    """Pool campaign outcomes into ``scenario -> strategy -> SearchResult``.
+
+    Runs of the same cell (different seeds) are concatenated into one result
+    whose label is the strategy name; scenarios and strategies come out in
+    sorted order regardless of store order.
+    """
+    pooled: Dict[str, Dict[str, List[CandidateEvaluation]]] = {}
+    for outcome in outcomes:
+        per_scenario = pooled.setdefault(outcome.scenario.name, {})
+        per_scenario.setdefault(outcome.label, []).extend(outcome.candidates)
+    return {
+        scenario: {
+            strategy: SearchResult(candidates, label=strategy)
+            for strategy, candidates in sorted(per_scenario.items())
+        }
+        for scenario, per_scenario in sorted(pooled.items())
+    }
+
+
+def combined_front_shares(
+    results: Dict[str, SearchResult],
+    metrics: Sequence[str] = ("error_percent", "energy_j"),
+) -> Tuple[Dict[str, float], int]:
+    """Per-strategy share of the pooled Pareto front, plus its size."""
+    owners: List[str] = []
+    rows: List[List[float]] = []
+    for strategy, result in sorted(results.items()):
+        for candidate in result:
+            owners.append(strategy)
+            rows.append([candidate.metric(m) for m in metrics])
+    if not rows:
+        return {strategy: 0.0 for strategy in results}, 0
+    mask = pareto_front_mask(np.asarray(rows, dtype=float))
+    front_size = int(mask.sum())
+    shares = {
+        strategy: (
+            sum(1 for owner, keep in zip(owners, mask) if keep and owner == strategy)
+            / front_size
+        )
+        for strategy in results
+    }
+    return shares, front_size
+
+
+def summarize_campaign(
+    outcomes: Iterable[SearchOutcome],
+    metrics: Sequence[str] = ("error_percent", "energy_j"),
+) -> CampaignSummary:
+    """Aggregate campaign outcomes into cells and per-scenario winners.
+
+    ``outcomes`` is any iterable of :class:`SearchOutcome` — typically
+    ``RunStore.outcomes()``.  The summary is a pure function of the outcome
+    *set*: append order, worker count and resume history do not affect it.
+    """
+    metrics = tuple(metrics)
+    if len(metrics) != 2:
+        raise ValueError(f"campaign summaries use exactly two metrics, got {metrics}")
+    materialised = list(outcomes)
+    runs: Dict[Tuple[str, str], List[SearchOutcome]] = {}
+    for outcome in materialised:
+        runs.setdefault((outcome.scenario.name, outcome.label), []).append(outcome)
+
+    cells: List[CampaignCell] = []
+    for (scenario, strategy), group in sorted(runs.items()):
+        pooled = SearchResult(
+            [c for outcome in group for c in outcome.candidates], label=strategy
+        )
+        cells.append(
+            CampaignCell(
+                scenario=scenario,
+                strategy=strategy,
+                seeds=tuple(sorted(
+                    {outcome.request.seed for outcome in group},
+                    key=lambda s: (s is None, s),
+                )),
+                num_runs=len(group),
+                num_candidates=len(pooled),
+                pareto_size=len(pooled.pareto_candidates(metrics)),
+                best={m: pooled.best_by(m).metric(m) for m in metrics},
+                wall_time_s=sum(outcome.wall_time_s for outcome in group),
+            )
+        )
+
+    winners: List[ScenarioWinner] = []
+    for scenario, results in merged_results(materialised).items():
+        shares, front_size = combined_front_shares(results, metrics)
+        best_first = {
+            cell.strategy: cell.best[metrics[0]]
+            for cell in cells
+            if cell.scenario == scenario
+        }
+        winner = min(
+            shares,
+            key=lambda strategy: (
+                -shares[strategy],
+                best_first.get(strategy, float("inf")),
+                strategy,
+            ),
+        )
+        winners.append(
+            ScenarioWinner(
+                scenario=scenario,
+                winner=winner,
+                shares=shares,
+                front_size=front_size,
+            )
+        )
+
+    return CampaignSummary(
+        metrics=metrics,  # type: ignore[arg-type]
+        num_runs=len(materialised),
+        cells=tuple(cells),
+        winners=tuple(winners),
+    )

@@ -34,6 +34,9 @@ from repro.api.envelopes import (
     SearchOutcome,
     SearchRequest,
     check_schema_version,
+    load_outcome,
+    load_request,
+    request_fingerprint,
 )
 from repro.api.registry import (
     ACQUISITIONS,
@@ -68,6 +71,9 @@ __all__ = [
     "SearchOutcome",
     "SearchRequest",
     "check_schema_version",
+    "load_outcome",
+    "load_request",
+    "request_fingerprint",
     "ACQUISITIONS",
     "DEVICES",
     "WIRELESS_TECHNOLOGIES",

@@ -11,19 +11,57 @@ encoders.
 Envelopes carry a ``schema_version``; :func:`check_schema_version` rejects
 payloads written by a *newer* library (older versions are upgraded in
 ``from_dict`` as the schema evolves).
+
+:func:`request_fingerprint` derives a deterministic hex key from a request's
+computational content (everything except tag metadata); campaign run stores
+(:mod:`repro.campaign.store`) key persisted outcomes by it so interrupted
+grids can resume without re-running finished cells.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.scenario import DEFAULT_SCENARIO, SCENARIOS, Scenario, ScenarioRegistry
 from repro.core.results import CandidateEvaluation, SearchResult
+from repro.utils.serialization import load_json
 from repro.utils.validation import require_positive
 
 #: Current envelope schema version.
 SCHEMA_VERSION = 1
+
+#: Request fields excluded from fingerprints: pure metadata that cannot
+#: change what a run computes.
+FINGERPRINT_EXCLUDED_FIELDS = ("schema_version", "tags")
+
+#: Hex digits kept in a request fingerprint (64 bits — ample for run stores).
+FINGERPRINT_LENGTH = 16
+
+
+def request_fingerprint(request: "SearchRequest") -> str:
+    """Deterministic hex fingerprint of a request's computational content.
+
+    The fingerprint is a truncated SHA-256 of the request's canonical JSON
+    form with :data:`FINGERPRINT_EXCLUDED_FIELDS` removed, so two requests
+    with the same *declared* content — regardless of tag metadata or the
+    library version that wrote them — share one fingerprint.  Run stores key
+    persisted outcomes by it to make campaigns resumable.
+
+    Declared content is hashed as-is: a scenario referenced *by name* is
+    keyed by that name (its registry resolution may legitimately change),
+    so it never shares a fingerprint with the same scenario passed inline.
+    Stick to one form within a campaign — grids built from
+    :class:`~repro.campaign.gridspec.CampaignSpec` always use names.
+    """
+    payload = request.to_dict()
+    for name in FINGERPRINT_EXCLUDED_FIELDS:
+        payload.pop(name, None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:FINGERPRINT_LENGTH]
 
 
 def check_schema_version(data: Mapping[str, Any], what: str) -> int:
@@ -103,6 +141,10 @@ class SearchRequest:
     def replace(self, **changes: Any) -> "SearchRequest":
         """Copy of this request with the given fields changed."""
         return replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Deterministic run-store key; see :func:`request_fingerprint`."""
+        return request_fingerprint(self)
 
     # ------------------------------------------------------------------ serialization
     def to_dict(self) -> Dict[str, Any]:
@@ -241,3 +283,15 @@ class SearchOutcome:
             },
             schema_version=version,
         )
+
+
+# ---------------------------------------------------------------------- file loading
+
+def load_request(path: Union[str, Path]) -> SearchRequest:
+    """Load a :class:`SearchRequest` from a JSON file."""
+    return SearchRequest.from_dict(load_json(path))
+
+
+def load_outcome(path: Union[str, Path]) -> SearchOutcome:
+    """Load a :class:`SearchOutcome` from a JSON file."""
+    return SearchOutcome.from_dict(load_json(path))

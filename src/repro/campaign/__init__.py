@@ -1,0 +1,41 @@
+"""repro.campaign — parallel, resumable search campaigns.
+
+A *campaign* runs the same search grid the paper's headline figures are
+built from (scenarios x strategies x seeds) as one restartable unit:
+
+* :mod:`repro.campaign.gridspec` — :class:`CampaignSpec`, the declarative
+  grid (axes + shared budgets, JSON round-trip);
+* :mod:`repro.campaign.store` — :class:`RunStore`, an append-only JSONL
+  store of outcomes keyed by request fingerprint, with a derived index;
+* :mod:`repro.campaign.runner` — :func:`run_campaign`, which skips cells
+  already in the store and fans the rest out over worker processes.
+
+Quickstart::
+
+    from repro.campaign import CampaignSpec, RunStore, run_campaign
+
+    spec = CampaignSpec(
+        scenarios=("wifi-3mbps/jetson-tx2-gpu", "lte-3mbps/jetson-tx2-gpu"),
+        strategies=("lens", "traditional", "random"),
+        seeds=(0, 1),
+        num_initial=10, num_iterations=30,
+    )
+    result = run_campaign(spec, RunStore("runs/paper-grid"), workers=4)
+    print(result.summary())   # re-running executes only missing cells
+
+The same machinery is scriptable from the command line; see
+``python -m repro campaign --help`` and ``docs/cli.md``.
+"""
+
+from repro.campaign.gridspec import CampaignSpec, expand_requests
+from repro.campaign.runner import CampaignResult, run_campaign
+from repro.campaign.store import RunStore, StoreError
+
+__all__ = [
+    "CampaignSpec",
+    "expand_requests",
+    "CampaignResult",
+    "run_campaign",
+    "RunStore",
+    "StoreError",
+]

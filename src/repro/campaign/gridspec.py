@@ -1,0 +1,185 @@
+"""Declarative campaign grids: scenarios x strategies x seeds.
+
+A :class:`CampaignSpec` names the axes of a campaign (which scenarios, which
+strategies, which seeds) plus the per-run budgets shared by every cell, and
+expands into the concrete :class:`~repro.api.envelopes.SearchRequest` list
+via :meth:`CampaignSpec.requests`.  Like the envelopes it is plain data:
+``to_dict``/``from_dict`` round-trip losslessly and :meth:`CampaignSpec.load`
+reads a spec from a JSON file, so a whole campaign is reproducible from one
+committed document.
+
+Expansion order is scenario-major (scenario, then strategy, then seed) and
+deterministic, but nothing downstream depends on it: the runner keys work by
+request fingerprint, not position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.envelopes import SearchRequest, check_schema_version
+from repro.api.scenario import SCENARIOS, ScenarioRegistry
+from repro.api.session import STRATEGIES
+from repro.utils.serialization import load_json
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign: a request grid declared as axes plus shared budgets.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario names, resolved through a
+        :class:`~repro.api.scenario.ScenarioRegistry` at run time.
+    strategies:
+        Strategy names from :data:`repro.api.session.STRATEGIES`.
+    seeds:
+        Master seeds; every scenario x strategy cell runs once per seed.
+    num_initial / num_iterations / candidate_pool_size / acquisition /
+    predictor_noise_std / predictor_samples_per_type:
+        Budgets applied to every generated request (same meaning as on
+        :class:`~repro.api.envelopes.SearchRequest`).
+    tags:
+        Metadata copied onto every request (excluded from fingerprints).
+    """
+
+    scenarios: Tuple[str, ...]
+    strategies: Tuple[str, ...] = ("lens",)
+    seeds: Tuple[Optional[int], ...] = (0,)
+    num_initial: int = 10
+    num_iterations: int = 50
+    candidate_pool_size: int = 128
+    acquisition: str = "ts"
+    predictor_noise_std: float = 0.03
+    predictor_samples_per_type: int = 200
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(str(s) for s in self.scenarios))
+        object.__setattr__(self, "strategies", tuple(str(s) for s in self.strategies))
+        object.__setattr__(
+            self,
+            "seeds",
+            tuple(None if s is None else int(s) for s in self.seeds),
+        )
+        for axis in ("scenarios", "strategies", "seeds"):
+            values = getattr(self, axis)
+            if not values:
+                raise ValueError(f"campaign {axis} must be non-empty")
+            if len(set(values)) != len(values):
+                raise ValueError(f"campaign {axis} contain duplicates: {values}")
+
+    # ------------------------------------------------------------------ expansion
+    @property
+    def num_cells(self) -> int:
+        """Size of the request grid."""
+        return len(self.scenarios) * len(self.strategies) * len(self.seeds)
+
+    def requests(self) -> List[SearchRequest]:
+        """The full request grid, in deterministic scenario-major order."""
+        grid: List[SearchRequest] = []
+        for scenario in self.scenarios:
+            for strategy in self.strategies:
+                for seed in self.seeds:
+                    grid.append(
+                        SearchRequest(
+                            scenario=scenario,
+                            strategy=strategy,
+                            num_initial=self.num_initial,
+                            num_iterations=self.num_iterations,
+                            candidate_pool_size=self.candidate_pool_size,
+                            acquisition=self.acquisition,
+                            predictor_noise_std=self.predictor_noise_std,
+                            predictor_samples_per_type=self.predictor_samples_per_type,
+                            seed=seed,
+                            tags=dict(self.tags),
+                        )
+                    )
+        return grid
+
+    def validate(self, scenarios: Optional[ScenarioRegistry] = None) -> "CampaignSpec":
+        """Resolve every axis name eagerly, before any cell runs.
+
+        Raises the registries' suggestion-bearing
+        :class:`~repro.api.registry.RegistryError` on the first unknown
+        scenario or strategy name, so a typo fails the campaign up front
+        instead of mid-grid (or inside a worker process).
+        """
+        registry = scenarios or SCENARIOS
+        for name in self.scenarios:
+            registry.get(name)
+        for name in self.strategies:
+            STRATEGIES.get(name)
+        return self
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": 1,
+            "scenarios": list(self.scenarios),
+            "strategies": list(self.strategies),
+            "seeds": list(self.seeds),
+            "num_initial": self.num_initial,
+            "num_iterations": self.num_iterations,
+            "candidate_pool_size": self.candidate_pool_size,
+            "acquisition": self.acquisition,
+            "predictor_noise_std": self.predictor_noise_std,
+            "predictor_samples_per_type": self.predictor_samples_per_type,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        check_schema_version(data, "CampaignSpec")
+        known = {
+            "schema_version", "scenarios", "strategies", "seeds",
+            "num_initial", "num_iterations", "candidate_pool_size",
+            "acquisition", "predictor_noise_std",
+            "predictor_samples_per_type", "tags",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            # a typo'd key would otherwise silently run a different campaign
+            raise ValueError(
+                f"unknown campaign spec fields {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        if "scenarios" not in data:
+            raise ValueError("campaign spec must declare 'scenarios'")
+        return cls(
+            scenarios=tuple(data["scenarios"]),
+            strategies=tuple(data.get("strategies", ("lens",))),
+            seeds=tuple(data.get("seeds", (0,))),
+            num_initial=int(data.get("num_initial", 10)),
+            num_iterations=int(data.get("num_iterations", 50)),
+            candidate_pool_size=int(data.get("candidate_pool_size", 128)),
+            acquisition=data.get("acquisition", "ts"),
+            predictor_noise_std=float(data.get("predictor_noise_std", 0.03)),
+            predictor_samples_per_type=int(
+                data.get("predictor_samples_per_type", 200)
+            ),
+            tags=dict(data.get("tags", {})),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        """Load a spec from a JSON file."""
+        return cls.from_dict(load_json(path))
+
+
+def expand_requests(
+    spec: Union[CampaignSpec, Sequence[SearchRequest]]
+) -> List[SearchRequest]:
+    """Normalise a spec-or-request-list into the concrete request grid."""
+    if isinstance(spec, CampaignSpec):
+        return spec.requests()
+    requests = list(spec)
+    for request in requests:
+        if not isinstance(request, SearchRequest):
+            raise TypeError(
+                f"expected a CampaignSpec or SearchRequests, got {type(request)!r}"
+            )
+    return requests

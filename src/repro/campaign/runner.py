@@ -1,0 +1,226 @@
+"""Campaign execution: fan a request grid out over worker processes.
+
+:func:`run_campaign` takes a :class:`~repro.campaign.gridspec.CampaignSpec`
+(or an explicit request list) and a :class:`~repro.campaign.store.RunStore`,
+skips every cell whose fingerprint the store already holds (*resume*), and
+executes the rest — serially in-process for ``workers <= 1``, or via a
+:class:`concurrent.futures.ProcessPoolExecutor` otherwise.  Each finished
+:class:`~repro.api.envelopes.SearchOutcome` is appended to the store as soon
+as it completes, so an interrupted campaign loses at most the cells that
+were in flight.
+
+Parallel execution ships requests to workers in their serialized dict form
+and rebuilds outcomes from dicts in the parent, so only plain data crosses
+process boundaries.  Workers resolve scenario and strategy *names* through
+their own (freshly imported) default registries; custom scenarios must
+therefore be passed inline (a :class:`~repro.api.scenario.Scenario` object
+inside the request serializes fully) or registered at import time.  The
+serial path uses the calling process's registries directly.
+
+Results are identical between serial and parallel execution: every run is
+seeded through its request, and the engine caches are bit-transparent.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.engine import EvaluationEngine
+from repro.api.envelopes import SearchOutcome, SearchRequest, request_fingerprint
+from repro.api.scenario import ScenarioRegistry
+from repro.api.session import run_search
+from repro.campaign.gridspec import CampaignSpec, expand_requests
+from repro.campaign.store import RunStore, StoreError
+from repro.utils.serialization import to_jsonable
+
+#: Optional ``callback(done_count, total_count, fingerprint, outcome)`` fired
+#: after each cell is stored (and once per skipped cell, with ``outcome=None``).
+CampaignProgress = Callable[[int, int, str, Optional[SearchOutcome]], None]
+
+
+@dataclass
+class CampaignResult:
+    """What one :func:`run_campaign` call did.
+
+    Attributes
+    ----------
+    store:
+        The store every outcome went into.
+    executed:
+        Fingerprints run by this call, in completion order.
+    skipped:
+        Fingerprints that were already stored (resume hits), in grid order.
+    workers / wall_time_s:
+        Execution settings and total duration of the call.
+    """
+
+    store: RunStore
+    executed: Tuple[str, ...] = ()
+    skipped: Tuple[str, ...] = ()
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+    @property
+    def total_cells(self) -> int:
+        """Grid size seen by this call (executed + skipped)."""
+        return len(self.executed) + len(self.skipped)
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact dict form (for logs and the CLI)."""
+        return {
+            "store": str(self.store.directory),
+            "total_cells": self.total_cells,
+            "executed": len(self.executed),
+            "skipped": len(self.skipped),
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+def _execute_request(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one serialized request, return a plain dict.
+
+    Module-level (picklable) and dict-in/dict-out so it crosses process
+    boundaries regardless of start method.  The per-process default engine
+    warms up across the cells a worker executes.
+    """
+    outcome = run_search(SearchRequest.from_dict(payload))
+    return to_jsonable(outcome.to_dict())
+
+
+def _plan(
+    spec: Union[CampaignSpec, Sequence[SearchRequest]],
+    store: RunStore,
+    resume: bool,
+) -> Tuple[List[Tuple[str, SearchRequest]], List[str]]:
+    """Split the grid into (pending fingerprint/request pairs, skipped)."""
+    pending: List[Tuple[str, SearchRequest]] = []
+    skipped: List[str] = []
+    seen: Dict[str, SearchRequest] = {}
+    for request in expand_requests(spec):
+        fingerprint = request_fingerprint(request)
+        if fingerprint in seen:
+            continue  # identical cell declared twice — run it once
+        seen[fingerprint] = request
+        if fingerprint in store:
+            if not resume:
+                raise StoreError(
+                    f"cell {fingerprint} ({request.scenario_name} x "
+                    f"{request.strategy}, seed={request.seed}) is already stored "
+                    f"in {store.directory} and resume is disabled"
+                )
+            skipped.append(fingerprint)
+        else:
+            pending.append((fingerprint, request))
+    return pending, skipped
+
+
+def run_campaign(
+    spec: Union[CampaignSpec, Sequence[SearchRequest]],
+    store: Union[RunStore, str, Path],
+    *,
+    workers: int = 1,
+    resume: bool = True,
+    scenarios: Optional[ScenarioRegistry] = None,
+    engine: Optional[EvaluationEngine] = None,
+    progress: Optional[CampaignProgress] = None,
+) -> CampaignResult:
+    """Execute a campaign grid into a persistent store.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`CampaignSpec` or an explicit request sequence.
+    store:
+        Target :class:`RunStore` (or its directory path).
+    workers:
+        ``<= 1`` runs serially in-process; larger values fan cells out over
+        that many worker processes.
+    resume:
+        Skip cells whose fingerprint the store already holds (default).
+        ``resume=False`` raises *before any cell runs* if part of the grid
+        is already stored, rather than silently duplicating records.
+    scenarios:
+        Registry used for upfront validation and by the serial path
+        (defaults to :data:`repro.api.scenario.SCENARIOS`).
+    engine:
+        Evaluation engine for the serial path; shared across cells so
+        predictors and layer costs are trained once per device.  Ignored by
+        worker processes (each keeps its own process-wide engine).
+    progress:
+        Optional :data:`CampaignProgress` callback.
+    """
+    if isinstance(store, (str, Path)):
+        store = RunStore(store)
+    if isinstance(spec, CampaignSpec):
+        spec.validate(scenarios)
+    start = time.perf_counter()
+    pending, skipped = _plan(spec, store, resume)
+    total = len(pending) + len(skipped)
+    done = 0
+    for fingerprint in skipped:
+        done += 1
+        if progress is not None:
+            progress(done, total, fingerprint, None)
+
+    executed: List[str] = []
+
+    def _record(fingerprint: str, outcome: SearchOutcome) -> None:
+        nonlocal done
+        store.append(outcome, fingerprint=fingerprint)
+        executed.append(fingerprint)
+        done += 1
+        if progress is not None:
+            progress(done, total, fingerprint, outcome)
+
+    if workers <= 1:
+        for fingerprint, request in pending:
+            _record(
+                fingerprint,
+                run_search(request, scenarios=scenarios, engine=engine),
+            )
+    elif pending:
+        # A failing cell must not discard finished work: successes are
+        # recorded as they complete, not-yet-started cells are cancelled on
+        # the first failure, in-flight cells are drained and stored, and the
+        # first error is re-raised only after everything finished is safe.
+        errors: List[Tuple[str, BaseException]] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_request, request.to_dict()): fingerprint
+                for fingerprint, request in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    if future.cancelled():
+                        continue
+                    fingerprint = futures[future]
+                    try:
+                        outcome = SearchOutcome.from_dict(future.result())
+                    except Exception as error:  # noqa: BLE001 — drain the rest
+                        if not errors:
+                            for outstanding in remaining:
+                                outstanding.cancel()
+                        errors.append((fingerprint, error))
+                        continue
+                    _record(fingerprint, outcome)
+        if errors:
+            fingerprint, error = errors[0]
+            raise RuntimeError(
+                f"campaign cell {fingerprint} failed ({len(executed)} finished "
+                f"cells were stored; resume re-runs only the rest): {error}"
+            ) from error
+
+    return CampaignResult(
+        store=store,
+        executed=tuple(executed),
+        skipped=tuple(skipped),
+        workers=max(1, int(workers)),
+        wall_time_s=time.perf_counter() - start,
+    )

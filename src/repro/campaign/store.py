@@ -1,0 +1,225 @@
+"""Persistent, resumable storage of search outcomes.
+
+A :class:`RunStore` is a directory holding one append-only JSONL file
+(``runs.jsonl``, one serialized :class:`~repro.api.envelopes.SearchOutcome`
+per line) plus a derived index (``index.json``) mapping each request
+fingerprint to a compact summary and the byte offset of its record.  The
+JSONL file is the source of truth: opening a store always re-scans it, so an
+index lost or staled by an interrupted run is rebuilt rather than trusted.
+
+Durability model
+----------------
+Records are flushed line-by-line, so a campaign killed mid-run loses at most
+the record being written.  A torn trailing line (the process died inside a
+``write``) is excluded from the index on open and truncated away by the next
+:meth:`RunStore.append`; the affected cell simply re-runs on resume.  A
+corrupt line in the *middle* of the file raises — that is disk damage, not
+an interrupted append, and silently dropping finished runs would be worse.
+
+The store expects a single writer (the campaign runner appends from the
+parent process only).  Concurrent readers are safe because records are
+immutable once written and opening a store for reading never writes: the
+torn-tail repair and the ``index.json`` refresh both happen inside
+:meth:`RunStore.append`, so a monitoring ``repro report`` cannot corrupt a
+live campaign's store.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.api.envelopes import SearchOutcome, request_fingerprint
+from repro.utils.serialization import to_jsonable
+
+#: Name of the append-only record file inside a store directory.
+RUNS_FILENAME = "runs.jsonl"
+
+#: Name of the derived fingerprint index inside a store directory.
+INDEX_FILENAME = "index.json"
+
+
+class StoreError(RuntimeError):
+    """A run store's on-disk state is inconsistent."""
+
+
+def _record_summary(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Compact index entry derived from one serialized outcome record."""
+    outcome = record["outcome"]
+    request = outcome.get("request", {})
+    scenario = request.get("scenario", "?")
+    if isinstance(scenario, dict):
+        scenario = scenario.get("name", "?")
+    return {
+        "scenario": scenario,
+        "strategy": request.get("strategy", "?"),
+        "seed": request.get("seed"),
+        "num_candidates": len(outcome.get("candidates", [])),
+        "wall_time_s": float(outcome.get("wall_time_s", 0.0)),
+    }
+
+
+class RunStore:
+    """Fingerprint-keyed persistent collection of search outcomes.
+
+    Parameters
+    ----------
+    directory:
+        Store directory; created (with parents) by the first append.
+        Existing ``runs.jsonl`` records are indexed immediately.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.runs_path = self.directory / RUNS_FILENAME
+        self.index_path = self.directory / INDEX_FILENAME
+        #: fingerprint -> (byte offset of the record line, summary dict)
+        self._index: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+        #: End of the last intact record; bytes past it are a torn tail.
+        self._good_end = 0
+        self._scan()
+
+    # ------------------------------------------------------------------ scanning
+    def _scan(self) -> None:
+        """(Re)build the in-memory index from ``runs.jsonl``.
+
+        Read-only: a torn trailing line left by an interrupted append is
+        excluded from the index and marked for truncation by the next
+        :meth:`append`, but nothing on disk is touched here.
+        """
+        self._index.clear()
+        self._good_end = 0
+        if not self.runs_path.exists():
+            return
+        with self.runs_path.open("rb") as handle:
+            offset = 0
+            for line_number, raw in enumerate(handle, start=1):
+                if not raw.endswith(b"\n"):
+                    # torn tail from an interrupted append — a record is only
+                    # durable once its newline hit the disk, even if the
+                    # flushed prefix happens to parse as complete JSON
+                    break
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                    fingerprint = str(record["fingerprint"])
+                    summary = _record_summary(record)
+                except (ValueError, KeyError, UnicodeDecodeError) as error:
+                    raise StoreError(
+                        f"{self.runs_path}:{line_number}: corrupt record "
+                        f"({error}); the store needs manual repair"
+                    ) from error
+                if fingerprint in self._index:
+                    raise StoreError(
+                        f"{self.runs_path}:{line_number}: duplicate fingerprint "
+                        f"{fingerprint!r}"
+                    )
+                self._index[fingerprint] = (offset, summary)
+                offset += len(raw)
+                self._good_end = offset
+
+    def _write_index(self) -> None:
+        payload = {
+            "schema_version": 1,
+            "records": {
+                fingerprint: dict(summary, offset=offset)
+                for fingerprint, (offset, summary) in self._index.items()
+            },
+        }
+        self.index_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------ writing
+    def append(
+        self, outcome: SearchOutcome, fingerprint: Optional[str] = None
+    ) -> str:
+        """Persist one outcome and return its fingerprint.
+
+        The fingerprint defaults to the outcome's own request fingerprint;
+        appending a fingerprint the store already holds raises (re-running a
+        finished cell is a campaign-runner bug, not a storage event).
+        """
+        fingerprint = fingerprint or request_fingerprint(outcome.request)
+        if fingerprint in self._index:
+            raise StoreError(
+                f"fingerprint {fingerprint!r} is already stored in {self.directory}"
+            )
+        record = {"fingerprint": fingerprint, "outcome": to_jsonable(outcome.to_dict())}
+        # binary mode end to end: byte offsets stay exact on every platform
+        line = (json.dumps(record, sort_keys=False) + "\n").encode("utf-8")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.runs_path.exists() and self.runs_path.stat().st_size > self._good_end:
+            with self.runs_path.open("r+b") as handle:
+                handle.truncate(self._good_end)  # drop a torn tail before appending
+        with self.runs_path.open("ab") as handle:
+            offset = handle.tell()
+            handle.write(line)
+            handle.flush()
+        self._index[fingerprint] = (offset, _record_summary(record))
+        self._good_end = offset + len(line)
+        self._write_index()
+        return fingerprint
+
+    # ------------------------------------------------------------------ reading
+    def fingerprints(self) -> List[str]:
+        """Stored fingerprints, in append order."""
+        return list(self._index)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return isinstance(fingerprint, str) and fingerprint in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, fingerprint: str) -> SearchOutcome:
+        """Load one stored outcome by fingerprint (O(1) via the offset index)."""
+        try:
+            offset, _ = self._index[fingerprint]
+        except KeyError:
+            raise KeyError(
+                f"fingerprint {fingerprint!r} is not stored in {self.directory}"
+            ) from None
+        with self.runs_path.open("rb") as handle:
+            handle.seek(offset)
+            record = json.loads(handle.readline().decode("utf-8"))
+        return SearchOutcome.from_dict(record["outcome"])
+
+    def outcomes(self) -> Iterator[SearchOutcome]:
+        """Stream every stored outcome, in append order.
+
+        Stops at the last intact record, so a torn tail (or a record a live
+        writer is flushing right now) is never half-parsed.
+        """
+        if not self.runs_path.exists():
+            return
+        consumed = 0
+        with self.runs_path.open("rb") as handle:
+            for raw in handle:
+                consumed += len(raw)
+                if consumed > self._good_end:
+                    return
+                yield SearchOutcome.from_dict(
+                    json.loads(raw.decode("utf-8"))["outcome"]
+                )
+
+    def records(self) -> Dict[str, Dict[str, Any]]:
+        """Fingerprint -> summary mapping (scenario, strategy, seed, size)."""
+        return {
+            fingerprint: dict(summary)
+            for fingerprint, (_, summary) in self._index.items()
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """One-line store overview (used by ``repro list --store``)."""
+        records = self.records()
+        return {
+            "directory": str(self.directory),
+            "num_runs": len(records),
+            "scenarios": sorted({r["scenario"] for r in records.values()}),
+            "strategies": sorted({r["strategy"] for r in records.values()}),
+            "total_wall_time_s": sum(r["wall_time_s"] for r in records.values()),
+        }
+
+    def __repr__(self) -> str:
+        return f"RunStore({str(self.directory)!r}, runs={len(self)})"

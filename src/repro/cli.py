@@ -1,0 +1,371 @@
+"""``repro`` — command-line front end of the experiment API.
+
+Four subcommands mirror the library's layers (also reachable as
+``python -m repro``):
+
+* ``repro list`` — registries (scenarios, strategies, devices, wireless,
+  acquisitions) and, with ``--store``, the runs persisted in a store;
+* ``repro run`` — execute one :class:`~repro.api.envelopes.SearchRequest`
+  by scenario/strategy name, print its summary, optionally persist it;
+* ``repro campaign`` — fan a scenario x strategy x seed grid out over
+  worker processes into a resumable :class:`~repro.campaign.store.RunStore`;
+* ``repro report`` — aggregate a store into per-scenario winner and Pareto
+  summaries (text, Markdown or JSON).
+
+Every command is plumbing around the public API — anything the CLI does can
+be done in a few lines of Python (see ``docs/cli.md`` for the mapping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import ExperimentReport, summarize_campaign
+from repro.api.envelopes import SearchRequest, load_request
+from repro.api.registry import (
+    ACQUISITIONS,
+    DEVICES,
+    RegistryError,
+    WIRELESS_TECHNOLOGIES,
+)
+from repro.api.scenario import SCENARIOS
+from repro.api.session import STRATEGIES, run_search
+from repro.campaign import CampaignSpec, RunStore, StoreError, run_campaign
+from repro.utils.serialization import dump_json, format_table
+
+
+def _parse_tags(pairs: Optional[Sequence[str]]) -> Dict[str, str]:
+    tags: Dict[str, str] = {}
+    for pair in pairs or ():
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise argparse.ArgumentTypeError(
+                f"tags must look like key=value, got {pair!r}"
+            )
+        tags[key] = value
+    return tags
+
+
+def _add_budget_arguments(
+    parser: argparse.ArgumentParser, *, deferred: bool = False
+) -> None:
+    """Attach the shared search-budget flags.
+
+    ``deferred=True`` (the ``run`` command) leaves every default as ``None``
+    so "flag given" is distinguishable from "default" — a flag then
+    overrides the corresponding field of a ``--request`` file, and absent
+    flags fall back to the :class:`SearchRequest` dataclass defaults.
+    """
+    group = parser.add_argument_group("search budgets")
+    group.add_argument("--num-initial", type=int,
+                       default=None if deferred else 10,
+                       help="random-initialisation evaluations (default: 10)")
+    group.add_argument("--num-iterations", type=int,
+                       default=None if deferred else 50,
+                       help="Bayesian-search iterations (default: 50)")
+    group.add_argument("--pool-size", type=int,
+                       default=None if deferred else 128,
+                       help="acquisition candidate-pool size (default: 128)")
+    group.add_argument("--acquisition", default=None if deferred else "ts",
+                       help=f"acquisition strategy {ACQUISITIONS.names()} (default: ts)")
+    group.add_argument("--predictor-samples", type=int,
+                       default=None if deferred else 200,
+                       help="profiling samples per layer type (default: 200)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LENS reproduction: run and aggregate search experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", metavar="command")
+
+    list_parser = commands.add_parser(
+        "list",
+        help="show registries and stored runs",
+        description="Show registered scenarios, strategies, devices, wireless "
+                    "technologies and acquisitions; with --store, also the runs "
+                    "persisted in a store.",
+    )
+    list_parser.add_argument("--store", metavar="DIR",
+                             help="also list the runs stored under DIR")
+
+    run_parser = commands.add_parser(
+        "run",
+        help="execute one search request",
+        description="Run one search by scenario/strategy name and print its "
+                    "summary. --request loads a serialized SearchRequest "
+                    "instead; explicit flags override its fields.",
+    )
+    run_parser.add_argument("--scenario", default=None,
+                            help="scenario name (see: repro list; "
+                                 "default: wifi-3mbps/jetson-tx2-gpu)")
+    run_parser.add_argument("--strategy", default=None,
+                            help=f"strategy {STRATEGIES.names()} (default: lens)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="master seed (default: 0)")
+    run_parser.add_argument("--request", metavar="FILE",
+                            help="load a SearchRequest JSON file")
+    run_parser.add_argument("--out", metavar="FILE",
+                            help="write the full outcome as JSON")
+    run_parser.add_argument("--store", metavar="DIR",
+                            help="append the outcome to the run store under DIR")
+    run_parser.add_argument("--tag", action="append", metavar="KEY=VALUE",
+                            help="attach metadata to the request (repeatable)")
+    _add_budget_arguments(run_parser, deferred=True)
+
+    campaign_parser = commands.add_parser(
+        "campaign",
+        help="run a scenario x strategy x seed grid into a run store",
+        description="Expand a campaign grid and execute it into a resumable "
+                    "store: cells whose fingerprint is already stored are "
+                    "skipped, the rest fan out over --workers processes.",
+    )
+    campaign_parser.add_argument("--spec", metavar="FILE",
+                                 help="CampaignSpec JSON file (flags below are "
+                                      "ignored when given)")
+    campaign_parser.add_argument("--scenario", action="append", default=None,
+                                 metavar="NAME", help="grid scenario (repeatable)")
+    campaign_parser.add_argument("--strategy", action="append", default=None,
+                                 metavar="NAME", help="grid strategy (repeatable; "
+                                 "default: lens)")
+    campaign_parser.add_argument("--seed", action="append", type=int, default=None,
+                                 metavar="N", help="grid seed (repeatable; default: 0)")
+    campaign_parser.add_argument("--store", required=True, metavar="DIR",
+                                 help="run-store directory (created if missing)")
+    campaign_parser.add_argument("--workers", type=int, default=1, metavar="N",
+                                 help="worker processes (default: 1 = in-process)")
+    campaign_parser.add_argument("--no-resume", action="store_true",
+                                 help="fail on already-stored cells instead of "
+                                      "skipping them")
+    campaign_parser.add_argument("--quiet", action="store_true",
+                                 help="suppress per-cell progress lines")
+    _add_budget_arguments(campaign_parser)
+
+    report_parser = commands.add_parser(
+        "report",
+        help="aggregate a run store into winners and Pareto summaries",
+        description="Summarise every run stored under --store: one row per "
+                    "scenario x strategy cell, plus the strategy owning the "
+                    "largest share of each scenario's combined Pareto front.",
+    )
+    report_parser.add_argument("--store", required=True, metavar="DIR",
+                               help="run-store directory to aggregate")
+    report_parser.add_argument("--metrics", default="error_percent,energy_j",
+                               help="comma-separated metric pair "
+                                    "(default: error_percent,energy_j)")
+    report_parser.add_argument("--format", choices=("table", "markdown", "json"),
+                               default="table", help="output format (default: table)")
+    report_parser.add_argument("--out", metavar="FILE",
+                               help="also write the report to FILE")
+    return parser
+
+
+# ---------------------------------------------------------------------- commands
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print(f"scenarios ({len(SCENARIOS)}):")
+    for scenario in SCENARIOS.scenarios():
+        print(f"  {scenario.name:<42} {scenario.wireless_technology:<5} "
+              f"{scenario.uplink_mbps:6.2f} Mbps  {scenario.device_name}")
+    print(f"strategies: {', '.join(STRATEGIES.names())}")
+    print(f"devices: {', '.join(DEVICES.names())}")
+    print(f"wireless technologies: {', '.join(WIRELESS_TECHNOLOGIES.names())}")
+    print(f"acquisitions: {', '.join(ACQUISITIONS.names())}")
+    if args.store:
+        store = RunStore(args.store)
+        overview = store.summary()
+        print(f"\nstore {overview['directory']}: {overview['num_runs']} runs, "
+              f"{overview['total_wall_time_s']:.1f}s total search time")
+        rows = [
+            [fp, r["scenario"], r["strategy"],
+             "-" if r["seed"] is None else r["seed"], r["num_candidates"]]
+            for fp, r in sorted(store.records().items())
+        ]
+        if rows:
+            print(format_table(
+                rows, ["fingerprint", "scenario", "strategy", "seed", "candidates"]
+            ))
+    return 0
+
+
+def _request_from_args(args: argparse.Namespace) -> SearchRequest:
+    """Build the request: ``--request`` file fields, overridden by given flags."""
+    overrides: Dict[str, Any] = {}
+    for flag, field in (
+        ("scenario", "scenario"),
+        ("strategy", "strategy"),
+        ("seed", "seed"),
+        ("num_initial", "num_initial"),
+        ("num_iterations", "num_iterations"),
+        ("pool_size", "candidate_pool_size"),
+        ("acquisition", "acquisition"),
+        ("predictor_samples", "predictor_samples_per_type"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field] = value
+    if args.tag:
+        overrides["tags"] = _parse_tags(args.tag)
+    if args.request:
+        request = load_request(args.request)
+        return request.replace(**overrides) if overrides else request
+    # absent flags fall back to the SearchRequest dataclass defaults
+    return SearchRequest(**overrides)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    request = _request_from_args(args)
+    outcome = run_search(request)
+    front = outcome.pareto_candidates()
+    print(f"scenario:    {outcome.scenario.name}")
+    print(f"strategy:    {outcome.label}")
+    print(f"fingerprint: {request.fingerprint()}")
+    print(f"candidates:  {len(outcome)} explored, {len(front)} Pareto-optimal "
+          f"(error, energy)")
+    print(f"wall time:   {outcome.wall_time_s:.2f}s")
+    rows = []
+    for label, metric in (("lowest error", "error_percent"),
+                          ("lowest energy", "energy_j"),
+                          ("lowest latency", "latency_s")):
+        best = outcome.best_by(metric)
+        rows.append([label, best.architecture_name, round(best.error_percent, 2),
+                     round(best.energy_mj, 1), round(best.latency_ms, 1),
+                     best.best_energy_option.label])
+    print(format_table(
+        rows, ["selection", "model", "error %", "energy mJ", "latency ms", "deployment"]
+    ))
+    if args.out:
+        path = dump_json(outcome.to_dict(), args.out)
+        print(f"outcome written to {path}")
+    if args.store:
+        store = RunStore(args.store)
+        fingerprint = request.fingerprint()
+        if fingerprint in store:
+            print(f"store {store.directory}: fingerprint already present, not appended")
+        else:
+            store.append(outcome, fingerprint=fingerprint)
+            print(f"outcome stored in {store.directory} as {fingerprint}")
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec:
+        return CampaignSpec.load(args.spec)
+    if not args.scenario:
+        raise argparse.ArgumentTypeError(
+            "campaign needs --spec FILE or at least one --scenario"
+        )
+    return CampaignSpec(
+        scenarios=tuple(args.scenario),
+        strategies=tuple(args.strategy or ("lens",)),
+        seeds=tuple(args.seed if args.seed is not None else (0,)),
+        num_initial=args.num_initial,
+        num_iterations=args.num_iterations,
+        candidate_pool_size=args.pool_size,
+        acquisition=args.acquisition,
+        predictor_samples_per_type=args.predictor_samples,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    store = RunStore(args.store)
+    stored = store.records()  # one snapshot for labelling every skipped cell
+
+    def progress(done: int, total: int, fingerprint: str, outcome) -> None:
+        if args.quiet:
+            return
+        if outcome is None:
+            record = stored.get(fingerprint, {})
+            what = (f"{record.get('scenario', '?')} x {record.get('strategy', '?')} "
+                    "(already stored)")
+        else:
+            what = (f"{outcome.scenario.name} x {outcome.label} "
+                    f"seed={outcome.request.seed} ({outcome.wall_time_s:.2f}s)")
+        print(f"[{done}/{total}] {fingerprint}  {what}")
+
+    result = run_campaign(
+        spec, store,
+        workers=args.workers,
+        resume=not args.no_resume,
+        progress=progress,
+    )
+    summary = result.summary()
+    print(f"campaign done: {summary['executed']} executed, "
+          f"{summary['skipped']} skipped, {summary['total_cells']} cells, "
+          f"workers={summary['workers']}, {summary['wall_time_s']:.2f}s")
+    print(f"store: {store.directory} ({len(store)} runs total)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
+    store = RunStore(args.store)
+    if len(store) == 0:
+        print(f"store {store.directory} holds no runs", file=sys.stderr)
+        return 1
+    summary = summarize_campaign(store.outcomes(), metrics=metrics)
+
+    if args.format == "json":
+        text = json.dumps(summary.to_dict(), indent=2, sort_keys=True)
+    elif args.format == "markdown":
+        report = ExperimentReport(title=f"Campaign report — {store.directory}")
+        report.add_campaign_summary(summary)
+        text = report.render_markdown()
+    else:
+        # wall time is excluded so identical stores render identical reports
+        cell_headers, cell_rows = summary.cell_table(include_wall_time=False)
+        winner_headers, winner_rows = summary.winner_table()
+        text = (
+            f"{summary.num_runs} runs, metrics: {' / '.join(metrics)}\n"
+            + format_table(cell_rows, cell_headers)
+            + "\n\nwinners (largest combined-frontier share):\n"
+            + format_table(winner_rows, winner_headers)
+        )
+    print(text)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "campaign": _cmd_campaign,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
+    try:
+        return _COMMANDS[args.command](args)
+    except (RegistryError, StoreError, argparse.ArgumentTypeError, ValueError) as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # downstream consumer (head, a pager) closed the pipe — not an error
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,19 @@
-"""Tests for the Markdown experiment-report builder."""
+"""Tests for the Markdown experiment-report builder and campaign aggregation."""
 
 import pytest
 
 from repro.analysis.criteria import compare_criteria, paper_criteria
 from repro.analysis.pareto_metrics import compare_fronts
-from repro.analysis.reporting import ExperimentReport, _markdown_table
+from repro.analysis.reporting import (
+    ExperimentReport,
+    _markdown_table,
+    combined_front_shares,
+    merged_results,
+    summarize_campaign,
+)
 from repro.analysis.runtime_eval import run_runtime_study
+from repro.api.envelopes import SearchOutcome, SearchRequest
+from repro.api.scenario import scenario_by_name
 from repro.core.results import CandidateEvaluation, SearchResult
 from repro.partition.deployment import DeploymentOption
 from repro.wireless.traces import generate_lte_trace
@@ -87,6 +95,87 @@ def test_runtime_section(alexnet, gpu_oracle, wifi_channel):
     assert "Runtime study — model A (energy)" in text
     assert "dynamic" in text
     assert "Switching threshold" in text
+
+
+def outcome(scenario_name, strategy, candidates, seed=0):
+    return SearchOutcome(
+        request=SearchRequest(scenario=scenario_name, strategy=strategy, seed=seed),
+        scenario=scenario_by_name(scenario_name),
+        label=strategy,
+        candidates=tuple(candidates),
+        wall_time_s=1.0,
+    )
+
+
+@pytest.fixture
+def campaign_outcomes():
+    wifi, lte = "wifi-3mbps/jetson-tx2-gpu", "lte-3mbps/jetson-tx2-gpu"
+    return [
+        # wifi: lens dominates everywhere
+        outcome(wifi, "lens", [candidate("a", 20.0, 200.0), candidate("b", 25.0, 150.0)]),
+        outcome(wifi, "random", [candidate("r", 30.0, 400.0)]),
+        # lte: both strategies own part of the combined frontier, random more
+        outcome(lte, "lens", [candidate("c", 24.0, 300.0)]),
+        outcome(lte, "random",
+                [candidate("s", 20.0, 500.0), candidate("t", 28.0, 100.0)]),
+        # second lens seed on lte pools into the same cell
+        outcome(lte, "lens", [candidate("d", 26.0, 350.0)], seed=1),
+    ]
+
+
+def test_merged_results_pools_seeds_per_cell(campaign_outcomes):
+    merged = merged_results(campaign_outcomes)
+    assert sorted(merged) == ["lte-3mbps/jetson-tx2-gpu", "wifi-3mbps/jetson-tx2-gpu"]
+    lte = merged["lte-3mbps/jetson-tx2-gpu"]
+    assert len(lte["lens"]) == 2  # both seeds pooled
+    assert lte["lens"].label == "lens"
+
+
+def test_combined_front_shares_partition_the_front():
+    results = {
+        "lens": SearchResult([candidate("a", 20.0, 200.0)], label="lens"),
+        "random": SearchResult([candidate("r", 25.0, 100.0)], label="random"),
+    }
+    shares, front_size = combined_front_shares(results)
+    assert front_size == 2  # neither dominates the other
+    assert shares == {"lens": 0.5, "random": 0.5}
+
+
+def test_summarize_campaign_cells_and_winners(campaign_outcomes):
+    summary = summarize_campaign(campaign_outcomes)
+    assert summary.num_runs == 5
+    by_cell = {(c.scenario, c.strategy): c for c in summary.cells}
+    lens_lte = by_cell[("lte-3mbps/jetson-tx2-gpu", "lens")]
+    assert lens_lte.num_runs == 2
+    assert lens_lte.seeds == (0, 1)
+    assert lens_lte.num_candidates == 2
+    assert lens_lte.best["error_percent"] == 24.0
+
+    assert summary.winner_for("wifi-3mbps/jetson-tx2-gpu") == "lens"
+    # lte combined front: random's extremes plus lens's c — random owns 2/3
+    assert summary.winner_for("lte-3mbps/jetson-tx2-gpu") == "random"
+    with pytest.raises(KeyError):
+        summary.winner_for("3g-3mbps/jetson-tx2-gpu")
+
+
+def test_summarize_campaign_is_order_independent(campaign_outcomes):
+    forward = summarize_campaign(campaign_outcomes).to_dict()
+    backward = summarize_campaign(reversed(campaign_outcomes)).to_dict()
+    assert forward == backward
+
+
+def test_summarize_campaign_requires_metric_pair(campaign_outcomes):
+    with pytest.raises(ValueError, match="exactly two metrics"):
+        summarize_campaign(campaign_outcomes, metrics=("error_percent",))
+
+
+def test_campaign_summary_section(campaign_outcomes):
+    summary = summarize_campaign(campaign_outcomes)
+    text = ExperimentReport().add_campaign_summary(summary).render_markdown()
+    assert "Campaign summary" in text
+    assert "**5** stored runs over **2** scenarios" in text
+    assert "Winners (largest combined-frontier share)" in text
+    assert "| wifi-3mbps/jetson-tx2-gpu | lens |" in text
 
 
 def test_full_report_round_trip(tmp_path, lens_result, baseline_result):

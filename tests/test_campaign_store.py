@@ -1,0 +1,162 @@
+"""Run-store persistence: fingerprints, round-trips, torn-tail repair."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.envelopes import SearchRequest, request_fingerprint
+from repro.api.session import run_search
+from repro.campaign.store import INDEX_FILENAME, RUNS_FILENAME, RunStore, StoreError
+
+#: Budgets small enough that one run is milliseconds.
+FAST = dict(
+    num_initial=4,
+    num_iterations=2,
+    candidate_pool_size=16,
+    predictor_samples_per_type=40,
+)
+
+
+def _request(**overrides) -> SearchRequest:
+    fields = dict(FAST, scenario="wifi-3mbps/jetson-tx2-gpu", strategy="random", seed=0)
+    fields.update(overrides)
+    return SearchRequest(**fields)
+
+
+class TestRequestFingerprint:
+    def test_deterministic_and_tag_independent(self):
+        base = _request()
+        assert base.fingerprint() == _request().fingerprint()
+        tagged = _request(tags={"note": "metadata must not change the key"})
+        assert tagged.fingerprint() == base.fingerprint()
+
+    def test_sensitive_to_computational_fields(self):
+        base = _request()
+        for changed in (
+            _request(seed=1),
+            _request(strategy="lens"),
+            _request(scenario="lte-3mbps/jetson-tx2-gpu"),
+            _request(num_iterations=3),
+            _request(acquisition="ucb"),
+        ):
+            assert changed.fingerprint() != base.fingerprint()
+
+    def test_survives_serialization_round_trip(self):
+        base = _request(tags={"run": "a"})
+        restored = SearchRequest.from_dict(json.loads(json.dumps(base.to_dict())))
+        assert request_fingerprint(restored) == base.fingerprint()
+
+
+class TestRunStore:
+    def test_append_get_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        outcome = run_search(_request())
+        fingerprint = store.append(outcome)
+        assert fingerprint == outcome.request.fingerprint()
+        assert fingerprint in store
+        assert len(store) == 1
+        restored = store.get(fingerprint)
+        assert restored.to_dict() == outcome.to_dict()
+
+    def test_reopen_recovers_index(self, tmp_path):
+        directory = tmp_path / "store"
+        store = RunStore(directory)
+        fingerprints = [
+            store.append(run_search(_request(seed=seed))) for seed in (0, 1, 2)
+        ]
+        (directory / INDEX_FILENAME).unlink()  # the JSONL is the source of truth
+
+        reopened = RunStore(directory)
+        assert reopened.fingerprints() == fingerprints
+        # opening for reading never writes; the next append refreshes the index
+        assert not (directory / INDEX_FILENAME).exists()
+        for fingerprint in fingerprints:
+            assert reopened.get(fingerprint).request.fingerprint() == fingerprint
+        reopened.append(run_search(_request(seed=3)))
+        assert (directory / INDEX_FILENAME).exists()
+
+    def test_open_for_reading_creates_nothing(self, tmp_path):
+        directory = tmp_path / "absent"
+        store = RunStore(directory)
+        assert len(store) == 0
+        assert list(store.outcomes()) == []
+        assert not directory.exists()  # only the first append creates it
+
+    def test_duplicate_append_raises(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        outcome = run_search(_request())
+        store.append(outcome)
+        with pytest.raises(StoreError, match="already stored"):
+            store.append(outcome)
+
+    def test_torn_tail_is_ignored_on_open_and_truncated_by_append(self, tmp_path):
+        directory = tmp_path / "store"
+        store = RunStore(directory)
+        store.append(run_search(_request(seed=0)))
+        kept = store.append(run_search(_request(seed=1)))
+        runs_path = directory / RUNS_FILENAME
+        intact = runs_path.read_bytes()
+        # simulate a process killed mid-append: half a record, no newline
+        runs_path.write_bytes(intact + b'{"fingerprint": "dead", "outco')
+
+        reopened = RunStore(directory)
+        assert len(reopened) == 2
+        assert list(o.request.seed for o in reopened.outcomes()) == [0, 1]
+        # opening read-only leaves the file alone (a concurrent writer may
+        # still be flushing that tail); the next append repairs it
+        assert runs_path.read_bytes() != intact
+        appended = reopened.append(run_search(_request(seed=2)))
+        assert reopened.fingerprints() == [*RunStore(directory).fingerprints()]
+        assert reopened.fingerprints()[-1] == appended
+        assert kept in reopened
+        assert b"dead" not in runs_path.read_bytes()
+        assert runs_path.read_bytes().startswith(intact)
+
+    def test_parseable_tail_without_newline_is_still_torn(self, tmp_path):
+        """Durability requires the newline: a flushed prefix that happens to
+        parse as complete JSON must not be indexed, or the next append would
+        concatenate onto the same line and corrupt the store."""
+        directory = tmp_path / "store"
+        store = RunStore(directory)
+        store.append(run_search(_request(seed=0)))
+        last = store.append(run_search(_request(seed=1)))
+        runs_path = directory / RUNS_FILENAME
+        runs_path.write_bytes(runs_path.read_bytes().rstrip(b"\n"))  # kill ate \n
+
+        reopened = RunStore(directory)
+        assert len(reopened) == 1  # the newline-less record is torn, not stored
+        assert last not in reopened
+        readded = reopened.append(run_search(_request(seed=1)))
+        assert readded == last
+        assert RunStore(directory).fingerprints() == reopened.fingerprints()
+
+    def test_corrupt_middle_record_raises(self, tmp_path):
+        directory = tmp_path / "store"
+        store = RunStore(directory)
+        store.append(run_search(_request(seed=0)))
+        store.append(run_search(_request(seed=1)))
+        runs_path = directory / RUNS_FILENAME
+        lines = runs_path.read_bytes().splitlines(keepends=True)
+        runs_path.write_bytes(b"not json\n" + lines[1])
+        with pytest.raises(StoreError, match="corrupt record"):
+            RunStore(directory)
+
+    def test_outcomes_stream_in_append_order(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        expected = []
+        for seed in (3, 1, 2):
+            outcome = run_search(_request(seed=seed))
+            store.append(outcome)
+            expected.append(outcome.request.seed)
+        assert [o.request.seed for o in store.outcomes()] == expected
+
+    def test_summary_aggregates_records(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.append(run_search(_request(seed=0)))
+        store.append(run_search(_request(seed=0, strategy="lens")))
+        summary = store.summary()
+        assert summary["num_runs"] == 2
+        assert summary["scenarios"] == ["wifi-3mbps/jetson-tx2-gpu"]
+        assert summary["strategies"] == ["lens", "random"]

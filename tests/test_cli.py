@@ -1,0 +1,182 @@
+"""The ``repro`` command line: list / run / campaign / report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.envelopes import load_outcome
+from repro.campaign import RunStore
+from repro.cli import main
+
+#: Tiny-budget flags shared by every command that runs a search.
+FAST_FLAGS = [
+    "--num-initial", "4",
+    "--num-iterations", "2",
+    "--pool-size", "16",
+    "--predictor-samples", "40",
+]
+
+GRID_FLAGS = [
+    "--scenario", "wifi-3mbps/jetson-tx2-gpu",
+    "--scenario", "lte-3mbps/jetson-tx2-gpu",
+    "--scenario", "3g-3mbps/jetson-tx2-cpu",
+    "--strategy", "lens",
+    "--strategy", "random",
+]
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "usage: repro" in out
+    assert "campaign" in out
+
+
+def test_list_shows_registries(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "wifi-3mbps/jetson-tx2-gpu" in out
+    assert "strategies: lens, random, traditional" in out
+    assert "devices:" in out and "acquisitions:" in out
+
+
+def test_run_prints_summary_and_persists(tmp_path, capsys):
+    out_file = tmp_path / "outcome.json"
+    store_dir = tmp_path / "store"
+    code = main(["run", "--scenario", "wifi-3mbps/jetson-tx2-gpu",
+                 "--strategy", "random", "--seed", "0",
+                 "--out", str(out_file), "--store", str(store_dir), *FAST_FLAGS])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scenario:    wifi-3mbps/jetson-tx2-gpu" in out
+    assert "fingerprint:" in out
+    assert "lowest energy" in out
+
+    outcome = load_outcome(out_file)
+    assert len(outcome) == 6
+    store = RunStore(store_dir)
+    assert len(store) == 1
+
+    # the same run again is detected as already stored
+    assert main(["run", "--scenario", "wifi-3mbps/jetson-tx2-gpu",
+                 "--strategy", "random", "--seed", "0",
+                 "--store", str(store_dir), *FAST_FLAGS]) == 0
+    assert "already present" in capsys.readouterr().out
+    assert len(RunStore(store_dir)) == 1
+
+
+def test_run_from_request_file(tmp_path, capsys):
+    request_file = tmp_path / "request.json"
+    request_file.write_text(json.dumps({
+        "scenario": "lte-3mbps/jetson-tx2-gpu", "strategy": "random",
+        "num_initial": 4, "num_iterations": 2, "candidate_pool_size": 16,
+        "predictor_samples_per_type": 40, "seed": 1,
+    }), encoding="utf-8")
+    assert main(["run", "--request", str(request_file)]) == 0
+    assert "lte-3mbps/jetson-tx2-gpu" in capsys.readouterr().out
+
+
+def test_run_flags_override_request_file(tmp_path, capsys):
+    request_file = tmp_path / "request.json"
+    request_file.write_text(json.dumps({
+        "scenario": "lte-3mbps/jetson-tx2-gpu", "strategy": "random",
+        "num_initial": 4, "num_iterations": 2, "candidate_pool_size": 16,
+        "predictor_samples_per_type": 40, "seed": 1,
+    }), encoding="utf-8")
+    out_file = tmp_path / "outcome.json"
+    assert main(["run", "--request", str(request_file),
+                 "--seed", "5", "--num-iterations", "3",
+                 "--out", str(out_file)]) == 0
+    capsys.readouterr()
+    outcome = load_outcome(out_file)
+    assert outcome.request.seed == 5
+    assert outcome.request.num_iterations == 3
+    assert outcome.request.num_initial == 4          # untouched file field
+    assert len(outcome) == 7                         # 4 + 3 evaluations ran
+
+
+def test_run_unknown_scenario_suggests(capsys):
+    assert main(["run", "--scenario", "wifi-3mbps/jetson-tx2-gp"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err
+    assert "wifi-3mbps/jetson-tx2-gpu" in err  # the spelling suggestion
+
+
+def test_campaign_and_report_round_trip(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    assert main(["campaign", *GRID_FLAGS, *FAST_FLAGS,
+                 "--store", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign done: 6 executed, 0 skipped, 6 cells" in out
+
+    # re-running resumes: nothing executes
+    assert main(["campaign", *GRID_FLAGS, *FAST_FLAGS,
+                 "--store", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign done: 0 executed, 6 skipped, 6 cells" in out
+    assert "(already stored)" in out
+
+    assert main(["report", "--store", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "6 runs, metrics: error_percent / energy_j" in out
+    assert "winners (largest combined-frontier share):" in out
+
+    assert main(["report", "--store", str(store_dir), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["num_runs"] == 6
+    assert len(payload["winners"]) == 3
+
+
+def test_campaign_from_spec_file_with_report_out(tmp_path, capsys):
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({
+        "scenarios": ["wifi-3mbps/jetson-tx2-gpu"],
+        "strategies": ["random"],
+        "seeds": [0, 1],
+        "num_initial": 4, "num_iterations": 2, "candidate_pool_size": 16,
+        "predictor_samples_per_type": 40,
+    }), encoding="utf-8")
+    store_dir = tmp_path / "store"
+    assert main(["campaign", "--spec", str(spec_file), "--store", str(store_dir),
+                 "--quiet"]) == 0
+    assert len(RunStore(store_dir)) == 2
+
+    report_file = tmp_path / "report.md"
+    assert main(["report", "--store", str(store_dir), "--format", "markdown",
+                 "--out", str(report_file)]) == 0
+    capsys.readouterr()
+    assert "# Campaign report" in report_file.read_text(encoding="utf-8")
+
+
+def test_campaign_without_grid_is_a_usage_error(tmp_path, capsys):
+    assert main(["campaign", "--store", str(tmp_path / "store")]) == 2
+    assert "--spec FILE or at least one --scenario" in capsys.readouterr().err
+
+
+def test_report_on_empty_store_fails(tmp_path, capsys):
+    assert main(["report", "--store", str(tmp_path / "empty")]) == 1
+    assert "holds no runs" in capsys.readouterr().err
+
+
+def test_report_identical_after_resume(tmp_path, capsys):
+    """Acceptance: a resumed store reports exactly like a fresh full run."""
+    full_dir = tmp_path / "full"
+    assert main(["campaign", *GRID_FLAGS, *FAST_FLAGS, "--store", str(full_dir),
+                 "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["report", "--store", str(full_dir)]) == 0
+    full_report = capsys.readouterr().out
+
+    # pre-seed a second store with half the runs, then resume the campaign
+    full = RunStore(full_dir)
+    partial_dir = tmp_path / "partial"
+    partial = RunStore(partial_dir)
+    for fingerprint in sorted(full.fingerprints())[:3]:
+        partial.append(full.get(fingerprint), fingerprint=fingerprint)
+    assert main(["campaign", *GRID_FLAGS, *FAST_FLAGS, "--store", str(partial_dir),
+                 "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["report", "--store", str(partial_dir)]) == 0
+    assert capsys.readouterr().out == full_report

@@ -1,0 +1,51 @@
+"""The documentation set must not contain broken intra-repo links.
+
+Runs the same checker the CI docs job uses (``tools/check_docs_links.py``),
+so a dangling ``docs/*.md`` or ``README.md`` link fails the tier-1 suite
+locally before it fails the workflow.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER_PATH = REPO_ROOT / "tools" / "check_docs_links.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs_links", CHECKER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_documentation_set_exists():
+    checker = _load_checker()
+    files = {p.name for p in checker.documentation_files(REPO_ROOT)}
+    assert {"README.md", "index.md", "architecture.md", "scenarios.md",
+            "cli.md", "api.md"} <= files
+
+
+def test_no_broken_intra_repo_links():
+    checker = _load_checker()
+    assert checker.broken_links(REPO_ROOT) == []
+
+
+def test_checker_flags_a_dangling_link(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "page.md").write_text(
+        "ok [real](../README.md), bad [gone](missing.md), "
+        "skip [ext](https://example.com) and [anchor](#here)\n"
+        "```\n[not a link in code](also-missing.md)\n```\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "README.md").write_text("root\n", encoding="utf-8")
+    checker = _load_checker()
+    problems = checker.broken_links(tmp_path)
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the documentation set.
+
+Scans ``README.md`` and every ``docs/**/*.md`` for Markdown links and image
+references, resolves relative targets against the containing file, and exits
+non-zero listing every target that does not exist.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``) are
+skipped; a ``path#fragment`` link is checked for the path only.
+
+Run from anywhere::
+
+    python tools/check_docs_links.py
+
+Used by the CI docs job and by ``tests/test_docs_links.py``, so a broken
+link fails both the docs workflow and the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links/images: [text](target) / ![alt](target).
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Link targets that are not filesystem paths.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def documentation_files(root: Path = REPO_ROOT) -> List[Path]:
+    """Every Markdown file the checker covers."""
+    files = sorted((root / "docs").rglob("*.md")) if (root / "docs").is_dir() else []
+    readme = root / "README.md"
+    if readme.exists():
+        files.insert(0, readme)
+    return files
+
+
+def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every link in one file."""
+    in_code_fence = False
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK_PATTERN.finditer(line):
+            yield line_number, match.group(1)
+
+
+def broken_links(root: Path = REPO_ROOT) -> List[str]:
+    """``file:line: target`` for every intra-repo link that does not resolve."""
+    problems: List[str] = []
+    for path in documentation_files(root):
+        for line_number, target in iter_links(path):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{line_number}: broken link "
+                    f"-> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = documentation_files()
+    problems = broken_links()
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"{len(problems)} broken link(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} documentation files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
