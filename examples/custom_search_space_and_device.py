@@ -5,7 +5,8 @@ search space, the edge-device profile, the radio technology and the accuracy
 model are all pluggable.  This example
 
 1. defines a narrower search space (3 blocks, small filter counts) aimed at a
-   weaker edge device;
+   weaker edge device, and registers it by name so request envelopes, campaign
+   grids and the CLI can all address it as ``search_space="lens-narrow"``;
 2. defines a custom device profile (a microcontroller-class accelerator);
 3. trains the per-layer performance predictors for that device from simulated
    profiling data;
@@ -16,7 +17,13 @@ Run with:  python examples/custom_search_space_and_device.py
 
 from __future__ import annotations
 
-from repro import LensConfig, LensSearch, LensSearchSpace
+from repro import (
+    LensConfig,
+    LensSearch,
+    LensSearchSpace,
+    SearchRequest,
+    register_search_space,
+)
 from repro.hardware.device import DeviceProfile
 from repro.hardware.predictors import LayerPerformancePredictor
 from repro.utils.serialization import format_table
@@ -35,19 +42,41 @@ def build_custom_device() -> DeviceProfile:
     )
 
 
-def build_custom_space() -> LensSearchSpace:
+class NarrowLensSpace(LensSearchSpace):
     """Three-block space with thin layers, as appropriate for the tiny device."""
-    return LensSearchSpace(
-        num_blocks=3,
-        layers_per_block=(1, 2),
-        kernel_sizes=(3, 5),
-        filter_counts=(8, 16, 32, 64),
-        fc_units=(64, 128, 256),
-        min_pool_layers=2,
-        num_classes=10,
-        accuracy_input_shape=(3, 32, 32),
-        performance_input_shape=(3, 96, 96),
-    )
+
+    space_name = "lens-narrow"
+
+    def __init__(self):
+        super().__init__(
+            num_blocks=3,
+            layers_per_block=(1, 2),
+            kernel_sizes=(3, 5),
+            filter_counts=(8, 16, 32, 64),
+            fc_units=(64, 128, 256),
+            min_pool_layers=2,
+            num_classes=10,
+            accuracy_input_shape=(3, 32, 32),
+            performance_input_shape=(3, 96, 96),
+        )
+
+
+def build_custom_space() -> LensSearchSpace:
+    """Instantiate and register the narrow space under its own name.
+
+    After registration, ``SearchRequest(search_space="lens-narrow", ...)``,
+    campaign grids and ``repro run --search-space lens-narrow`` all resolve
+    it — this script keeps using the instance directly, but the envelope
+    below shows the by-name declaration.  Note: parallel campaign workers
+    re-import registries in fresh processes, so a space registered in a
+    script like this one is only visible to them if the registering module
+    is imported by the workers too (or run with ``workers=1``).
+    """
+    register_search_space(NarrowLensSpace.space_name, NarrowLensSpace, overwrite=True)
+    request = SearchRequest(search_space="lens-narrow", strategy="lens")
+    print(f"registered {NarrowLensSpace.space_name!r}; "
+          f"request fingerprint {request.fingerprint()}")
+    return NarrowLensSpace()
 
 
 def main() -> None:

@@ -72,12 +72,16 @@ from repro.core.traditional import TraditionalSearch
 from repro.hardware.device import jetson_tx2_cpu, jetson_tx2_gpu
 from repro.hardware.predictors import LayerPerformancePredictor, OracleLayerPredictor
 from repro.nn.alexnet import build_alexnet
+from repro.api.registry import SEARCH_SPACES, register_search_space
+from repro.nn.resnet_space import ResNetSearchSpace
 from repro.nn.search_space import LensSearchSpace
+from repro.nn.seq_space import SeqConv1DSearchSpace
+from repro.nn.spaces import SearchSpace
 from repro.nn.vgg import build_vgg16
 from repro.partition.partitioner import PartitionAnalyzer
 from repro.wireless.channel import WirelessChannel
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "EvaluationEngine",
@@ -105,6 +109,11 @@ __all__ = [
     "OracleLayerPredictor",
     "build_alexnet",
     "LensSearchSpace",
+    "ResNetSearchSpace",
+    "SeqConv1DSearchSpace",
+    "SearchSpace",
+    "SEARCH_SPACES",
+    "register_search_space",
     "build_vgg16",
     "PartitionAnalyzer",
     "WirelessChannel",

@@ -79,16 +79,18 @@ class AccuracySurrogate(AccuracyModel):
     # ------------------------------------------------------------------ feature terms
     @staticmethod
     def _statistics(architecture: Architecture) -> Dict[str, float]:
+        # 1-D convolutions/poolings drive the same capacity trends as their
+        # 2-D counterparts, so both families feed the structural statistics.
         summaries = architecture.summarize()
-        conv = [s for s in summaries if s.layer_type == "conv"]
+        conv = [s for s in summaries if s.layer_type in ("conv", "conv1d")]
         fc = [s for s in summaries if s.layer_type == "fc"]
-        pools = [s for s in summaries if s.layer_type == "pool"]
+        pools = [s for s in summaries if s.layer_type in ("pool", "pool1d")]
         conv_filters = [s.output_shape[0] for s in conv]
         # The final classifier is always present; hidden FC widths drive capacity.
         hidden_fc_units = [s.output_shape[0] for s in fc[:-1]] or [0]
         kernel_sizes = []
         for spec in architecture.layers:
-            if spec.layer_type == "conv":
+            if spec.layer_type in ("conv", "conv1d"):
                 kernel_sizes.append(spec.kernel_size)
         return {
             "num_conv": float(len(conv)),

@@ -10,9 +10,12 @@ against the shipped one.
 
 :func:`summarize_campaign` is the store-backed half: it aggregates the
 outcomes of a campaign (typically streamed from a
-:class:`~repro.campaign.store.RunStore`) into per-scenario/strategy cells
-and per-scenario winners — the strategy owning the largest share of the
-scenario's combined Pareto front, the comparison behind the paper's Fig. 6.
+:class:`~repro.campaign.store.RunStore`) into per
+scenario/search-space/strategy cells and per scenario/search-space
+winners — the strategy owning the largest share of that context's combined
+Pareto front, the comparison behind the paper's Fig. 6.  Candidates from
+different search spaces are never pooled into one front: an image-CNN
+error/energy trade-off is not comparable to a 1-D sequence model's.
 Aggregation depends only on the *set* of outcomes, never their order, so
 serial, parallel and resumed campaigns report identically.
 """
@@ -30,7 +33,13 @@ from repro.analysis.pareto_metrics import FrontComparison
 from repro.analysis.runtime_eval import RuntimeStudy
 from repro.api.envelopes import SearchOutcome
 from repro.core.results import CandidateEvaluation, SearchResult
+from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 from repro.optim.pareto import pareto_front_mask
+
+
+def _outcome_space(outcome: SearchOutcome) -> str:
+    """Search-space name of an outcome (default for pre-v2 requests)."""
+    return getattr(outcome.request, "search_space", DEFAULT_SEARCH_SPACE)
 
 
 def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -197,12 +206,12 @@ class ExperimentReport:
     def add_campaign_summary(
         self, summary: "CampaignSummary", heading: str = "Campaign summary"
     ) -> "ExperimentReport":
-        """Add a campaign's per-cell table and per-scenario winners."""
+        """Add a campaign's per-cell table and per scenario/space winners."""
         cell_headers, cell_rows = summary.cell_table()
         winner_headers, winner_rows = summary.winner_table()
         body = (
             f"**{summary.num_runs}** stored runs over "
-            f"**{len(summary.winners)}** scenarios "
+            f"**{len(summary.winners)}** scenario/space contexts "
             f"(metrics: {' / '.join(summary.metrics)}).\n\n"
             + _markdown_table(cell_headers, cell_rows)
             + "\n\n### Winners (largest combined-frontier share)\n\n"
@@ -215,9 +224,10 @@ class ExperimentReport:
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """Aggregate of every stored run of one scenario x strategy pair."""
+    """Aggregate of every stored run of one scenario x space x strategy cell."""
 
     scenario: str
+    search_space: str
     strategy: str
     seeds: Tuple[Optional[int], ...]
     num_runs: int
@@ -229,6 +239,7 @@ class CampaignCell:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "scenario": self.scenario,
+            "search_space": self.search_space,
             "strategy": self.strategy,
             "seeds": list(self.seeds),
             "num_runs": self.num_runs,
@@ -243,14 +254,16 @@ class CampaignCell:
 class ScenarioWinner:
     """Which strategy owns a scenario's combined Pareto front.
 
-    ``shares[strategy]`` is the fraction of the scenario's combined frontier
-    (Pareto front over *all* strategies' candidates pooled together)
-    contributed by that strategy — the Fig. 6 comparison, generalised past
-    two strategies.  Ties break toward the better best-``metrics[0]`` value,
-    then alphabetically, so the winner is deterministic.
+    ``shares[strategy]`` is the fraction of the combined frontier (Pareto
+    front over *all* strategies' candidates pooled together, within one
+    scenario *and* search space — never across spaces) contributed by that
+    strategy — the Fig. 6 comparison, generalised past two strategies.
+    Ties break toward the better best-``metrics[0]`` value, then
+    alphabetically, so the winner is deterministic.
     """
 
     scenario: str
+    search_space: str
     winner: str
     shares: Dict[str, float]
     front_size: int
@@ -258,6 +271,7 @@ class ScenarioWinner:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "scenario": self.scenario,
+            "search_space": self.search_space,
             "winner": self.winner,
             "shares": dict(self.shares),
             "front_size": self.front_size,
@@ -281,12 +295,31 @@ class CampaignSummary:
             "winners": [winner.to_dict() for winner in self.winners],
         }
 
-    def winner_for(self, scenario: str) -> str:
-        """Winning strategy of one scenario."""
-        for winner in self.winners:
-            if winner.scenario == scenario:
-                return winner.winner
-        raise KeyError(f"no runs stored for scenario {scenario!r}")
+    def winner_for(self, scenario: str, search_space: Optional[str] = None) -> str:
+        """Winning strategy of one scenario (and search space).
+
+        ``search_space`` may be omitted while the scenario was only run
+        under one space; with several spaces stored it must be named, since
+        their frontiers are not comparable.
+        """
+        matches = [
+            winner
+            for winner in self.winners
+            if winner.scenario == scenario
+            and (search_space is None or winner.search_space == search_space)
+        ]
+        if not matches:
+            raise KeyError(
+                f"no runs stored for scenario {scenario!r}"
+                + (f" and search space {search_space!r}" if search_space else "")
+            )
+        if len(matches) > 1:
+            spaces = sorted(w.search_space for w in matches)
+            raise KeyError(
+                f"scenario {scenario!r} was run under several search spaces "
+                f"{spaces}; pass search_space= to pick one"
+            )
+        return matches[0].winner
 
     # ------------------------------------------------------------------ tables
     def cell_table(
@@ -299,12 +332,13 @@ class CampaignSummary:
         byte-reproducible (the CLI report relies on this).
         """
         headers = [
-            "scenario", "strategy", "runs", "candidates", "pareto",
+            "scenario", "space", "strategy", "runs", "candidates", "pareto",
             f"best {self.metrics[0]}", f"best {self.metrics[1]}",
         ]
         rows: List[List[Any]] = [
             [
                 cell.scenario,
+                cell.search_space,
                 cell.strategy,
                 cell.num_runs,
                 cell.num_candidates,
@@ -321,11 +355,12 @@ class CampaignSummary:
         return headers, rows
 
     def winner_table(self) -> Tuple[List[str], List[List[Any]]]:
-        """``(headers, rows)`` of the per-scenario winner table."""
-        headers = ["scenario", "winner", "front share", "front size"]
+        """``(headers, rows)`` of the per scenario/space winner table."""
+        headers = ["scenario", "space", "winner", "front share", "front size"]
         rows = [
             [
                 winner.scenario,
+                winner.search_space,
                 winner.winner,
                 f"{100 * winner.shares[winner.winner]:.1f}%",
                 winner.front_size,
@@ -337,23 +372,26 @@ class CampaignSummary:
 
 def merged_results(
     outcomes: Iterable[SearchOutcome],
-) -> Dict[str, Dict[str, SearchResult]]:
-    """Pool campaign outcomes into ``scenario -> strategy -> SearchResult``.
+) -> Dict[Tuple[str, str], Dict[str, SearchResult]]:
+    """Pool campaign outcomes into
+    ``(scenario, search space) -> strategy -> SearchResult``.
 
     Runs of the same cell (different seeds) are concatenated into one result
-    whose label is the strategy name; scenarios and strategies come out in
-    sorted order regardless of store order.
+    whose label is the strategy name; candidates from different search
+    spaces are kept apart (their objective trade-offs are not comparable).
+    Keys come out in sorted order regardless of store order.
     """
-    pooled: Dict[str, Dict[str, List[CandidateEvaluation]]] = {}
+    pooled: Dict[Tuple[str, str], Dict[str, List[CandidateEvaluation]]] = {}
     for outcome in outcomes:
-        per_scenario = pooled.setdefault(outcome.scenario.name, {})
-        per_scenario.setdefault(outcome.label, []).extend(outcome.candidates)
+        context = (outcome.scenario.name, _outcome_space(outcome))
+        per_context = pooled.setdefault(context, {})
+        per_context.setdefault(outcome.label, []).extend(outcome.candidates)
     return {
-        scenario: {
+        context: {
             strategy: SearchResult(candidates, label=strategy)
-            for strategy, candidates in sorted(per_scenario.items())
+            for strategy, candidates in sorted(per_context.items())
         }
-        for scenario, per_scenario in sorted(pooled.items())
+        for context, per_context in sorted(pooled.items())
     }
 
 
@@ -386,28 +424,33 @@ def summarize_campaign(
     outcomes: Iterable[SearchOutcome],
     metrics: Sequence[str] = ("error_percent", "energy_j"),
 ) -> CampaignSummary:
-    """Aggregate campaign outcomes into cells and per-scenario winners.
+    """Aggregate campaign outcomes into cells and per scenario/space winners.
 
     ``outcomes`` is any iterable of :class:`SearchOutcome` — typically
-    ``RunStore.outcomes()``.  The summary is a pure function of the outcome
-    *set*: append order, worker count and resume history do not affect it.
+    ``RunStore.outcomes()``.  Cells and winners are keyed by scenario *and*
+    search space, so multi-space campaigns never pool incomparable
+    workloads into one Pareto front.  The summary is a pure function of the
+    outcome *set*: append order, worker count and resume history do not
+    affect it.
     """
     metrics = tuple(metrics)
     if len(metrics) != 2:
         raise ValueError(f"campaign summaries use exactly two metrics, got {metrics}")
     materialised = list(outcomes)
-    runs: Dict[Tuple[str, str], List[SearchOutcome]] = {}
+    runs: Dict[Tuple[str, str, str], List[SearchOutcome]] = {}
     for outcome in materialised:
-        runs.setdefault((outcome.scenario.name, outcome.label), []).append(outcome)
+        key = (outcome.scenario.name, _outcome_space(outcome), outcome.label)
+        runs.setdefault(key, []).append(outcome)
 
     cells: List[CampaignCell] = []
-    for (scenario, strategy), group in sorted(runs.items()):
+    for (scenario, search_space, strategy), group in sorted(runs.items()):
         pooled = SearchResult(
             [c for outcome in group for c in outcome.candidates], label=strategy
         )
         cells.append(
             CampaignCell(
                 scenario=scenario,
+                search_space=search_space,
                 strategy=strategy,
                 seeds=tuple(sorted(
                     {outcome.request.seed for outcome in group},
@@ -422,12 +465,12 @@ def summarize_campaign(
         )
 
     winners: List[ScenarioWinner] = []
-    for scenario, results in merged_results(materialised).items():
+    for (scenario, search_space), results in merged_results(materialised).items():
         shares, front_size = combined_front_shares(results, metrics)
         best_first = {
             cell.strategy: cell.best[metrics[0]]
             for cell in cells
-            if cell.scenario == scenario
+            if cell.scenario == scenario and cell.search_space == search_space
         }
         winner = min(
             shares,
@@ -440,6 +483,7 @@ def summarize_campaign(
         winners.append(
             ScenarioWinner(
                 scenario=scenario,
+                search_space=search_space,
                 winner=winner,
                 shares=shares,
                 front_size=front_size,

@@ -41,10 +41,12 @@ from repro.api.envelopes import (
 from repro.api.registry import (
     ACQUISITIONS,
     DEVICES,
+    SEARCH_SPACES,
     WIRELESS_TECHNOLOGIES,
     Registry,
     RegistryError,
     register_device,
+    register_search_space,
 )
 from repro.api.scenario import (
     DEFAULT_SCENARIO,
@@ -76,10 +78,12 @@ __all__ = [
     "request_fingerprint",
     "ACQUISITIONS",
     "DEVICES",
+    "SEARCH_SPACES",
     "WIRELESS_TECHNOLOGIES",
     "Registry",
     "RegistryError",
     "register_device",
+    "register_search_space",
     "DEFAULT_SCENARIO",
     "SCENARIOS",
     "Scenario",

@@ -19,7 +19,9 @@ re-run the predictors thirty times.
 * ``evaluate_partitions`` / ``sweep_channels`` cost deployment options on
   top of the cached predictions, caching full
   :class:`~repro.partition.partitioner.PartitionEvaluation` records per
-  channel.
+  ``(channel, effective cut-legality graph)`` — runs over different search
+  spaces never share partition records unless they request the identical
+  computation.
 
 One engine can (and should) back many runs: pass the same instance to
 :func:`repro.api.session.run_search`, the deployment sweeps and the
@@ -42,6 +44,7 @@ from repro.hardware.predictors import (
     OracleLayerPredictor,
 )
 from repro.nn.architecture import Architecture
+from repro.nn.graph import PartitionGraph
 from repro.partition.partitioner import PartitionAnalyzer, PartitionEvaluation
 from repro.wireless.channel import WirelessChannel
 
@@ -123,7 +126,8 @@ class EvaluationEngine:
         self._layer_cache: "weakref.WeakKeyDictionary[BaseLayerPredictor, Dict[Architecture, Tuple[LayerPrediction, ...]]]" = (
             weakref.WeakKeyDictionary()
         )
-        # predictor -> {(architecture, channel key, require_shrinkage): evaluation}
+        # predictor -> {(architecture, channel key, require_shrinkage,
+        #                partition graph): evaluation}
         self._partition_cache: "weakref.WeakKeyDictionary[BaseLayerPredictor, Dict[tuple, PartitionEvaluation]]" = (
             weakref.WeakKeyDictionary()
         )
@@ -193,22 +197,44 @@ class EvaluationEngine:
 
     # ------------------------------------------------------------------ partition costing
     def evaluate_partitions(
-        self, architecture: Architecture, analyzer: PartitionAnalyzer
+        self,
+        architecture: Architecture,
+        analyzer: PartitionAnalyzer,
+        graph: Optional["PartitionGraph"] = None,
     ) -> PartitionEvaluation:
         """Cost every deployment option, reusing cached layer predictions.
 
         Equivalent to ``analyzer.evaluate(architecture)`` but both the layer
-        predictions and the resulting evaluation are memoised.  Analyzers
-        with a cloud predictor are passed through uncached (their costing
-        depends on state the cache key does not capture).
+        predictions and the resulting evaluation are memoised.  ``graph``
+        optionally overrides the architecture's own cut-legality graph (the
+        hook behind :meth:`repro.nn.spaces.SearchSpace.partition_graph`).
+
+        The cache is keyed per search space *by value*: the architecture
+        (which hashes over its structure, including skip edges) and the
+        *effective* graph (override or the architecture's own —
+        :class:`~repro.nn.graph.PartitionGraph` is a frozen dataclass
+        hashing by value) are both in the key, so runs over different
+        spaces can never serve each other stale evaluations, while
+        space-less callers (the deployment sweeps) still hit entries warmed
+        by a search over the identical computation.  Analyzers with a cloud
+        predictor are passed through uncached (their costing depends on
+        state the cache key does not capture).
         """
+        if graph is None:
+            graph = architecture.partition_graph()
         if analyzer.cloud_predictor is not None:
             return analyzer.evaluate(
                 architecture,
                 predictions=self.layer_predictions(analyzer.predictor, architecture),
+                graph=graph,
             )
         per_predictor = self._partition_cache.setdefault(analyzer.predictor, {})
-        key = (architecture, _channel_key(analyzer.channel), analyzer.require_shrinkage)
+        key = (
+            architecture,
+            _channel_key(analyzer.channel),
+            analyzer.require_shrinkage,
+            graph,
+        )
         cached = per_predictor.get(key)
         if cached is not None:
             self.stats.partition_hits += 1
@@ -217,6 +243,7 @@ class EvaluationEngine:
         evaluation = analyzer.evaluate(
             architecture,
             predictions=self.layer_predictions(analyzer.predictor, architecture),
+            graph=graph,
         )
         per_predictor[key] = evaluation
         return evaluation

@@ -28,11 +28,19 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.scenario import DEFAULT_SCENARIO, SCENARIOS, Scenario, ScenarioRegistry
 from repro.core.results import CandidateEvaluation, SearchResult
+from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 from repro.utils.serialization import load_json
 from repro.utils.validation import require_positive
 
 #: Current envelope schema version.
-SCHEMA_VERSION = 1
+#:
+#: * **v1** — the original request/outcome envelopes.
+#: * **v2** — requests gained ``search_space`` (the named workload to
+#:   search, see :data:`repro.api.registry.SEARCH_SPACES`).  v1 payloads
+#:   upgrade in ``from_dict`` by defaulting to
+#:   :data:`~repro.nn.spaces.DEFAULT_SEARCH_SPACE`; their fingerprints are
+#:   unchanged (see :func:`request_fingerprint`).
+SCHEMA_VERSION = 2
 
 #: Request fields excluded from fingerprints: pure metadata that cannot
 #: change what a run computes.
@@ -51,6 +59,14 @@ def request_fingerprint(request: "SearchRequest") -> str:
     library version that wrote them — share one fingerprint.  Run stores key
     persisted outcomes by it to make campaigns resumable.
 
+    Fields added by later schema versions are dropped from the payload while
+    they hold their upgrade default (``search_space="lens-vgg"``), so a
+    schema-v1 request keeps the exact fingerprint it had when v1 was
+    current — pinned by the golden-file tests in
+    ``tests/test_envelopes_golden.py`` — and stores written before the
+    upgrade still resume correctly.  Non-default values hash normally, so
+    requests targeting different spaces never collide.
+
     Declared content is hashed as-is: a scenario referenced *by name* is
     keyed by that name (its registry resolution may legitimately change),
     so it never shares a fingerprint with the same scenario passed inline.
@@ -60,6 +76,8 @@ def request_fingerprint(request: "SearchRequest") -> str:
     payload = request.to_dict()
     for name in FINGERPRINT_EXCLUDED_FIELDS:
         payload.pop(name, None)
+    if payload.get("search_space") == DEFAULT_SEARCH_SPACE:
+        payload.pop("search_space")
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:FINGERPRINT_LENGTH]
 
@@ -87,6 +105,10 @@ class SearchRequest:
     strategy:
         Search strategy name (``"lens"``, ``"traditional"`` or ``"random"``,
         see :data:`repro.api.session.STRATEGIES`).
+    search_space:
+        Named search space to explore (``"lens-vgg"``, ``"resnet-v1"``,
+        ``"seq-conv1d"`` or anything registered in
+        :data:`repro.api.registry.SEARCH_SPACES`).
     num_initial / num_iterations / candidate_pool_size / acquisition:
         Budgets and acquisition of the optimization loop (Algorithm 2).
     predictor_noise_std / predictor_samples_per_type:
@@ -101,6 +123,7 @@ class SearchRequest:
 
     scenario: Union[str, Scenario] = DEFAULT_SCENARIO
     strategy: str = "lens"
+    search_space: str = DEFAULT_SEARCH_SPACE
     num_initial: int = 10
     num_iterations: int = 50
     candidate_pool_size: int = 128
@@ -160,6 +183,7 @@ class SearchRequest:
             "schema_version": self.schema_version,
             "scenario": scenario,
             "strategy": self.strategy,
+            "search_space": self.search_space,
             "num_initial": self.num_initial,
             "num_iterations": self.num_iterations,
             "candidate_pool_size": self.candidate_pool_size,
@@ -172,7 +196,14 @@ class SearchRequest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SearchRequest":
-        version = check_schema_version(data, "SearchRequest")
+        """Rebuild a request, upgrading older schema versions in place.
+
+        v1 payloads predate the ``search_space`` field and upgrade to
+        :data:`~repro.nn.spaces.DEFAULT_SEARCH_SPACE`; the returned request
+        always carries the current :data:`SCHEMA_VERSION` (and the same
+        fingerprint the payload had under the schema that wrote it).
+        """
+        check_schema_version(data, "SearchRequest")
         scenario = data.get("scenario", DEFAULT_SCENARIO)
         if isinstance(scenario, dict):
             scenario = Scenario.from_dict(scenario)
@@ -180,6 +211,7 @@ class SearchRequest:
         return cls(
             scenario=scenario,
             strategy=data.get("strategy", "lens"),
+            search_space=str(data.get("search_space", DEFAULT_SEARCH_SPACE)),
             num_initial=int(data.get("num_initial", 10)),
             num_iterations=int(data.get("num_iterations", 50)),
             candidate_pool_size=int(data.get("candidate_pool_size", 128)),
@@ -190,7 +222,7 @@ class SearchRequest:
             ),
             seed=None if seed is None else int(seed),
             tags=dict(data.get("tags", {})),
-            schema_version=version,
+            schema_version=SCHEMA_VERSION,
         )
 
 

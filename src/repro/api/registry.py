@@ -13,6 +13,9 @@ wiring, and persisted request envelopes stay meaningful across processes.
 * :data:`WIRELESS_TECHNOLOGIES` — radio power-model factories, one per
   technology of Huang et al.'s power study;
 * :data:`ACQUISITIONS` — acquisition strategies of the MOBO loop;
+* :data:`SEARCH_SPACES` — named search-space factories
+  (``"lens-vgg"``, ``"resnet-v1"``, ``"seq-conv1d"``), the workloads a
+  :class:`~repro.api.envelopes.SearchRequest` can target;
 
 hold the built-ins.  Search strategies live in
 :data:`repro.api.session.STRATEGIES` and scenarios in
@@ -25,6 +28,10 @@ import difflib
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.hardware.device import BUILTIN_DEVICES, DeviceProfile
+from repro.nn.resnet_space import ResNetSearchSpace
+from repro.nn.search_space import LensSearchSpace
+from repro.nn.seq_space import SeqConv1DSearchSpace
+from repro.nn.spaces import DEFAULT_SEARCH_SPACE, SearchSpace
 from repro.optim.acquisition import ACQUISITION_STRATEGIES
 from repro.wireless.power_models import SUPPORTED_TECHNOLOGIES, RadioPowerModel
 
@@ -188,6 +195,22 @@ ACQUISITIONS = Registry(
 assert set(ACQUISITIONS.names()) == set(ACQUISITION_STRATEGIES)
 
 
+#: Named search spaces — the workloads a request can target.  Entries are
+#: zero-argument factories returning a fresh
+#: :class:`~repro.nn.spaces.SearchSpace`; ``SEARCH_SPACES.create(name)`` is
+#: how :func:`repro.api.session.build_context` resolves
+#: ``SearchRequest.search_space``.
+SEARCH_SPACES = Registry(
+    "search space",
+    {
+        LensSearchSpace.space_name: LensSearchSpace,
+        ResNetSearchSpace.space_name: ResNetSearchSpace,
+        SeqConv1DSearchSpace.space_name: SeqConv1DSearchSpace,
+    },
+)
+assert DEFAULT_SEARCH_SPACE in SEARCH_SPACES
+
+
 def register_device(profile: DeviceProfile, *, overwrite: bool = False) -> DeviceProfile:
     """Register a custom device profile under its own name.
 
@@ -196,3 +219,21 @@ def register_device(profile: DeviceProfile, *, overwrite: bool = False) -> Devic
     """
     DEVICES.register(profile.name, lambda profile=profile: profile, overwrite=overwrite)
     return profile
+
+
+def register_search_space(
+    name: str,
+    factory: Callable[[], SearchSpace],
+    *,
+    overwrite: bool = False,
+) -> Callable[[], SearchSpace]:
+    """Register a custom search-space factory under ``name``.
+
+    ``factory`` is called once per run that requests the space (a
+    :class:`~repro.nn.spaces.SearchSpace` subclass works directly).  The
+    space becomes addressable from request envelopes, campaign grids and the
+    CLI immediately; give instances a matching ``space_name`` so decoded
+    candidate names carry the registry key.
+    """
+    SEARCH_SPACES.register(name, factory, overwrite=overwrite)
+    return factory

@@ -33,13 +33,13 @@ import numpy as np
 from repro.accuracy.surrogate import AccuracyModel, AccuracySurrogate
 from repro.api.engine import EvaluationEngine, default_engine
 from repro.api.envelopes import SearchOutcome, SearchRequest
-from repro.api.registry import ACQUISITIONS, Registry
+from repro.api.registry import ACQUISITIONS, SEARCH_SPACES, Registry
 from repro.api.scenario import Scenario, ScenarioRegistry
 from repro.core.evaluation import PartitionAwareEvaluator
 from repro.core.results import CandidateEvaluation, SearchResult
 from repro.hardware.device import DeviceProfile
 from repro.hardware.predictors import BaseLayerPredictor
-from repro.nn.search_space import LensSearchSpace
+from repro.nn.spaces import SearchSpace
 from repro.optim.mobo import MultiObjectiveBayesianOptimizer, OptimizationResult
 from repro.partition.partitioner import PartitionAnalyzer
 from repro.utils.rng import ensure_rng
@@ -58,7 +58,7 @@ class SearchContext:
 
     request: SearchRequest
     scenario: Scenario
-    search_space: LensSearchSpace
+    search_space: SearchSpace
     accuracy_model: AccuracyModel
     device: DeviceProfile
     channel: WirelessChannel
@@ -73,7 +73,7 @@ def build_context(
     request: Union[SearchRequest, Dict],
     *,
     scenarios: Optional[ScenarioRegistry] = None,
-    search_space: Optional[LensSearchSpace] = None,
+    search_space: Union[SearchSpace, str, None] = None,
     accuracy_model: Optional[AccuracyModel] = None,
     predictor: Optional[BaseLayerPredictor] = None,
     engine: Optional[EvaluationEngine] = None,
@@ -81,14 +81,36 @@ def build_context(
 ) -> SearchContext:
     """Resolve a request into ready-to-run components.
 
-    ``search_space``, ``accuracy_model`` and ``predictor`` override the
-    defaults (the paper's VGG-derived space, the analytic accuracy
-    surrogate, and an engine-cached predictor trained for the scenario's
-    device with the request's training settings).
+    The search space is created from the request's ``search_space`` name via
+    :data:`repro.api.registry.SEARCH_SPACES` (an unknown name raises the
+    registry's suggestion-bearing
+    :class:`~repro.api.registry.RegistryError`).  Passing ``search_space``
+    overrides the request: a *name* is folded into the request itself, and a
+    :class:`~repro.nn.spaces.SearchSpace` instance bypasses the registry
+    with its ``space_name`` folded in likewise, so the context's request
+    (and therefore the outcome and its fingerprint) records the space that
+    ran.  Note the limit of that guarantee: requests only carry the space
+    *name*, so an instance that keeps a built-in ``space_name`` (e.g. a
+    reconfigured ``LensSearchSpace``, which inherits ``"lens-vgg"``) is
+    indistinguishable from the built-in in stores and reports — give custom
+    instances their own ``space_name`` when persisting their outcomes.
+    ``accuracy_model`` and ``predictor`` likewise override the defaults
+    (the analytic accuracy surrogate, and an engine-cached predictor
+    trained for the scenario's device with the request's training
+    settings).
     """
     if isinstance(request, dict):
         request = SearchRequest.from_dict(request)
+    if isinstance(search_space, str):
+        request = request.replace(search_space=search_space)
+        search_space = None
+    elif search_space is not None:
+        name = getattr(search_space, "space_name", None)
+        if name and name != request.search_space:
+            request = request.replace(search_space=str(name))
     ACQUISITIONS.get(request.acquisition)  # raises a listing KeyError if unknown
+    if search_space is None:
+        search_space = SEARCH_SPACES.create(request.search_space)
     engine = engine or default_engine()
     scenario = request.resolve_scenario(scenarios)
     device = scenario.resolve_device()
@@ -102,7 +124,7 @@ def build_context(
         )
     analyzer = PartitionAnalyzer(predictor, channel)
     evaluator = PartitionAwareEvaluator(
-        search_space=search_space or LensSearchSpace(),
+        search_space=search_space,
         accuracy_model=accuracy_model or AccuracySurrogate(),
         analyzer=analyzer,
         partition_within=request.strategy != "traditional",
@@ -228,7 +250,7 @@ def run_search(
     request: Union[SearchRequest, Dict, None] = None,
     *,
     scenarios: Optional[ScenarioRegistry] = None,
-    search_space: Optional[LensSearchSpace] = None,
+    search_space: Union[SearchSpace, str, None] = None,
     accuracy_model: Optional[AccuracyModel] = None,
     predictor: Optional[BaseLayerPredictor] = None,
     engine: Optional[EvaluationEngine] = None,
@@ -237,13 +259,20 @@ def run_search(
 ) -> SearchOutcome:
     """Execute a declared search end to end and return its outcome.
 
-    ``run_search(strategy="lens", scenario="wifi-3mbps/jetson-tx2-gpu")`` is
-    the canonical entry point; a full :class:`SearchRequest` (or its dict
-    form) may be passed instead, and keyword request fields are applied on
-    top of it.  The outcome embeds the request, the resolved scenario, every
-    explored candidate and the engine's cache statistics, and round-trips
-    through ``to_dict``/``from_dict``.
+    ``run_search(strategy="lens", scenario="wifi-3mbps/jetson-tx2-gpu",
+    search_space="resnet-v1")`` is the canonical entry point; a full
+    :class:`SearchRequest` (or its dict form) may be passed instead, and
+    keyword request fields are applied on top of it.  A ``search_space``
+    *name* is a request field like any other (recorded in the outcome and
+    the fingerprint); a :class:`~repro.nn.spaces.SearchSpace` *instance* is
+    a component override that bypasses the registry.  The outcome embeds
+    the request, the resolved scenario, every explored candidate and the
+    engine's cache statistics, and round-trips through
+    ``to_dict``/``from_dict``.
     """
+    if isinstance(search_space, str):
+        request_fields["search_space"] = search_space
+        search_space = None
     if request is None:
         request = SearchRequest(**request_fields)
     else:
@@ -265,8 +294,9 @@ def run_search(
     start = time.perf_counter()
     result, _raw = execute_strategy(context)
     elapsed = time.perf_counter() - start
+    # the context's request records any space folded in by build_context
     return SearchOutcome(
-        request=request,
+        request=context.request,
         scenario=context.scenario,
         label=result.label,
         candidates=tuple(result),

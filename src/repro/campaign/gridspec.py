@@ -1,16 +1,17 @@
-"""Declarative campaign grids: scenarios x strategies x seeds.
+"""Declarative campaign grids: scenarios x search spaces x strategies x seeds.
 
 A :class:`CampaignSpec` names the axes of a campaign (which scenarios, which
-strategies, which seeds) plus the per-run budgets shared by every cell, and
+search spaces, which strategies, which seeds) plus the per-run budgets
+shared by every cell, and
 expands into the concrete :class:`~repro.api.envelopes.SearchRequest` list
 via :meth:`CampaignSpec.requests`.  Like the envelopes it is plain data:
 ``to_dict``/``from_dict`` round-trip losslessly and :meth:`CampaignSpec.load`
 reads a spec from a JSON file, so a whole campaign is reproducible from one
 committed document.
 
-Expansion order is scenario-major (scenario, then strategy, then seed) and
-deterministic, but nothing downstream depends on it: the runner keys work by
-request fingerprint, not position.
+Expansion order is scenario-major (scenario, then search space, then
+strategy, then seed) and deterministic, but nothing downstream depends on
+it: the runner keys work by request fingerprint, not position.
 """
 
 from __future__ import annotations
@@ -20,8 +21,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.envelopes import SearchRequest, check_schema_version
+from repro.api.registry import SEARCH_SPACES
 from repro.api.scenario import SCENARIOS, ScenarioRegistry
 from repro.api.session import STRATEGIES
+from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 from repro.utils.serialization import load_json
 
 
@@ -34,10 +37,14 @@ class CampaignSpec:
     scenarios:
         Scenario names, resolved through a
         :class:`~repro.api.scenario.ScenarioRegistry` at run time.
+    search_spaces:
+        Search-space names from :data:`repro.api.registry.SEARCH_SPACES`;
+        every scenario is searched once per space.
     strategies:
         Strategy names from :data:`repro.api.session.STRATEGIES`.
     seeds:
-        Master seeds; every scenario x strategy cell runs once per seed.
+        Master seeds; every scenario x space x strategy cell runs once per
+        seed.
     num_initial / num_iterations / candidate_pool_size / acquisition /
     predictor_noise_std / predictor_samples_per_type:
         Budgets applied to every generated request (same meaning as on
@@ -47,6 +54,7 @@ class CampaignSpec:
     """
 
     scenarios: Tuple[str, ...]
+    search_spaces: Tuple[str, ...] = (DEFAULT_SEARCH_SPACE,)
     strategies: Tuple[str, ...] = ("lens",)
     seeds: Tuple[Optional[int], ...] = (0,)
     num_initial: int = 10
@@ -59,13 +67,16 @@ class CampaignSpec:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenarios", tuple(str(s) for s in self.scenarios))
+        object.__setattr__(
+            self, "search_spaces", tuple(str(s) for s in self.search_spaces)
+        )
         object.__setattr__(self, "strategies", tuple(str(s) for s in self.strategies))
         object.__setattr__(
             self,
             "seeds",
             tuple(None if s is None else int(s) for s in self.seeds),
         )
-        for axis in ("scenarios", "strategies", "seeds"):
+        for axis in ("scenarios", "search_spaces", "strategies", "seeds"):
             values = getattr(self, axis)
             if not values:
                 raise ValueError(f"campaign {axis} must be non-empty")
@@ -76,28 +87,35 @@ class CampaignSpec:
     @property
     def num_cells(self) -> int:
         """Size of the request grid."""
-        return len(self.scenarios) * len(self.strategies) * len(self.seeds)
+        return (
+            len(self.scenarios)
+            * len(self.search_spaces)
+            * len(self.strategies)
+            * len(self.seeds)
+        )
 
     def requests(self) -> List[SearchRequest]:
         """The full request grid, in deterministic scenario-major order."""
         grid: List[SearchRequest] = []
         for scenario in self.scenarios:
-            for strategy in self.strategies:
-                for seed in self.seeds:
-                    grid.append(
-                        SearchRequest(
-                            scenario=scenario,
-                            strategy=strategy,
-                            num_initial=self.num_initial,
-                            num_iterations=self.num_iterations,
-                            candidate_pool_size=self.candidate_pool_size,
-                            acquisition=self.acquisition,
-                            predictor_noise_std=self.predictor_noise_std,
-                            predictor_samples_per_type=self.predictor_samples_per_type,
-                            seed=seed,
-                            tags=dict(self.tags),
+            for search_space in self.search_spaces:
+                for strategy in self.strategies:
+                    for seed in self.seeds:
+                        grid.append(
+                            SearchRequest(
+                                scenario=scenario,
+                                strategy=strategy,
+                                search_space=search_space,
+                                num_initial=self.num_initial,
+                                num_iterations=self.num_iterations,
+                                candidate_pool_size=self.candidate_pool_size,
+                                acquisition=self.acquisition,
+                                predictor_noise_std=self.predictor_noise_std,
+                                predictor_samples_per_type=self.predictor_samples_per_type,
+                                seed=seed,
+                                tags=dict(self.tags),
+                            )
                         )
-                    )
         return grid
 
     def validate(self, scenarios: Optional[ScenarioRegistry] = None) -> "CampaignSpec":
@@ -105,12 +123,14 @@ class CampaignSpec:
 
         Raises the registries' suggestion-bearing
         :class:`~repro.api.registry.RegistryError` on the first unknown
-        scenario or strategy name, so a typo fails the campaign up front
-        instead of mid-grid (or inside a worker process).
+        scenario, search-space or strategy name, so a typo fails the
+        campaign up front instead of mid-grid (or inside a worker process).
         """
         registry = scenarios or SCENARIOS
         for name in self.scenarios:
             registry.get(name)
+        for name in self.search_spaces:
+            SEARCH_SPACES.get(name)
         for name in self.strategies:
             STRATEGIES.get(name)
         return self
@@ -120,6 +140,7 @@ class CampaignSpec:
         return {
             "schema_version": 1,
             "scenarios": list(self.scenarios),
+            "search_spaces": list(self.search_spaces),
             "strategies": list(self.strategies),
             "seeds": list(self.seeds),
             "num_initial": self.num_initial,
@@ -135,8 +156,8 @@ class CampaignSpec:
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
         check_schema_version(data, "CampaignSpec")
         known = {
-            "schema_version", "scenarios", "strategies", "seeds",
-            "num_initial", "num_iterations", "candidate_pool_size",
+            "schema_version", "scenarios", "search_spaces", "strategies",
+            "seeds", "num_initial", "num_iterations", "candidate_pool_size",
             "acquisition", "predictor_noise_std",
             "predictor_samples_per_type", "tags",
         }
@@ -151,6 +172,9 @@ class CampaignSpec:
             raise ValueError("campaign spec must declare 'scenarios'")
         return cls(
             scenarios=tuple(data["scenarios"]),
+            search_spaces=tuple(
+                data.get("search_spaces", (DEFAULT_SEARCH_SPACE,))
+            ),
             strategies=tuple(data.get("strategies", ("lens",))),
             seeds=tuple(data.get("seeds", (0,))),
             num_initial=int(data.get("num_initial", 10)),

@@ -11,11 +11,16 @@ were in flight.
 
 Parallel execution ships requests to workers in their serialized dict form
 and rebuilds outcomes from dicts in the parent, so only plain data crosses
-process boundaries.  Workers resolve scenario and strategy *names* through
-their own (freshly imported) default registries; custom scenarios must
-therefore be passed inline (a :class:`~repro.api.scenario.Scenario` object
-inside the request serializes fully) or registered at import time.  The
-serial path uses the calling process's registries directly.
+process boundaries.  Workers resolve scenario, search-space and strategy
+*names* through their own (freshly imported) default registries; custom
+scenarios must therefore be passed inline (a
+:class:`~repro.api.scenario.Scenario` object inside the request serializes
+fully) or registered at import time.  Custom *search spaces* have no inline
+form — a space registered only in the parent script passes ``validate()``
+there but raises in every worker, so register custom spaces from a module
+workers import (e.g. via :func:`repro.api.registry.register_search_space`
+at module level) or run with ``workers=1``.  The serial path uses the
+calling process's registries directly.
 
 Results are identical between serial and parallel execution: every run is
 seeded through its request, and the engine caches are bit-transparent.

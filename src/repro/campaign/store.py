@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.api.envelopes import SearchOutcome, request_fingerprint
+from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 from repro.utils.serialization import to_jsonable
 
 #: Name of the append-only record file inside a store directory.
@@ -54,6 +55,8 @@ def _record_summary(record: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "scenario": scenario,
         "strategy": request.get("strategy", "?"),
+        # schema-v1 records predate the search_space field: default space
+        "search_space": request.get("search_space", DEFAULT_SEARCH_SPACE),
         "seed": request.get("seed"),
         "num_candidates": len(outcome.get("candidates", [])),
         "wall_time_s": float(outcome.get("wall_time_s", 0.0)),
@@ -204,7 +207,7 @@ class RunStore:
                 )
 
     def records(self) -> Dict[str, Dict[str, Any]]:
-        """Fingerprint -> summary mapping (scenario, strategy, seed, size)."""
+        """Fingerprint -> summary mapping (scenario, strategy, space, seed, size)."""
         return {
             fingerprint: dict(summary)
             for fingerprint, (_, summary) in self._index.items()
@@ -218,6 +221,7 @@ class RunStore:
             "num_runs": len(records),
             "scenarios": sorted({r["scenario"] for r in records.values()}),
             "strategies": sorted({r["strategy"] for r in records.values()}),
+            "search_spaces": sorted({r["search_space"] for r in records.values()}),
             "total_wall_time_s": sum(r["wall_time_s"] for r in records.values()),
         }
 

@@ -7,8 +7,9 @@ Four subcommands mirror the library's layers (also reachable as
   acquisitions) and, with ``--store``, the runs persisted in a store;
 * ``repro run`` — execute one :class:`~repro.api.envelopes.SearchRequest`
   by scenario/strategy name, print its summary, optionally persist it;
-* ``repro campaign`` — fan a scenario x strategy x seed grid out over
-  worker processes into a resumable :class:`~repro.campaign.store.RunStore`;
+* ``repro campaign`` — fan a scenario x search-space x strategy x seed grid
+  out over worker processes into a resumable
+  :class:`~repro.campaign.store.RunStore`;
 * ``repro report`` — aggregate a store into per-scenario winner and Pareto
   summaries (text, Markdown or JSON).
 
@@ -31,11 +32,13 @@ from repro.api.registry import (
     ACQUISITIONS,
     DEVICES,
     RegistryError,
+    SEARCH_SPACES,
     WIRELESS_TECHNOLOGIES,
 )
 from repro.api.scenario import SCENARIOS
 from repro.api.session import STRATEGIES, run_search
 from repro.campaign import CampaignSpec, RunStore, StoreError, run_campaign
+from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 from repro.utils.serialization import dump_json, format_table
 
 
@@ -88,9 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = commands.add_parser(
         "list",
         help="show registries and stored runs",
-        description="Show registered scenarios, strategies, devices, wireless "
-                    "technologies and acquisitions; with --store, also the runs "
-                    "persisted in a store.",
+        description="Show registered scenarios, strategies, search spaces, "
+                    "devices, wireless technologies and acquisitions; with "
+                    "--store, also the runs persisted in a store.",
     )
     list_parser.add_argument("--store", metavar="DIR",
                              help="also list the runs stored under DIR")
@@ -107,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "default: wifi-3mbps/jetson-tx2-gpu)")
     run_parser.add_argument("--strategy", default=None,
                             help=f"strategy {STRATEGIES.names()} (default: lens)")
+    run_parser.add_argument("--search-space", default=None,
+                            help=f"search space {SEARCH_SPACES.names()} "
+                                 f"(default: {DEFAULT_SEARCH_SPACE})")
     run_parser.add_argument("--seed", type=int, default=None,
                             help="master seed (default: 0)")
     run_parser.add_argument("--request", metavar="FILE",
@@ -121,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign_parser = commands.add_parser(
         "campaign",
-        help="run a scenario x strategy x seed grid into a run store",
+        help="run a scenario x space x strategy x seed grid into a run store",
         description="Expand a campaign grid and execute it into a resumable "
                     "store: cells whose fingerprint is already stored are "
                     "skipped, the rest fan out over --workers processes.",
@@ -131,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
                                       "ignored when given)")
     campaign_parser.add_argument("--scenario", action="append", default=None,
                                  metavar="NAME", help="grid scenario (repeatable)")
+    campaign_parser.add_argument("--search-space", action="append", default=None,
+                                 metavar="NAME",
+                                 help="grid search space (repeatable; "
+                                      f"default: {DEFAULT_SEARCH_SPACE})")
     campaign_parser.add_argument("--strategy", action="append", default=None,
                                  metavar="NAME", help="grid strategy (repeatable; "
                                  "default: lens)")
@@ -174,6 +184,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {scenario.name:<42} {scenario.wireless_technology:<5} "
               f"{scenario.uplink_mbps:6.2f} Mbps  {scenario.device_name}")
     print(f"strategies: {', '.join(STRATEGIES.names())}")
+    print(f"search spaces: {', '.join(SEARCH_SPACES.names())}")
     print(f"devices: {', '.join(DEVICES.names())}")
     print(f"wireless technologies: {', '.join(WIRELESS_TECHNOLOGIES.names())}")
     print(f"acquisitions: {', '.join(ACQUISITIONS.names())}")
@@ -183,13 +194,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"\nstore {overview['directory']}: {overview['num_runs']} runs, "
               f"{overview['total_wall_time_s']:.1f}s total search time")
         rows = [
-            [fp, r["scenario"], r["strategy"],
+            [fp, r["scenario"], r["search_space"], r["strategy"],
              "-" if r["seed"] is None else r["seed"], r["num_candidates"]]
             for fp, r in sorted(store.records().items())
         ]
         if rows:
             print(format_table(
-                rows, ["fingerprint", "scenario", "strategy", "seed", "candidates"]
+                rows,
+                ["fingerprint", "scenario", "space", "strategy", "seed",
+                 "candidates"],
             ))
     return 0
 
@@ -200,6 +213,7 @@ def _request_from_args(args: argparse.Namespace) -> SearchRequest:
     for flag, field in (
         ("scenario", "scenario"),
         ("strategy", "strategy"),
+        ("search_space", "search_space"),
         ("seed", "seed"),
         ("num_initial", "num_initial"),
         ("num_iterations", "num_iterations"),
@@ -225,6 +239,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     front = outcome.pareto_candidates()
     print(f"scenario:    {outcome.scenario.name}")
     print(f"strategy:    {outcome.label}")
+    print(f"space:       {request.search_space}")
     print(f"fingerprint: {request.fingerprint()}")
     print(f"candidates:  {len(outcome)} explored, {len(front)} Pareto-optimal "
           f"(error, energy)")
@@ -263,6 +278,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         )
     return CampaignSpec(
         scenarios=tuple(args.scenario),
+        search_spaces=tuple(args.search_space or (DEFAULT_SEARCH_SPACE,)),
         strategies=tuple(args.strategy or ("lens",)),
         seeds=tuple(args.seed if args.seed is not None else (0,)),
         num_initial=args.num_initial,
@@ -286,8 +302,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             what = (f"{record.get('scenario', '?')} x {record.get('strategy', '?')} "
                     "(already stored)")
         else:
-            what = (f"{outcome.scenario.name} x {outcome.label} "
-                    f"seed={outcome.request.seed} ({outcome.wall_time_s:.2f}s)")
+            what = (f"{outcome.scenario.name} x {outcome.request.search_space} "
+                    f"x {outcome.label} seed={outcome.request.seed} "
+                    f"({outcome.wall_time_s:.2f}s)")
         print(f"[{done}/{total}] {fingerprint}  {what}")
 
     result = run_campaign(

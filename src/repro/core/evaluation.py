@@ -27,11 +27,29 @@ import numpy as np
 
 from repro.accuracy.surrogate import AccuracyModel
 from repro.core.results import CandidateEvaluation
-from repro.nn.search_space import LensSearchSpace
+from repro.nn.architecture import Architecture
+from repro.nn.graph import PartitionGraph
+from repro.nn.spaces import SearchSpace
 from repro.partition.partitioner import PartitionAnalyzer
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a core <-> api cycle
     from repro.api.engine import EvaluationEngine
+
+
+def space_partition_graph(
+    search_space: SearchSpace, architecture: Architecture
+) -> PartitionGraph:
+    """The space's cut-legality graph for a decoded architecture.
+
+    The space's :meth:`~repro.nn.spaces.SearchSpace.partition_graph` hook is
+    authoritative — spaces may constrain cuts beyond what the decoded skip
+    edges express.  Legacy duck-typed spaces without the hook fall back to
+    the architecture's own graph.
+    """
+    hook = getattr(search_space, "partition_graph", None)
+    if hook is None:
+        return architecture.partition_graph()
+    return hook(architecture)
 
 
 class PartitionAwareEvaluator:
@@ -40,7 +58,9 @@ class PartitionAwareEvaluator:
     Parameters
     ----------
     search_space:
-        The architecture search space used for decoding genotypes.
+        Any :class:`~repro.nn.spaces.SearchSpace` used for decoding
+        genotypes (the paper's ``lens-vgg`` space, the residual
+        ``resnet-v1`` space, the 1-D ``seq-conv1d`` space, or a custom one).
     accuracy_model:
         Any object implementing ``error_percent(architecture) -> float``.
     analyzer:
@@ -58,7 +78,7 @@ class PartitionAwareEvaluator:
 
     def __init__(
         self,
-        search_space: LensSearchSpace,
+        search_space: SearchSpace,
         accuracy_model: AccuracyModel,
         analyzer: PartitionAnalyzer,
         partition_within: bool = True,
@@ -84,12 +104,13 @@ class PartitionAwareEvaluator:
         performance_arch = self.search_space.decode_for_performance(genotype)
 
         error = float(self.accuracy_model.error_percent(accuracy_arch))
+        graph = space_partition_graph(self.search_space, performance_arch)
         if self.engine is not None:
             partition_eval = self.engine.evaluate_partitions(
-                performance_arch, self.analyzer
+                performance_arch, self.analyzer, graph=graph
             )
         else:
-            partition_eval = self.analyzer.evaluate(performance_arch)
+            partition_eval = self.analyzer.evaluate(performance_arch, graph=graph)
 
         all_edge = partition_eval.all_edge
         best_latency = partition_eval.best_latency

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
+from repro.core.evaluation import space_partition_graph
 from repro.core.lens import LensConfig, LensSearch
 from repro.core.results import CandidateEvaluation, SearchResult
 from repro.nn.search_space import LensSearchSpace
@@ -48,10 +49,14 @@ class TraditionalSearch(LensSearch):
             performance_arch = self.search_space.decode_for_performance(
                 candidate.genotype
             )
-            # The engine already holds this candidate's partition evaluation
-            # from the search itself, so re-costing the frontier is cache hits.
+            # Same graph key as the search-loop evaluator used, so the
+            # engine already holds this candidate's partition evaluation and
+            # re-costing the frontier is cache hits — and a space-level
+            # partition_graph override keeps constraining post-hoc cuts too.
             evaluation = self.engine.evaluate_partitions(
-                performance_arch, self.analyzer
+                performance_arch,
+                self.analyzer,
+                graph=space_partition_graph(self.search_space, performance_arch),
             )
             best_latency = evaluation.best_latency
             best_energy = evaluation.best_energy

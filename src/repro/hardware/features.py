@@ -19,6 +19,21 @@ from repro.nn.architecture import LayerSummary
 #: Scaling applied to raw counts before regression.
 MEGA = 1e6
 
+#: Layer types costed through another family's prediction models.  1-D
+#: convolutions and poolings have the same arithmetic structure as their 2-D
+#: counterparts (MACs, parameter and traffic counts are computed the same
+#: way), so they share the ``conv`` / ``pool`` regression models and compute
+#: rates rather than requiring their own profiling sweeps.
+FAMILY_ALIASES = {
+    "conv1d": "conv",
+    "pool1d": "pool",
+}
+
+
+def prediction_family(layer_type: str) -> str:
+    """Prediction-model family a layer type is costed with."""
+    return FAMILY_ALIASES.get(layer_type, layer_type)
+
 
 def conv_features(summary: LayerSummary) -> np.ndarray:
     """Features for convolutional layers.
@@ -83,20 +98,24 @@ _FEATURE_EXTRACTORS = {
 
 
 def layer_features(summary: LayerSummary) -> np.ndarray:
-    """Dispatch feature extraction based on the layer family."""
-    extractor = _FEATURE_EXTRACTORS.get(summary.layer_type, generic_features)
+    """Dispatch feature extraction based on the layer's prediction family."""
+    extractor = _FEATURE_EXTRACTORS.get(
+        prediction_family(summary.layer_type), generic_features
+    )
     return extractor(summary)
 
 
 def feature_dimension(layer_type: str) -> int:
     """Dimensionality of the feature vector used for a layer family."""
     dims: Dict[str, int] = {"conv": 6, "fc": 4, "pool": 3}
-    return dims.get(layer_type, 2)
+    return dims.get(prediction_family(layer_type), 2)
 
 
 def stack_features(summaries: List[LayerSummary]) -> Dict[str, np.ndarray]:
-    """Group summaries by layer family and stack their feature vectors."""
+    """Group summaries by prediction family and stack their feature vectors."""
     grouped: Dict[str, List[np.ndarray]] = {}
     for summary in summaries:
-        grouped.setdefault(summary.layer_type, []).append(layer_features(summary))
+        grouped.setdefault(
+            prediction_family(summary.layer_type), []
+        ).append(layer_features(summary))
     return {family: np.vstack(rows) for family, rows in grouped.items()}

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hardware.device import DeviceProfile
-from repro.hardware.features import layer_features
+from repro.hardware.features import layer_features, prediction_family
 from repro.hardware.profiler import LayerProfiler, ProfilingDataset
 from repro.hardware.simulator import LayerCostSimulator
 from repro.nn.architecture import Architecture, LayerSummary
@@ -190,7 +190,7 @@ class LayerPerformancePredictor(BaseLayerPredictor):
     def predict_layer(self, summary: LayerSummary) -> LayerPrediction:
         if not self.is_fitted:
             raise RuntimeError("predictor is not fitted; call fit() or train_for_device()")
-        family = summary.layer_type
+        family = prediction_family(summary.layer_type)
         if family not in self._latency_models:
             # Structural layers (flatten/dropout) carry no measurable cost.
             return LayerPrediction(latency_s=0.0, power_w=self.device.idle_power_w)

@@ -31,6 +31,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.hardware.device import DeviceProfile
+from repro.hardware.features import prediction_family
 from repro.nn.architecture import Architecture, LayerSummary
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_non_negative
@@ -80,7 +81,7 @@ class LayerCostSimulator:
     # ------------------------------------------------------------------ core model
     def compute_time(self, summary: LayerSummary) -> float:
         """Time the layer would take if it were purely compute-bound."""
-        rate = self.device.compute_rate(summary.layer_type)
+        rate = self.device.compute_rate(prediction_family(summary.layer_type))
         return summary.flops / rate
 
     def memory_time(self, summary: LayerSummary) -> float:

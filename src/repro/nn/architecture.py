@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.nn.graph import PartitionGraph, SkipEdge
 from repro.nn.layers import (
     BYTES_PER_ELEMENT,
     LayerSpec,
@@ -107,6 +108,15 @@ class Architecture:
         the cloud.  Camera images are captured as 8-bit pixels, so the default
         is 1 byte — a 224x224x3 input occupies 147 kB, the figure the paper
         quotes — while intermediate feature maps remain 4-byte floats.
+    skip_edges:
+        Non-chain data dependencies as ``(src, dst)`` layer-index pairs
+        (``src == -1`` denotes the network input): layer ``dst`` consumes the
+        output of layer ``src`` in addition to its direct predecessor's, as
+        in a residual block.  Layers are still *executed* in list order and
+        shape inference stays sequential — skip tensors are merged by
+        element-wise addition, which changes neither shapes nor (to first
+        order) costs — but the partitioner uses these edges to exclude cuts
+        that would split a skip connection.
     """
 
     def __init__(
@@ -115,6 +125,7 @@ class Architecture:
         input_shape: Shape,
         layers: Sequence[LayerSpec],
         input_bytes_per_element: int = 1,
+        skip_edges: Sequence[SkipEdge] = (),
     ):
         if not layers:
             raise ValueError("an architecture requires at least one layer")
@@ -130,6 +141,12 @@ class Architecture:
         if len(set(names)) != len(names):
             duplicates = sorted({n for n in names if names.count(n) > 1})
             raise ValueError(f"duplicate layer names: {duplicates}")
+        # PartitionGraph normalises and bounds-checks the edges once; the
+        # graph is immutable, so every partition_graph() call shares it.
+        self._partition_graph = PartitionGraph(
+            num_layers=len(self.layers), skip_edges=tuple(skip_edges)
+        )
+        self.skip_edges: Tuple[SkipEdge, ...] = self._partition_graph.skip_edges
         self._summaries: Optional[Tuple[LayerSummary, ...]] = None
 
     # ------------------------------------------------------------------ dunder
@@ -155,10 +172,18 @@ class Architecture:
             self.input_shape == other.input_shape
             and self.input_bytes_per_element == other.input_bytes_per_element
             and self.layers == other.layers
+            and self.skip_edges == other.skip_edges
         )
 
     def __hash__(self) -> int:
-        return hash((self.input_shape, self.input_bytes_per_element, self.layers))
+        return hash(
+            (
+                self.input_shape,
+                self.input_bytes_per_element,
+                self.layers,
+                self.skip_edges,
+            )
+        )
 
     # ------------------------------------------------------------------ analysis
     def summarize(self) -> Tuple[LayerSummary, ...]:
@@ -183,8 +208,22 @@ class Architecture:
                     )
                 )
                 current_shape = output_shape
+            for src, dst in self.skip_edges:
+                src_shape = (
+                    self.input_shape if src < 0 else summaries[src].output_shape
+                )
+                if src_shape != summaries[dst].output_shape:
+                    raise ValueError(
+                        f"skip edge ({src}, {dst}) joins incompatible shapes "
+                        f"{src_shape} -> {summaries[dst].output_shape}; "
+                        "element-wise merges require matching shapes"
+                    )
             self._summaries = tuple(summaries)
         return self._summaries
+
+    def partition_graph(self) -> PartitionGraph:
+        """Cut-legality graph of this architecture (see :mod:`repro.nn.graph`)."""
+        return self._partition_graph
 
     @property
     def output_shape(self) -> Shape:
@@ -237,12 +276,15 @@ class Architecture:
     # ------------------------------------------------------------------ serialization
     def to_dict(self) -> Dict:
         """Serialisable description of the architecture."""
-        return {
+        data = {
             "name": self.name,
             "input_shape": list(self.input_shape),
             "input_bytes_per_element": self.input_bytes_per_element,
             "layers": [layer.to_dict() for layer in self.layers],
         }
+        if self.skip_edges:
+            data["skip_edges"] = [list(edge) for edge in self.skip_edges]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Architecture":
@@ -253,6 +295,9 @@ class Architecture:
             tuple(data["input_shape"]),
             layers,
             input_bytes_per_element=data.get("input_bytes_per_element", 1),
+            skip_edges=tuple(
+                tuple(edge) for edge in data.get("skip_edges", ())
+            ),
         )
 
     def describe(self) -> str:

@@ -1,0 +1,164 @@
+"""Dataflow-graph view of an architecture: which layer boundaries may be cut.
+
+The partitioner's original rule assumed a *linear* layer chain: any layer
+boundary is structurally cuttable, and only the paper's shrinkage rule
+(output smaller than the raw input) filters candidates.  Architectures with
+skip connections break that assumption — cutting inside a residual block
+would require shipping **two** tensors (the running activation *and* the
+skip tensor) to the cloud, which the single-tensor transfer model of
+Algorithm 1 cannot express.
+
+A :class:`PartitionGraph` captures exactly the structural information the
+partitioner needs: the number of layers in execution order plus the *skip
+edges* ``(src, dst)`` — layer ``dst`` consumes the output of layer ``src``
+in addition to the output of its direct predecessor.  A cut after layer
+``j`` is legal iff no skip edge spans it strictly (``src < j < dst``): when
+``src == j`` the transmitted tensor *is* the skip tensor, so the cut stays a
+single-tensor transfer and remains legal.
+
+Linear architectures (no skip edges) produce a graph that allows every
+boundary, so the graph-aware enumeration degenerates to the original
+linear-chain behaviour — the two are bit-identical on the ``lens-vgg``
+space (see ``tests/test_partition_graph.py`` and
+``benchmarks/bench_partition_spaces.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: A skip edge: layer ``dst`` additionally consumes the output of layer
+#: ``src``.  ``src == -1`` denotes the raw network input.
+SkipEdge = Tuple[int, int]
+
+#: Sentinel source index denoting the network input tensor.
+INPUT_NODE = -1
+
+
+def normalize_skip_edges(edges: Iterable[Sequence[int]]) -> Tuple[SkipEdge, ...]:
+    """Validate and canonicalise skip edges (sorted, deduplicated int pairs).
+
+    Bounds against a concrete layer count are checked by
+    :class:`PartitionGraph` (or :class:`~repro.nn.architecture.Architecture`);
+    this helper only enforces the pair structure and ``src < dst`` ordering.
+    """
+    canonical: List[SkipEdge] = []
+    for edge in edges:
+        pair = tuple(int(v) for v in edge)
+        if len(pair) != 2:
+            raise ValueError(f"skip edge must be a (src, dst) pair, got {edge!r}")
+        src, dst = pair
+        if src < INPUT_NODE:
+            raise ValueError(
+                f"skip edge source must be >= {INPUT_NODE} (the network input), "
+                f"got {src}"
+            )
+        if dst <= src:
+            raise ValueError(
+                f"skip edge must run forward (src < dst), got ({src}, {dst})"
+            )
+        canonical.append((src, dst))
+    return tuple(sorted(set(canonical)))
+
+
+@dataclass(frozen=True)
+class PartitionGraph:
+    """Cut-legality description of one concrete architecture.
+
+    Parameters
+    ----------
+    num_layers:
+        Number of layers in execution order.
+    skip_edges:
+        Non-chain data dependencies as ``(src, dst)`` pairs; ``src == -1``
+        denotes the network input.  Edges must satisfy
+        ``-1 <= src < dst < num_layers``.
+    """
+
+    num_layers: int
+    skip_edges: Tuple[SkipEdge, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {self.num_layers}")
+        object.__setattr__(
+            self, "skip_edges", normalize_skip_edges(self.skip_edges)
+        )
+        for src, dst in self.skip_edges:
+            if dst >= self.num_layers:
+                raise ValueError(
+                    f"skip edge ({src}, {dst}) exceeds the layer count "
+                    f"({self.num_layers})"
+                )
+
+    @classmethod
+    def from_architecture(cls, architecture) -> "PartitionGraph":
+        """Graph of any object with ``layers`` and ``skip_edges`` attributes."""
+        return cls(
+            num_layers=len(architecture.layers),
+            skip_edges=tuple(getattr(architecture, "skip_edges", ())),
+        )
+
+    # ------------------------------------------------------------------ legality
+    @property
+    def is_linear(self) -> bool:
+        """Whether the graph is a plain chain (every boundary cuttable)."""
+        return not self.skip_edges
+
+    def allows_cut_after(self, index: int) -> bool:
+        """Whether the boundary after layer ``index`` is a single-tensor cut.
+
+        A skip edge ``(src, dst)`` forbids every boundary it spans strictly
+        (``src < index < dst``); a cut exactly at the edge's source remains
+        legal because the transmitted tensor is the skip tensor itself.
+        """
+        if not -1 <= index < self.num_layers:
+            raise IndexError(
+                f"cut index {index} out of range [-1, {self.num_layers})"
+            )
+        return all(
+            not (src < index < dst) for src, dst in self.skip_edges
+        )
+
+    def legal_cut_indices(self) -> List[int]:
+        """Every structurally legal cut boundary, in layer order.
+
+        The final boundary is excluded — cutting after the last layer is the
+        All-Edge deployment, not a split.
+        """
+        return [
+            index
+            for index in range(self.num_layers - 1)
+            if self.allows_cut_after(index)
+        ]
+
+    def blocked_cut_indices(self) -> List[int]:
+        """Boundaries forbidden because a skip edge spans them."""
+        return [
+            index
+            for index in range(self.num_layers - 1)
+            if not self.allows_cut_after(index)
+        ]
+
+    # ------------------------------------------------------------------ misc
+    def consumers_of(self, src: int) -> List[int]:
+        """Layers that consume ``src``'s output through a skip edge."""
+        return [d for s, d in self.skip_edges if s == src]
+
+    def to_dict(self) -> Dict:
+        """Serialisable description of the graph."""
+        return {
+            "num_layers": self.num_layers,
+            "skip_edges": [list(edge) for edge in self.skip_edges],
+        }
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and docs."""
+        if self.is_linear:
+            return f"linear chain of {self.num_layers} layers (all cuts legal)"
+        blocked = self.blocked_cut_indices()
+        return (
+            f"{self.num_layers} layers, {len(self.skip_edges)} skip edges, "
+            f"{len(blocked)} of {self.num_layers - 1} boundaries blocked"
+        )

@@ -8,7 +8,8 @@ wireless link.  The classes in this module capture exactly that information.
 
 Shapes follow the channels-first convention used throughout the library:
 
-* convolutional feature maps are ``(channels, height, width)`` tuples,
+* 2-D convolutional feature maps are ``(channels, height, width)`` tuples,
+* 1-D sequence feature maps are ``(channels, length)`` tuples,
 * flattened / fully-connected activations are ``(features,)`` tuples.
 
 Activation and batch-normalisation operations are *fused* into their preceding
@@ -254,6 +255,122 @@ class MaxPool2D(LayerSpec):
 
 
 @dataclass(frozen=True)
+class Conv1D(LayerSpec):
+    """1-D convolution over a channels-first sequence, fused like :class:`Conv2D`.
+
+    Inputs are ``(channels, length)`` tuples — sensor streams, audio frames
+    or token embeddings.  Cost accounting mirrors :class:`Conv2D` with one
+    spatial dimension; the hardware predictors cost the family through the
+    shared ``conv`` prediction models (see
+    :func:`repro.hardware.features.prediction_family`).
+    """
+
+    out_channels: int = 64
+    kernel_size: int = 3
+    stride: int = 1
+    padding: Union[int, str] = "same"
+    activation: str = "relu"
+    batch_norm: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.out_channels, "out_channels")
+        require_positive(self.kernel_size, "kernel_size")
+        require_positive(self.stride, "stride")
+        if isinstance(self.padding, str):
+            require_in(self.padding, PADDING_MODES, "padding")
+        elif isinstance(self.padding, int) and not isinstance(self.padding, bool):
+            if self.padding < 0:
+                raise ValueError(f"padding must be >= 0, got {self.padding}")
+        else:
+            raise TypeError(
+                f"padding must be 'same', 'valid' or a non-negative int, got {self.padding!r}"
+            )
+        require_in(self.activation, ACTIVATIONS, "activation")
+
+    @property
+    def layer_type(self) -> str:
+        return "conv1d"
+
+    @property
+    def padding_elements(self) -> int:
+        """Explicit per-side padding implied by the padding setting."""
+        if isinstance(self.padding, str):
+            return (self.kernel_size - 1) // 2 if self.padding == "same" else 0
+        return int(self.padding)
+
+    def _length_out(self, length: int) -> int:
+        if self.padding == "same":
+            return max(1, -(-length // self.stride))  # ceil division
+        pad = self.padding_elements
+        out = (length + 2 * pad - self.kernel_size) // self.stride + 1
+        if out < 1:
+            raise ValueError(
+                f"layer {self.name!r}: kernel {self.kernel_size} does not fit "
+                f"input length {length} with padding {pad}"
+            )
+        return out
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"Conv1D {self.name!r} expects a (C, L) input, got {input_shape}"
+            )
+        _, length = input_shape
+        return (self.out_channels, self._length_out(length))
+
+    def param_count(self, input_shape: Shape) -> int:
+        in_channels = input_shape[0]
+        weights = self.out_channels * in_channels * self.kernel_size
+        biases = self.out_channels
+        bn = 2 * self.out_channels if self.batch_norm else 0
+        return weights + biases + bn
+
+    def macs(self, input_shape: Shape) -> int:
+        in_channels = input_shape[0]
+        out_c, out_l = self.output_shape(input_shape)
+        return out_c * out_l * in_channels * self.kernel_size
+
+
+@dataclass(frozen=True)
+class MaxPool1D(LayerSpec):
+    """Max-pooling over a channels-first sequence."""
+
+    pool_size: int = 2
+    stride: int = 0  # 0 means "same as pool_size"
+
+    def __post_init__(self) -> None:
+        require_positive(self.pool_size, "pool_size")
+        if self.stride < 0:
+            raise ValueError(f"stride must be >= 0, got {self.stride}")
+
+    @property
+    def layer_type(self) -> str:
+        return "pool1d"
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride if self.stride > 0 else self.pool_size
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"MaxPool1D {self.name!r} expects a (C, L) input, got {input_shape}"
+            )
+        channels, length = input_shape
+        out_l = (length - self.pool_size) // self.effective_stride + 1
+        # Degenerate pooling on short sequences collapses to length 1 rather
+        # than failing, matching the 2-D pooling behaviour on tiny inputs.
+        return (channels, max(1, out_l))
+
+    def param_count(self, input_shape: Shape) -> int:
+        return 0
+
+    def macs(self, input_shape: Shape) -> int:
+        # One comparison per output element per window element, as in 2-D.
+        return element_count(self.output_shape(input_shape)) * self.pool_size
+
+
+@dataclass(frozen=True)
 class Flatten(LayerSpec):
     """Reshape a (C, H, W) feature map into a flat feature vector."""
 
@@ -333,7 +450,9 @@ class Dropout(LayerSpec):
 
 LAYER_CLASSES = {
     "conv": Conv2D,
+    "conv1d": Conv1D,
     "pool": MaxPool2D,
+    "pool1d": MaxPool1D,
     "flatten": Flatten,
     "fc": Dense,
     "dropout": Dropout,

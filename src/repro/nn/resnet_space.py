@@ -1,0 +1,205 @@
+"""ResNet-style residual search space (``"resnet-v1"``).
+
+The space searches over a stem convolution followed by ``num_stages``
+residual stages.  Stage ``s`` downsamples with a 2x2 max-pool, adapts the
+channel count with a *transition* convolution, and then applies 1-3
+residual blocks of two same-shaped convolutions each:
+
+.. code-block:: text
+
+    x ── pool ── transition ──┬── conv_a ── conv_b ──(+)── ...
+                              └───────────────────────┘
+                                  identity skip edge
+
+Because the skip path is an identity (channels are changed only by the
+transition layer, never inside a block), every residual add joins tensors
+of identical shape, and each block contributes one
+``(block_input, conv_b)`` skip edge to the decoded
+:class:`~repro.nn.architecture.Architecture`.  The partitioner therefore
+may cut *between* blocks (the skip tensor is exactly the transmitted
+tensor) but never *inside* one — the constraint the linear-chain rule of
+the original partitioner could not express.
+
+Per-stage genes: number of residual blocks, kernel size and channel width.
+Head genes: an optional hidden fully-connected layer and its width.  Every
+genotype is structurally valid (pooling is built in, the classifier always
+exists), so ``is_valid`` is always true and ``repair`` is the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nn.architecture import Architecture
+from repro.nn.encoding import EncodingScheme, Gene
+from repro.nn.graph import SkipEdge
+from repro.nn.layers import Conv2D, Dense, Flatten, LayerSpec, MaxPool2D
+from repro.nn.spaces import EncodedSearchSpace
+
+#: Default per-stage gene choices.
+DEFAULT_BLOCKS_PER_STAGE = (1, 2, 3)
+DEFAULT_KERNEL_SIZES = (3, 5)
+DEFAULT_STAGE_WIDTHS = (24, 36, 64, 96, 128)
+DEFAULT_FC_UNITS = (256, 512, 1024, 2048)
+DEFAULT_NUM_STAGES = 4
+
+
+class ResNetSearchSpace(EncodedSearchSpace):
+    """Residual CNN search space whose decoded models carry skip edges.
+
+    Parameters
+    ----------
+    num_stages:
+        Number of residual stages; each stage halves the spatial size.
+    blocks_per_stage / kernel_sizes / stage_widths / fc_units:
+        Admissible values for the per-stage and head genes.
+    num_classes:
+        Width of the final softmax classifier.
+    accuracy_input_shape / performance_input_shape:
+        Input shapes for accuracy estimation and latency/energy analysis,
+        matching the conventions of the ``lens-vgg`` space.
+    """
+
+    space_name = "resnet-v1"
+
+    def __init__(
+        self,
+        num_stages: int = DEFAULT_NUM_STAGES,
+        blocks_per_stage: Sequence[int] = DEFAULT_BLOCKS_PER_STAGE,
+        kernel_sizes: Sequence[int] = DEFAULT_KERNEL_SIZES,
+        stage_widths: Sequence[int] = DEFAULT_STAGE_WIDTHS,
+        fc_units: Sequence[int] = DEFAULT_FC_UNITS,
+        num_classes: int = 10,
+        accuracy_input_shape: Tuple[int, int, int] = (3, 32, 32),
+        performance_input_shape: Tuple[int, int, int] = (3, 224, 224),
+    ):
+        if num_stages < 1:
+            raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+        if any(b < 1 for b in blocks_per_stage):
+            raise ValueError(
+                f"blocks_per_stage must be >= 1, got {tuple(blocks_per_stage)}"
+            )
+        self.num_stages = int(num_stages)
+        self.blocks_per_stage = tuple(int(v) for v in blocks_per_stage)
+        self.kernel_sizes = tuple(int(v) for v in kernel_sizes)
+        self.stage_widths = tuple(int(v) for v in stage_widths)
+        self.fc_units = tuple(int(v) for v in fc_units)
+        self.num_classes = int(num_classes)
+        self.accuracy_input_shape = tuple(accuracy_input_shape)
+        self.performance_input_shape = tuple(performance_input_shape)
+        self.encoding = self._build_encoding()
+
+    # ------------------------------------------------------------------ encoding
+    def _build_encoding(self) -> EncodingScheme:
+        genes: List[Gene] = []
+        for stage in range(1, self.num_stages + 1):
+            genes.append(Gene(f"stage{stage}_blocks", self.blocks_per_stage))
+            genes.append(Gene(f"stage{stage}_kernel", self.kernel_sizes))
+            genes.append(Gene(f"stage{stage}_width", self.stage_widths))
+        genes.append(Gene("fc_present", (False, True)))
+        genes.append(Gene("fc_units", self.fc_units))
+        return EncodingScheme(genes)
+
+    # ------------------------------------------------------------------ decoding
+    def decode(
+        self,
+        indices: Sequence[int],
+        input_shape: Optional[Tuple[int, ...]] = None,
+        num_classes: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Architecture:
+        """Decode a genotype into an :class:`Architecture` with skip edges.
+
+        Layers are emitted in execution order (the residual adds are fused
+        into each block's second convolution); the returned architecture's
+        ``skip_edges`` mark every block's identity shortcut.
+        """
+        values = self.encoding.values(indices)
+        input_shape = tuple(input_shape or self.accuracy_input_shape)
+        num_classes = int(num_classes if num_classes is not None else self.num_classes)
+        name = name or self.candidate_name(indices)
+
+        layers: List[LayerSpec] = []
+        skip_edges: List[SkipEdge] = []
+        layers.append(
+            Conv2D(
+                name="stem",
+                out_channels=int(values["stage1_width"]),
+                kernel_size=3,
+                padding="same",
+                batch_norm=True,
+            )
+        )
+        for stage in range(1, self.num_stages + 1):
+            width = int(values[f"stage{stage}_width"])
+            kernel = int(values[f"stage{stage}_kernel"])
+            blocks = int(values[f"stage{stage}_blocks"])
+            layers.append(MaxPool2D(name=f"stage{stage}_pool", pool_size=2))
+            layers.append(
+                Conv2D(
+                    name=f"stage{stage}_transition",
+                    out_channels=width,
+                    kernel_size=1,
+                    padding="same",
+                    batch_norm=True,
+                )
+            )
+            for block in range(1, blocks + 1):
+                block_input = len(layers) - 1
+                for half in ("a", "b"):
+                    layers.append(
+                        Conv2D(
+                            name=f"stage{stage}_block{block}_{half}",
+                            out_channels=width,
+                            kernel_size=kernel,
+                            padding="same",
+                            batch_norm=True,
+                        )
+                    )
+                skip_edges.append((block_input, len(layers) - 1))
+        layers.append(Flatten(name="flatten"))
+        if values["fc_present"]:
+            layers.append(Dense(name="fc1", units=int(values["fc_units"])))
+        layers.append(Dense(name="classifier", units=num_classes, activation="softmax"))
+        return Architecture(name, input_shape, layers, skip_edges=tuple(skip_edges))
+
+    # ------------------------------------------------------------------ misc
+    def describe(self) -> str:
+        """Human-readable description of the space and its structure."""
+        lines = [
+            f"ResNetSearchSpace: {self.num_stages} residual stages, "
+            f"{self.total_combinations():,} genotypes",
+            f"  blocks per stage: {list(self.blocks_per_stage)}",
+            f"  kernel sizes: {list(self.kernel_sizes)}",
+            f"  stage widths: {list(self.stage_widths)}",
+            f"  fc units: {list(self.fc_units)}",
+            "  constraints: residual skip edges forbid cuts inside blocks",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """Serialisable configuration of the space."""
+        return {
+            "num_stages": self.num_stages,
+            "blocks_per_stage": list(self.blocks_per_stage),
+            "kernel_sizes": list(self.kernel_sizes),
+            "stage_widths": list(self.stage_widths),
+            "fc_units": list(self.fc_units),
+            "num_classes": self.num_classes,
+            "accuracy_input_shape": list(self.accuracy_input_shape),
+            "performance_input_shape": list(self.performance_input_shape),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ResNetSearchSpace":
+        """Reconstruct a search space from :meth:`to_dict` output."""
+        return cls(
+            num_stages=data["num_stages"],
+            blocks_per_stage=data["blocks_per_stage"],
+            kernel_sizes=data["kernel_sizes"],
+            stage_widths=data["stage_widths"],
+            fc_units=data["fc_units"],
+            num_classes=data["num_classes"],
+            accuracy_input_shape=tuple(data["accuracy_input_shape"]),
+            performance_input_shape=tuple(data["performance_input_shape"]),
+        )

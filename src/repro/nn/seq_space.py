@@ -1,19 +1,24 @@
-"""The LENS experimental search space (Fig. 4 of the paper).
+"""1-D convolutional sequence search space (``"seq-conv1d"``).
 
-The space is derived from VGG-16 and consists of five convolutional blocks,
-each followed by an *optional* 2x2 max-pooling layer.  For every block the
-search varies
+A non-vision workload: multi-channel sensor/audio streams classified with a
+stack of 1-D convolutional blocks — the kind of model deployed for keyword
+spotting or IMU activity recognition on edge devices.  Each block varies
 
-* the number of convolutional layers: 1, 2 or 3,
-* the kernel size: 3, 5 or 7,
-* the number of filters: 24, 36, 64, 96, 128 or 256.
+* the number of :class:`~repro.nn.layers.Conv1D` layers (1 or 2),
+* the kernel size (3, 5 or 9 taps),
+* the number of filters,
+* whether a 4x max-pool follows the block.
 
-After the convolutional blocks, at least one of two fully-connected layers
-exists, each with a width drawn from {256, 512, 1024, 2048, 4096, 8192}.  All
-layers use ReLU except the final softmax classifier, batch normalisation is
-applied at every convolutional layer, and every architecture must contain at
-least four pooling layers (the paper adds this constraint "to highlight cases
-that can benefit from layer distribution").
+Heads mirror the CNN spaces: an optional hidden fully-connected layer plus
+the softmax classifier.  At least ``min_pool_layers`` pooling layers are
+required so the sequence shrinks enough for edge/cloud splits to exist —
+the same role the pooling constraint plays in the ``lens-vgg`` space.
+
+Accuracy is estimated on short training windows
+(``accuracy_input_shape=(6, 256)``), while latency/energy analysis uses a
+full streaming window (``performance_input_shape=(6, 16000)``, 16k samples
+of 6-channel 8-bit input = 96 kB uploaded under All-Cloud).  Decoded
+architectures are plain chains, so every boundary is cut-legal.
 """
 
 from __future__ import annotations
@@ -24,49 +29,41 @@ import numpy as np
 
 from repro.nn.architecture import Architecture
 from repro.nn.encoding import EncodingScheme, Gene
-from repro.nn.layers import Conv2D, Dense, Flatten, LayerSpec, MaxPool2D
+from repro.nn.layers import Conv1D, Dense, Flatten, LayerSpec, MaxPool1D
 from repro.nn.spaces import EncodedSearchSpace
 from repro.utils.rng import SeedLike, ensure_rng
 
-#: Default choices, exactly as given in the paper's Fig. 4 description.
-DEFAULT_LAYERS_PER_BLOCK = (1, 2, 3)
-DEFAULT_KERNEL_SIZES = (3, 5, 7)
-DEFAULT_FILTER_COUNTS = (24, 36, 64, 96, 128, 256)
-DEFAULT_FC_UNITS = (256, 512, 1024, 2048, 4096, 8192)
-DEFAULT_NUM_BLOCKS = 5
-DEFAULT_MIN_POOL_LAYERS = 4
+#: Default gene choices of the sequence space.
+DEFAULT_LAYERS_PER_BLOCK = (1, 2)
+DEFAULT_KERNEL_SIZES = (3, 5, 9)
+DEFAULT_FILTER_COUNTS = (16, 32, 64, 128)
+DEFAULT_FC_UNITS = (64, 128, 256)
+DEFAULT_NUM_BLOCKS = 4
+DEFAULT_MIN_POOL_LAYERS = 3
+DEFAULT_POOL_SIZE = 4
 
 
-class LensSearchSpace(EncodedSearchSpace):
-    """VGG-derived search space used by the LENS experiments.
-
-    Registered as ``"lens-vgg"`` in :data:`repro.api.registry.SEARCH_SPACES`;
-    the generic sampling/encoding machinery lives in
-    :class:`~repro.nn.spaces.EncodedSearchSpace`, this class only declares
-    the paper's genes, constraints and decoding.  Decoded architectures are
-    plain chains (no skip edges), so every layer boundary is cut-legal and
-    the partitioner's graph-aware enumeration reduces to the paper's
-    linear-chain rule.
+class SeqConv1DSearchSpace(EncodedSearchSpace):
+    """Sequence-model search space over 1-D convolutional blocks.
 
     Parameters
     ----------
     num_blocks:
-        Number of convolutional blocks (5 in the paper).
+        Number of convolutional blocks.
     layers_per_block / kernel_sizes / filter_counts / fc_units:
-        Admissible values for the per-block and fully-connected genes.
+        Admissible values for the per-block and head genes.
     min_pool_layers:
-        Minimum number of pooling layers any valid architecture must contain.
+        Minimum number of pooling layers any valid genotype must enable.
+    pool_size:
+        Window (and stride) of each pooling layer.
     num_classes:
-        Width of the final softmax classifier (CIFAR-10 -> 10).
-    accuracy_input_shape:
-        Input shape used when decoding models for *training / accuracy*
-        estimation (CIFAR-10 32x32 RGB images in the paper).
-    performance_input_shape:
-        Input shape used when decoding models for *latency / energy*
-        estimation (224x224x3, i.e. 147 kB, "to reflect realistic scenarios").
+        Width of the final softmax classifier (e.g. 12 keywords).
+    accuracy_input_shape / performance_input_shape:
+        ``(channels, length)`` input shapes for accuracy estimation and for
+        latency/energy analysis.
     """
 
-    space_name = "lens-vgg"
+    space_name = "seq-conv1d"
 
     def __init__(
         self,
@@ -76,15 +73,17 @@ class LensSearchSpace(EncodedSearchSpace):
         filter_counts: Sequence[int] = DEFAULT_FILTER_COUNTS,
         fc_units: Sequence[int] = DEFAULT_FC_UNITS,
         min_pool_layers: int = DEFAULT_MIN_POOL_LAYERS,
-        num_classes: int = 10,
-        accuracy_input_shape: Tuple[int, int, int] = (3, 32, 32),
-        performance_input_shape: Tuple[int, int, int] = (3, 224, 224),
+        pool_size: int = DEFAULT_POOL_SIZE,
+        num_classes: int = 12,
+        accuracy_input_shape: Tuple[int, int] = (6, 256),
+        performance_input_shape: Tuple[int, int] = (6, 16000),
     ):
         if num_blocks < 1:
             raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
         if min_pool_layers > num_blocks:
             raise ValueError(
-                f"min_pool_layers ({min_pool_layers}) cannot exceed num_blocks ({num_blocks})"
+                f"min_pool_layers ({min_pool_layers}) cannot exceed "
+                f"num_blocks ({num_blocks})"
             )
         self.num_blocks = int(num_blocks)
         self.layers_per_block = tuple(int(v) for v in layers_per_block)
@@ -92,6 +91,7 @@ class LensSearchSpace(EncodedSearchSpace):
         self.filter_counts = tuple(int(v) for v in filter_counts)
         self.fc_units = tuple(int(v) for v in fc_units)
         self.min_pool_layers = int(min_pool_layers)
+        self.pool_size = int(pool_size)
         self.num_classes = int(num_classes)
         self.accuracy_input_shape = tuple(accuracy_input_shape)
         self.performance_input_shape = tuple(performance_input_shape)
@@ -105,87 +105,45 @@ class LensSearchSpace(EncodedSearchSpace):
             genes.append(Gene(f"block{block}_kernel", self.kernel_sizes))
             genes.append(Gene(f"block{block}_filters", self.filter_counts))
             genes.append(Gene(f"block{block}_pool", (False, True)))
-        genes.append(Gene("fc1_present", (False, True)))
-        genes.append(Gene("fc1_units", self.fc_units))
-        genes.append(Gene("fc2_present", (False, True)))
-        genes.append(Gene("fc2_units", self.fc_units))
+        genes.append(Gene("fc_present", (False, True)))
+        genes.append(Gene("fc_units", self.fc_units))
         return EncodingScheme(genes)
 
     # ------------------------------------------------------------------ validity
-    def pool_count(self, indices: Sequence[int]) -> int:
-        """Number of pooling layers encoded by the given genotype."""
-        values = self.encoding.values(indices)
-        return sum(
-            1 for block in range(1, self.num_blocks + 1) if values[f"block{block}_pool"]
-        )
-
     def is_valid(self, indices: Sequence[int]) -> bool:
-        """Whether the genotype satisfies the search-space constraints.
-
-        The two constraints from the paper are: at least ``min_pool_layers``
-        pooling layers, and at least one of the two fully-connected layers
-        present.
-        """
+        """At least ``min_pool_layers`` of the block pools must be enabled."""
         values = self.encoding.values(indices)
         pools = sum(
             1 for block in range(1, self.num_blocks + 1) if values[f"block{block}_pool"]
         )
-        if pools < self.min_pool_layers:
-            return False
-        if not (values["fc1_present"] or values["fc2_present"]):
-            return False
-        return True
+        return pools >= self.min_pool_layers
 
     def repair(self, indices: Sequence[int], rng: SeedLike = None) -> np.ndarray:
-        """Return a valid genotype obtained by minimally editing ``indices``.
-
-        Missing pooling layers are switched on at uniformly random blocks and
-        the first fully-connected layer is enabled if neither is present.
-        """
+        """Switch on pooling at random blocks until the constraint holds."""
         rng = ensure_rng(rng)
         arr = self.encoding.validate_indices(indices).copy()
-        values = self.encoding.values(arr)
-
         pool_positions = [
             self.encoding.gene_position(f"block{block}_pool")
             for block in range(1, self.num_blocks + 1)
         ]
-        pool_gene = self.encoding.gene("block1_pool")
-        on_index = pool_gene.index_of(True)
-        current_pools = [pos for pos in pool_positions if arr[pos] == on_index]
-        missing = self.min_pool_layers - len(current_pools)
+        on_index = self.encoding.gene("block1_pool").index_of(True)
+        off_positions = [pos for pos in pool_positions if arr[pos] != on_index]
+        missing = self.min_pool_layers - (len(pool_positions) - len(off_positions))
         if missing > 0:
-            off_positions = [pos for pos in pool_positions if arr[pos] != on_index]
             chosen = rng.choice(len(off_positions), size=missing, replace=False)
             for choice in np.atleast_1d(chosen):
                 arr[off_positions[int(choice)]] = on_index
-
-        if not (values["fc1_present"] or values["fc2_present"]):
-            fc1_gene = self.encoding.gene("fc1_present")
-            arr[self.encoding.gene_position("fc1_present")] = fc1_gene.index_of(True)
         return arr
 
     # ------------------------------------------------------------------ decoding
     def decode(
         self,
         indices: Sequence[int],
-        input_shape: Optional[Tuple[int, int, int]] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
         num_classes: Optional[int] = None,
         name: Optional[str] = None,
     ) -> Architecture:
-        """Decode a genotype into a concrete :class:`Architecture`.
-
-        Parameters
-        ----------
-        indices:
-            Valid genotype (use :meth:`repair` beforehand if necessary).
-        input_shape:
-            Channels-first input shape; defaults to the accuracy input shape.
-        num_classes:
-            Classifier width; defaults to the space's ``num_classes``.
-        name:
-            Architecture name; defaults to a hash-like identifier.
-        """
+        """Decode a genotype into a concrete 1-D :class:`Architecture`."""
         if not self.is_valid(indices):
             raise ValueError(
                 "genotype violates the search-space constraints; call repair() first"
@@ -202,48 +160,35 @@ class LensSearchSpace(EncodedSearchSpace):
             filters = int(values[f"block{block}_filters"])
             for layer_idx in range(1, depth + 1):
                 layers.append(
-                    Conv2D(
+                    Conv1D(
                         name=f"conv{block}_{layer_idx}",
                         out_channels=filters,
                         kernel_size=kernel,
-                        stride=1,
                         padding="same",
                         batch_norm=True,
                     )
                 )
             if values[f"block{block}_pool"]:
-                layers.append(MaxPool2D(name=f"pool{block}", pool_size=2))
+                layers.append(
+                    MaxPool1D(name=f"pool{block}", pool_size=self.pool_size)
+                )
         layers.append(Flatten(name="flatten"))
-        fc_index = 0
-        if values["fc1_present"]:
-            fc_index += 1
-            layers.append(Dense(name=f"fc{fc_index}", units=int(values["fc1_units"])))
-        if values["fc2_present"]:
-            fc_index += 1
-            layers.append(Dense(name=f"fc{fc_index}", units=int(values["fc2_units"])))
+        if values["fc_present"]:
+            layers.append(Dense(name="fc1", units=int(values["fc_units"])))
         layers.append(Dense(name="classifier", units=num_classes, activation="softmax"))
         return Architecture(name, input_shape, layers)
 
     # ------------------------------------------------------------------ misc
-    def candidate_name(self, indices: Sequence[int]) -> str:
-        """Deterministic short name for a genotype.
-
-        Keeps the historical ``lens-`` prefix (rather than the registry key
-        ``lens-vgg``) so names in previously stored outcomes stay stable.
-        """
-        arr = self.encoding.validate_indices(indices)
-        return f"lens-{self.genotype_digest(arr)}"
-
     def describe(self) -> str:
         """Human-readable description of the space and its constraints."""
         lines = [
-            f"LensSearchSpace: {self.num_blocks} conv blocks, "
+            f"SeqConv1DSearchSpace: {self.num_blocks} conv1d blocks, "
             f"{self.total_combinations():,} unconstrained genotypes",
             f"  layers per block: {list(self.layers_per_block)}",
             f"  kernel sizes: {list(self.kernel_sizes)}",
             f"  filter counts: {list(self.filter_counts)}",
             f"  fc units: {list(self.fc_units)}",
-            f"  constraints: >= {self.min_pool_layers} pooling layers, >= 1 FC layer",
+            f"  constraints: >= {self.min_pool_layers} pooling layers",
         ]
         return "\n".join(lines)
 
@@ -256,13 +201,14 @@ class LensSearchSpace(EncodedSearchSpace):
             "filter_counts": list(self.filter_counts),
             "fc_units": list(self.fc_units),
             "min_pool_layers": self.min_pool_layers,
+            "pool_size": self.pool_size,
             "num_classes": self.num_classes,
             "accuracy_input_shape": list(self.accuracy_input_shape),
             "performance_input_shape": list(self.performance_input_shape),
         }
 
     @classmethod
-    def from_dict(cls, data: Dict) -> "LensSearchSpace":
+    def from_dict(cls, data: Dict) -> "SeqConv1DSearchSpace":
         """Reconstruct a search space from :meth:`to_dict` output."""
         return cls(
             num_blocks=data["num_blocks"],
@@ -271,6 +217,7 @@ class LensSearchSpace(EncodedSearchSpace):
             filter_counts=data["filter_counts"],
             fc_units=data["fc_units"],
             min_pool_layers=data["min_pool_layers"],
+            pool_size=data["pool_size"],
             num_classes=data["num_classes"],
             accuracy_input_shape=tuple(data["accuracy_input_shape"]),
             performance_input_shape=tuple(data["performance_input_shape"]),

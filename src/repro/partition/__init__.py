@@ -1,5 +1,6 @@
 """Edge/cloud layer-partitioning engine."""
 
+from repro.nn.graph import PartitionGraph
 from repro.partition.deployment import (
     ALL_CLOUD,
     ALL_EDGE,
@@ -23,5 +24,6 @@ __all__ = [
     "DeploymentOption",
     "PartitionAnalyzer",
     "PartitionEvaluation",
+    "PartitionGraph",
     "identify_partition_points",
 ]

@@ -5,11 +5,19 @@ device and a wireless channel, the partitioner
 
 1. identifies *candidate partition points* — layers whose output feature map
    is smaller than the network input (transmitting anything larger is always
-   dominated by uploading the raw input, §II-A / Algorithm 1 line 9);
+   dominated by uploading the raw input, §II-A / Algorithm 1 line 9), and —
+   for architectures carrying skip edges — whose boundary the dataflow graph
+   marks as a legal single-tensor cut (see :mod:`repro.nn.graph`);
 2. computes, for every candidate split as well as All-Edge and All-Cloud, the
    accumulated edge latency/energy plus the communication cost of shipping
    the split tensor (Algorithm 1 lines 10-12);
 3. returns the option minimising each metric (lines 13-15).
+
+The original engine assumed a linear layer chain; the graph-aware
+enumeration generalises it so residual architectures (the ``resnet-v1``
+search space) never propose a cut that would split a skip connection.
+Linear architectures take exactly the same path and produce exactly the
+same candidates as before.
 
 The cloud's own compute cost is neglected by default, as in the paper; an
 optional cloud predictor can be supplied for sensitivity studies.
@@ -24,6 +32,7 @@ import numpy as np
 
 from repro.hardware.predictors import BaseLayerPredictor, LayerPrediction
 from repro.nn.architecture import Architecture, LayerSummary
+from repro.nn.graph import PartitionGraph
 from repro.partition.deployment import DeploymentMetrics, DeploymentOption
 from repro.wireless.channel import WirelessChannel
 
@@ -32,23 +41,32 @@ def identify_partition_points(
     summaries: Sequence[LayerSummary],
     input_bytes: float,
     require_shrinkage: bool = True,
+    graph: Optional[PartitionGraph] = None,
 ) -> List[int]:
     """Indices of layers whose output may be transmitted to the cloud.
 
     A layer qualifies when it produces an activation tensor (structural layers
-    such as ``flatten`` are skipped) and — when ``require_shrinkage`` is true,
-    which is the paper's rule — its output is strictly smaller than the raw
-    network input.  The final layer is excluded: splitting after it is the
-    All-Edge deployment.
+    such as ``flatten`` are skipped), when — with ``require_shrinkage`` true,
+    the paper's rule — its output is strictly smaller than the raw network
+    input, and when the optional :class:`~repro.nn.graph.PartitionGraph`
+    allows a cut at its boundary (no skip edge spans it).  ``graph=None``
+    keeps the original linear-chain behaviour: every boundary is legal.  The
+    final layer is excluded: splitting after it is the All-Edge deployment.
     """
     candidates: List[int] = []
     last_index = len(summaries) - 1
+    # Linear graphs allow every boundary — skip the per-boundary check so
+    # chain architectures (the lens-vgg hot path) cost exactly what they
+    # did under the original linear enumeration.
+    check_graph = graph is not None and not graph.is_linear
     for summary in summaries:
         if summary.index >= last_index:
             continue
         if not summary.is_partition_candidate:
             continue
         if require_shrinkage and summary.output_bytes >= input_bytes:
+            continue
+        if check_graph and not graph.allows_cut_after(summary.index):
             continue
         candidates.append(summary.index)
     return candidates
@@ -179,6 +197,7 @@ class PartitionAnalyzer:
         self,
         architecture: Architecture,
         predictions: Optional[Sequence[LayerPrediction]] = None,
+        graph: Optional[PartitionGraph] = None,
     ) -> PartitionEvaluation:
         """Cost every deployment option of ``architecture``.
 
@@ -190,6 +209,11 @@ class PartitionAnalyzer:
             Optional pre-computed per-layer predictions (used by the NAS loop
             to avoid re-running the predictors when evaluating the same
             architecture under several channels).
+        graph:
+            Optional cut-legality graph overriding the architecture's own
+            (used by search spaces that constrain cuts beyond what the
+            decoded skip edges express, via
+            :meth:`repro.nn.spaces.SearchSpace.partition_graph`).
         """
         summaries = architecture.summarize()
         if predictions is None:
@@ -238,9 +262,13 @@ class PartitionAnalyzer:
             )
         )
 
-        # --- Splits at every candidate partition point.
+        # --- Splits at every candidate partition point (graph-aware: cuts
+        # that would split a skip connection are never proposed).
         partition_points = identify_partition_points(
-            summaries, input_bytes, require_shrinkage=self.require_shrinkage
+            summaries,
+            input_bytes,
+            require_shrinkage=self.require_shrinkage,
+            graph=graph if graph is not None else architecture.partition_graph(),
         )
         for index in partition_points:
             transfer_bytes = float(output_bytes[index])

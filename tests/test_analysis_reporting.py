@@ -97,9 +97,12 @@ def test_runtime_section(alexnet, gpu_oracle, wifi_channel):
     assert "Switching threshold" in text
 
 
-def outcome(scenario_name, strategy, candidates, seed=0):
+def outcome(scenario_name, strategy, candidates, seed=0, search_space="lens-vgg"):
     return SearchOutcome(
-        request=SearchRequest(scenario=scenario_name, strategy=strategy, seed=seed),
+        request=SearchRequest(
+            scenario=scenario_name, strategy=strategy, seed=seed,
+            search_space=search_space,
+        ),
         scenario=scenario_by_name(scenario_name),
         label=strategy,
         candidates=tuple(candidates),
@@ -125,10 +128,25 @@ def campaign_outcomes():
 
 def test_merged_results_pools_seeds_per_cell(campaign_outcomes):
     merged = merged_results(campaign_outcomes)
-    assert sorted(merged) == ["lte-3mbps/jetson-tx2-gpu", "wifi-3mbps/jetson-tx2-gpu"]
-    lte = merged["lte-3mbps/jetson-tx2-gpu"]
+    assert sorted(merged) == [
+        ("lte-3mbps/jetson-tx2-gpu", "lens-vgg"),
+        ("wifi-3mbps/jetson-tx2-gpu", "lens-vgg"),
+    ]
+    lte = merged[("lte-3mbps/jetson-tx2-gpu", "lens-vgg")]
     assert len(lte["lens"]) == 2  # both seeds pooled
     assert lte["lens"].label == "lens"
+
+
+def test_merged_results_keeps_search_spaces_apart():
+    wifi = "wifi-3mbps/jetson-tx2-gpu"
+    merged = merged_results([
+        outcome(wifi, "lens", [candidate("a", 20.0, 200.0)]),
+        outcome(wifi, "lens", [candidate("b", 25.0, 100.0)],
+                search_space="seq-conv1d"),
+    ])
+    assert sorted(merged) == [(wifi, "lens-vgg"), (wifi, "seq-conv1d")]
+    assert len(merged[(wifi, "lens-vgg")]["lens"]) == 1
+    assert len(merged[(wifi, "seq-conv1d")]["lens"]) == 1
 
 
 def test_combined_front_shares_partition_the_front():
@@ -146,6 +164,7 @@ def test_summarize_campaign_cells_and_winners(campaign_outcomes):
     assert summary.num_runs == 5
     by_cell = {(c.scenario, c.strategy): c for c in summary.cells}
     lens_lte = by_cell[("lte-3mbps/jetson-tx2-gpu", "lens")]
+    assert lens_lte.search_space == "lens-vgg"
     assert lens_lte.num_runs == 2
     assert lens_lte.seeds == (0, 1)
     assert lens_lte.num_candidates == 2
@@ -156,6 +175,30 @@ def test_summarize_campaign_cells_and_winners(campaign_outcomes):
     assert summary.winner_for("lte-3mbps/jetson-tx2-gpu") == "random"
     with pytest.raises(KeyError):
         summary.winner_for("3g-3mbps/jetson-tx2-gpu")
+
+
+def test_summarize_campaign_never_pools_across_spaces():
+    """Multi-space campaigns keep one Pareto front per (scenario, space);
+    a workload whose candidates would dominate another's must not erase
+    the other space's winner row."""
+    wifi = "wifi-3mbps/jetson-tx2-gpu"
+    summary = summarize_campaign([
+        # lens-vgg cell: modest candidates
+        outcome(wifi, "lens", [candidate("a", 25.0, 300.0)]),
+        outcome(wifi, "random", [candidate("r", 30.0, 400.0)]),
+        # seq-conv1d cell: numerically dominating candidates (cheap 1-D models)
+        outcome(wifi, "random", [candidate("s", 10.0, 10.0)],
+                search_space="seq-conv1d"),
+    ])
+    assert [(c.scenario, c.search_space, c.strategy) for c in summary.cells] == [
+        (wifi, "lens-vgg", "lens"),
+        (wifi, "lens-vgg", "random"),
+        (wifi, "seq-conv1d", "random"),
+    ]
+    assert summary.winner_for(wifi, search_space="lens-vgg") == "lens"
+    assert summary.winner_for(wifi, search_space="seq-conv1d") == "random"
+    with pytest.raises(KeyError, match="several search spaces"):
+        summary.winner_for(wifi)
 
 
 def test_summarize_campaign_is_order_independent(campaign_outcomes):
@@ -173,9 +216,9 @@ def test_campaign_summary_section(campaign_outcomes):
     summary = summarize_campaign(campaign_outcomes)
     text = ExperimentReport().add_campaign_summary(summary).render_markdown()
     assert "Campaign summary" in text
-    assert "**5** stored runs over **2** scenarios" in text
+    assert "**5** stored runs over **2** scenario/space contexts" in text
     assert "Winners (largest combined-frontier share)" in text
-    assert "| wifi-3mbps/jetson-tx2-gpu | lens |" in text
+    assert "| wifi-3mbps/jetson-tx2-gpu | lens-vgg | lens |" in text
 
 
 def test_full_report_round_trip(tmp_path, lens_result, baseline_result):

@@ -39,6 +39,7 @@ def test_list_shows_registries(capsys):
     out = capsys.readouterr().out
     assert "wifi-3mbps/jetson-tx2-gpu" in out
     assert "strategies: lens, random, traditional" in out
+    assert "search spaces: lens-vgg, resnet-v1, seq-conv1d" in out
     assert "devices:" in out and "acquisitions:" in out
 
 
@@ -102,6 +103,56 @@ def test_run_unknown_scenario_suggests(capsys):
     err = capsys.readouterr().err
     assert "unknown scenario" in err
     assert "wifi-3mbps/jetson-tx2-gpu" in err  # the spelling suggestion
+
+
+def test_run_with_named_search_space(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    assert main(["run", "--scenario", "wifi-3mbps/jetson-tx2-gpu",
+                 "--strategy", "random", "--search-space", "seq-conv1d",
+                 "--store", str(store_dir), *FAST_FLAGS]) == 0
+    out = capsys.readouterr().out
+    assert "space:       seq-conv1d" in out
+    assert "seq-conv1d-" in out  # candidate names carry the space
+
+    assert main(["list", "--store", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "seq-conv1d" in out
+
+
+def test_run_unknown_search_space_suggests(capsys):
+    assert main(["run", "--search-space", "resnet-v2", *FAST_FLAGS]) == 2
+    err = capsys.readouterr().err
+    assert "unknown search space" in err
+    assert "Did you mean 'resnet-v1'?" in err
+
+
+def test_campaign_across_spaces_and_list(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    assert main(["campaign", "--scenario", "wifi-3mbps/jetson-tx2-gpu",
+                 "--strategy", "random",
+                 "--search-space", "lens-vgg",
+                 "--search-space", "resnet-v1",
+                 "--search-space", "seq-conv1d",
+                 "--store", str(store_dir), *FAST_FLAGS]) == 0
+    out = capsys.readouterr().out
+    assert "campaign done: 3 executed, 0 skipped, 3 cells" in out
+
+    assert main(["list", "--store", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    for name in ("lens-vgg", "resnet-v1", "seq-conv1d"):
+        assert name in out
+
+    assert main(["report", "--store", str(store_dir)]) == 0
+    assert "3 runs, metrics:" in capsys.readouterr().out
+
+
+def test_campaign_unknown_search_space_fails_up_front(tmp_path, capsys):
+    assert main(["campaign", "--scenario", "wifi-3mbps/jetson-tx2-gpu",
+                 "--search-space", "resnet-v2",
+                 "--store", str(tmp_path / "store"), *FAST_FLAGS]) == 2
+    err = capsys.readouterr().err
+    assert "unknown search space" in err
+    assert "resnet-v1" in err
 
 
 def test_campaign_and_report_round_trip(tmp_path, capsys):

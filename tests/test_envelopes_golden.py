@@ -1,0 +1,80 @@
+"""Golden-file fingerprint pinning across the v1 -> v2 schema upgrade.
+
+``tests/data/golden_requests_v1.json`` holds serialized schema-v1
+:class:`~repro.api.envelopes.SearchRequest` payloads together with the
+fingerprints they had *when schema v1 was current*.  Run stores key
+persisted outcomes by fingerprint, so any drift would silently disconnect
+every pre-upgrade store from its requests — these values must never change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.envelopes import SCHEMA_VERSION, SearchRequest, request_fingerprint
+from repro.nn.spaces import DEFAULT_SEARCH_SPACE
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_requests_v1.json"
+
+
+def golden_entries():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["requests"]
+
+
+@pytest.mark.parametrize(
+    "entry", golden_entries(), ids=lambda e: e["fingerprint"]
+)
+def test_v1_fingerprints_never_shift(entry):
+    request = SearchRequest.from_dict(entry["request"])
+    assert request.fingerprint() == entry["fingerprint"]
+    assert request_fingerprint(request) == entry["fingerprint"]
+
+
+@pytest.mark.parametrize(
+    "entry", golden_entries(), ids=lambda e: e["fingerprint"]
+)
+def test_v1_payloads_upgrade_to_current_schema(entry):
+    assert entry["request"]["schema_version"] == 1
+    assert "search_space" not in entry["request"]
+    request = SearchRequest.from_dict(entry["request"])
+    assert request.schema_version == SCHEMA_VERSION
+    assert request.search_space == DEFAULT_SEARCH_SPACE
+
+
+def test_upgraded_request_round_trips_with_stable_fingerprint():
+    entry = golden_entries()[0]
+    request = SearchRequest.from_dict(entry["request"])
+    rewritten = SearchRequest.from_dict(request.to_dict())
+    assert rewritten == request
+    assert rewritten.to_dict()["schema_version"] == SCHEMA_VERSION
+    assert rewritten.fingerprint() == entry["fingerprint"]
+
+
+def test_explicit_default_space_matches_v1_fingerprint():
+    """Writing search_space="lens-vgg" out loud is the same computation."""
+    entry = golden_entries()[0]
+    payload = dict(entry["request"])
+    payload["schema_version"] = SCHEMA_VERSION
+    payload["search_space"] = DEFAULT_SEARCH_SPACE
+    assert SearchRequest.from_dict(payload).fingerprint() == entry["fingerprint"]
+
+
+def test_non_default_space_changes_the_fingerprint():
+    entry = golden_entries()[0]
+    request = SearchRequest.from_dict(entry["request"])
+    fingerprints = {
+        request.replace(search_space=name).fingerprint()
+        for name in (DEFAULT_SEARCH_SPACE, "resnet-v1", "seq-conv1d")
+    }
+    assert len(fingerprints) == 3
+    assert entry["fingerprint"] in fingerprints
+
+
+def test_tags_and_schema_version_stay_excluded():
+    entry = golden_entries()[0]
+    request = SearchRequest.from_dict(entry["request"])
+    tagged = request.replace(tags={"note": "irrelevant"})
+    assert tagged.fingerprint() == entry["fingerprint"]

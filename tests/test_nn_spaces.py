@@ -1,0 +1,193 @@
+"""The pluggable search-space protocol and the three registered spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.registry import SEARCH_SPACES, RegistryError, register_search_space
+from repro.nn.resnet_space import ResNetSearchSpace
+from repro.nn.search_space import LensSearchSpace
+from repro.nn.seq_space import SeqConv1DSearchSpace
+from repro.nn.spaces import DEFAULT_SEARCH_SPACE, EncodedSearchSpace, SearchSpace
+from repro.utils.rng import ensure_rng
+
+BUILTIN_SPACES = ("lens-vgg", "resnet-v1", "seq-conv1d")
+
+
+class TestRegistry:
+    def test_builtin_spaces_are_registered(self):
+        assert set(SEARCH_SPACES.names()) == set(BUILTIN_SPACES)
+        assert DEFAULT_SEARCH_SPACE == "lens-vgg"
+
+    def test_create_returns_fresh_instances(self):
+        first = SEARCH_SPACES.create("resnet-v1")
+        second = SEARCH_SPACES.create("resnet-v1")
+        assert isinstance(first, ResNetSearchSpace)
+        assert first is not second
+
+    def test_space_name_matches_registry_key(self):
+        for name in BUILTIN_SPACES:
+            assert SEARCH_SPACES.create(name).space_name == name
+
+    def test_unknown_space_suggests_close_match(self):
+        with pytest.raises(RegistryError, match="Did you mean 'resnet-v1'"):
+            SEARCH_SPACES.get("resnet-v2")
+
+    def test_register_custom_space(self):
+        class TinySpace(LensSearchSpace):
+            space_name = "tiny-vgg"
+
+        register_search_space(
+            "tiny-vgg", lambda: TinySpace(num_blocks=4, min_pool_layers=2)
+        )
+        try:
+            assert "tiny-vgg" in SEARCH_SPACES
+            space = SEARCH_SPACES.create("tiny-vgg")
+            assert space.num_blocks == 4
+        finally:
+            SEARCH_SPACES.unregister("tiny-vgg")
+
+
+class TestProtocolConformance:
+    """Every built-in space honours the full SearchSpace contract."""
+
+    @pytest.fixture(params=BUILTIN_SPACES)
+    def space(self, request):
+        return SEARCH_SPACES.create(request.param)
+
+    def test_is_search_space(self, space):
+        assert isinstance(space, SearchSpace)
+        assert isinstance(space, EncodedSearchSpace)
+
+    def test_sample_is_valid_and_deterministic(self, space):
+        a = space.sample(ensure_rng(42))
+        b = space.sample(ensure_rng(42))
+        assert np.array_equal(a, b)
+        assert space.is_valid(a)
+        assert a.shape == (space.num_genes,)
+
+    def test_sample_batch_shape(self, space):
+        batch = space.sample_batch(5, ensure_rng(0))
+        assert batch.shape == (5, space.num_genes)
+        for genotype in batch:
+            assert space.is_valid(genotype)
+
+    def test_neighbours_are_valid_and_differ(self, space):
+        rng = ensure_rng(7)
+        genotype = space.sample(rng)
+        neighbours = space.neighbours(genotype, 8, rng)
+        assert neighbours.shape == (8, space.num_genes)
+        assert any(not np.array_equal(n, genotype) for n in neighbours)
+        for neighbour in neighbours:
+            assert space.is_valid(neighbour)
+
+    def test_features_live_in_unit_cube(self, space):
+        features = space.to_features(space.sample(ensure_rng(3)))
+        assert features.shape == (space.num_genes,)
+        assert np.all(features >= 0.0) and np.all(features <= 1.0)
+
+    def test_decode_both_shapes(self, space):
+        genotype = space.sample(ensure_rng(11))
+        accuracy = space.decode_for_accuracy(genotype)
+        performance = space.decode_for_performance(genotype)
+        assert accuracy.input_shape == tuple(space.accuracy_input_shape)
+        assert performance.input_shape == tuple(space.performance_input_shape)
+        accuracy.summarize()
+        performance.summarize()
+
+    def test_candidate_name_is_deterministic_and_prefixed(self, space):
+        genotype = space.sample(ensure_rng(5))
+        name = space.candidate_name(genotype)
+        assert name == space.candidate_name(genotype)
+        prefix = "lens" if space.space_name == "lens-vgg" else space.space_name
+        assert name.startswith(prefix)
+
+    def test_partition_graph_matches_decoded_architecture(self, space):
+        genotype = space.sample(ensure_rng(9))
+        architecture = space.decode_for_performance(genotype)
+        graph = space.partition_graph(architecture)
+        assert graph.num_layers == len(architecture.layers)
+        assert graph.skip_edges == architecture.skip_edges
+
+    def test_describe_mentions_the_space(self, space):
+        assert space.describe()
+
+
+class TestResNetSpace:
+    @pytest.fixture
+    def space(self):
+        return ResNetSearchSpace()
+
+    def test_decoded_blocks_carry_skip_edges(self, space):
+        genotype = space.sample(ensure_rng(0))
+        values = space.encoding.values(genotype)
+        expected_blocks = sum(
+            int(values[f"stage{s}_blocks"]) for s in range(1, space.num_stages + 1)
+        )
+        architecture = space.decode_for_performance(genotype)
+        assert len(architecture.skip_edges) == expected_blocks
+
+    def test_skip_edges_join_identical_shapes(self, space):
+        architecture = space.decode_for_performance(space.sample(ensure_rng(1)))
+        summaries = architecture.summarize()
+        for src, dst in architecture.skip_edges:
+            assert summaries[src].output_shape == summaries[dst].output_shape
+
+    def test_every_block_interior_is_uncuttable(self, space):
+        architecture = space.decode_for_performance(space.sample(ensure_rng(2)))
+        graph = architecture.partition_graph()
+        for src, dst in architecture.skip_edges:
+            for boundary in range(src + 1, dst):
+                assert not graph.allows_cut_after(boundary)
+            # the block's entry boundary transmits the skip tensor itself
+            assert graph.allows_cut_after(src)
+
+    def test_all_genotypes_are_valid(self, space):
+        rng = ensure_rng(3)
+        for _ in range(20):
+            assert space.is_valid(space.encoding.sample_indices(rng))
+
+    def test_round_trip_configuration(self, space):
+        clone = ResNetSearchSpace.from_dict(space.to_dict())
+        assert clone.to_dict() == space.to_dict()
+        genotype = space.sample(ensure_rng(4))
+        assert clone.decode(genotype) == space.decode(genotype)
+
+
+class TestSeqConv1DSpace:
+    @pytest.fixture
+    def space(self):
+        return SeqConv1DSearchSpace()
+
+    def test_decodes_to_1d_layers(self, space):
+        architecture = space.decode_for_performance(space.sample(ensure_rng(0)))
+        types = {s.layer_type for s in architecture.summarize()}
+        assert "conv1d" in types
+        assert "pool1d" in types
+        assert "conv" not in types
+
+    def test_pool_constraint_enforced(self, space):
+        rng = ensure_rng(1)
+        invalid = np.zeros(space.num_genes, dtype=int)  # every pool gene off
+        assert not space.is_valid(invalid)
+        repaired = space.repair(invalid, rng)
+        assert space.is_valid(repaired)
+        with pytest.raises(ValueError, match="constraints"):
+            space.decode(invalid)
+
+    def test_performance_model_has_partition_points(self, space):
+        # the streaming window must shrink below the 96 kB input eventually
+        architecture = space.decode_for_performance(space.sample(ensure_rng(2)))
+        summaries = architecture.summarize()
+        input_bytes = architecture.input_bytes
+        assert any(
+            s.output_bytes < input_bytes for s in summaries[:-1]
+            if s.is_partition_candidate
+        )
+
+    def test_round_trip_configuration(self, space):
+        clone = SeqConv1DSearchSpace.from_dict(space.to_dict())
+        assert clone.to_dict() == space.to_dict()
+        genotype = space.sample(ensure_rng(4))
+        assert clone.decode(genotype) == space.decode(genotype)
