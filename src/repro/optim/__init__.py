@@ -8,9 +8,18 @@ from repro.optim.acquisition import (
     mean_scores,
     thompson_scores,
 )
-from repro.optim.gp import GaussianProcess
-from repro.optim.kernels import Kernel, Matern52Kernel, RBFKernel, kernel_by_name
+from repro.optim.gp import UPDATE_MODES, GaussianProcess
+from repro.optim.gp_bank import GPBank
+from repro.optim.kernels import (
+    Kernel,
+    Matern52Kernel,
+    RBFKernel,
+    kernel_by_name,
+    pairwise_distances,
+    pairwise_scaled_distances,
+)
 from repro.optim.mobo import (
+    DEFAULT_GP_UPDATE,
     MultiObjectiveBayesianOptimizer,
     ObservedPoint,
     OptimizationResult,
@@ -43,10 +52,15 @@ __all__ = [
     "mean_scores",
     "thompson_scores",
     "GaussianProcess",
+    "GPBank",
+    "UPDATE_MODES",
     "Kernel",
     "Matern52Kernel",
     "RBFKernel",
     "kernel_by_name",
+    "pairwise_distances",
+    "pairwise_scaled_distances",
+    "DEFAULT_GP_UPDATE",
     "MultiObjectiveBayesianOptimizer",
     "ObservedPoint",
     "OptimizationResult",

@@ -8,24 +8,36 @@ scalarises the per-objective scores and picks the pool member with the best
 (lowest) scalarised value.
 
 All objectives are minimised, so *lower scores are better* for every strategy.
+
+Every strategy accepts either a plain sequence of per-objective
+:class:`~repro.optim.gp.GaussianProcess` models or a
+:class:`~repro.optim.gp_bank.GPBank`.  With a homogeneous bank the expensive
+shared pieces — the pool cross-covariance, the triangular solve and (for
+Thompson sampling) the posterior covariance factor — are computed once for
+all objectives instead of once per objective, which is the acquisition-side
+half of the incremental surrogate fast path.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
 
 from repro.optim.gp import GaussianProcess
+from repro.optim.gp_bank import GPBank
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_non_negative
 
 #: Acquisition strategy names accepted by the optimizers.
 ACQUISITION_STRATEGIES = ("ts", "ucb", "mean", "random")
 
+#: Either a bank or a plain per-objective model sequence.
+Models = Union[Sequence[GaussianProcess], GPBank]
+
 
 def thompson_scores(
-    models: Sequence[GaussianProcess],
+    models: Models,
     pool_features: np.ndarray,
     rng: SeedLike = None,
 ) -> np.ndarray:
@@ -37,6 +49,8 @@ def thompson_scores(
     """
     rng = ensure_rng(rng)
     pool_features = np.atleast_2d(np.asarray(pool_features, dtype=float))
+    if isinstance(models, GPBank):
+        return models.thompson_matrix(pool_features, rng=rng)
     columns: List[np.ndarray] = []
     for model in models:
         sample = model.sample_posterior(pool_features, rng=rng, num_samples=1)[0]
@@ -45,7 +59,7 @@ def thompson_scores(
 
 
 def lcb_scores(
-    models: Sequence[GaussianProcess],
+    models: Models,
     pool_features: np.ndarray,
     beta: float = 2.0,
 ) -> np.ndarray:
@@ -56,6 +70,9 @@ def lcb_scores(
     """
     require_non_negative(beta, "beta")
     pool_features = np.atleast_2d(np.asarray(pool_features, dtype=float))
+    if isinstance(models, GPBank):
+        mean, std = models.predict(pool_features, return_std=True)
+        return mean - beta * std
     columns: List[np.ndarray] = []
     for model in models:
         mean, std = model.predict(pool_features, return_std=True)
@@ -63,11 +80,12 @@ def lcb_scores(
     return np.column_stack(columns)
 
 
-def mean_scores(
-    models: Sequence[GaussianProcess], pool_features: np.ndarray
-) -> np.ndarray:
+def mean_scores(models: Models, pool_features: np.ndarray) -> np.ndarray:
     """Pure-exploitation scores: the posterior means."""
     pool_features = np.atleast_2d(np.asarray(pool_features, dtype=float))
+    if isinstance(models, GPBank):
+        mean, _ = models.predict(pool_features, return_std=False)
+        return mean
     columns: List[np.ndarray] = []
     for model in models:
         mean, _ = model.predict(pool_features, return_std=False)
@@ -98,7 +116,7 @@ def expected_improvement(
 
 def acquisition_scores(
     strategy: str,
-    models: Sequence[GaussianProcess],
+    models: Models,
     pool_features: np.ndarray,
     rng: SeedLike = None,
     beta: float = 2.0,

@@ -57,6 +57,37 @@ def pairwise_scaled_distances(
     return np.sqrt(np.maximum(sq, 0.0))
 
 
+def pairwise_distances(X1: ArrayLike, X2: ArrayLike) -> np.ndarray:
+    """Unscaled Euclidean distances between rows of ``X1`` and ``X2``.
+
+    For a *scalar* lengthscale ``l`` the scaled distances are simply
+    ``pairwise_distances(X1, X2) / l``, so one O(n^2 d) distance pass can be
+    shared across a whole lengthscale grid (see
+    :meth:`GaussianProcess.optimize_lengthscale`) and across the per-objective
+    models of a :class:`~repro.optim.gp_bank.GPBank`.
+    """
+    return pairwise_scaled_distances(X1, X2, 1.0)
+
+
+def is_scalar_lengthscale(lengthscale: Union[float, np.ndarray]) -> bool:
+    """Whether a lengthscale admits the shared-distance fast path."""
+    return np.asarray(lengthscale, dtype=float).ndim == 0
+
+
+def supports_distance_reuse(kernel: "Kernel") -> bool:
+    """Whether a kernel can be evaluated from a precomputed distance matrix.
+
+    True only for scalar-lengthscale kernels that actually override
+    :meth:`Kernel.from_scaled_distances` — custom subclasses implementing
+    just the pre-existing ``__call__`` contract fall back to full kernel
+    evaluations instead of crashing on the base-class hook.
+    """
+    return (
+        is_scalar_lengthscale(getattr(kernel, "lengthscale", np.ones(1)))
+        and type(kernel).from_scaled_distances is not Kernel.from_scaled_distances
+    )
+
+
 class Kernel:
     """Base class for covariance kernels."""
 
@@ -68,6 +99,16 @@ class Kernel:
         """Diagonal of the covariance matrix of ``X`` with itself."""
         X = _as_matrix(X)
         return np.full(X.shape[0], self.variance)
+
+    def from_scaled_distances(self, r: np.ndarray) -> np.ndarray:
+        """Covariance from a matrix of already lengthscale-scaled distances.
+
+        Lets callers that precompute one unscaled distance matrix (grid
+        searches over scalar lengthscales, shared model banks) evaluate the
+        kernel as a cheap elementwise transform instead of re-running the
+        O(n^2 d) distance computation.
+        """
+        raise NotImplementedError
 
     def with_params(self, **kwargs) -> "Kernel":
         """Copy of the kernel with updated hyperparameters."""
@@ -89,7 +130,11 @@ class RBFKernel(Kernel):
         self.variance = float(variance)
 
     def __call__(self, X1: ArrayLike, X2: ArrayLike) -> np.ndarray:
-        r = pairwise_scaled_distances(X1, X2, self.lengthscale)
+        return self.from_scaled_distances(
+            pairwise_scaled_distances(X1, X2, self.lengthscale)
+        )
+
+    def from_scaled_distances(self, r: np.ndarray) -> np.ndarray:
         return self.variance * np.exp(-0.5 * r**2)
 
     def get_params(self) -> Dict:
@@ -108,7 +153,11 @@ class Matern52Kernel(Kernel):
         self.variance = float(variance)
 
     def __call__(self, X1: ArrayLike, X2: ArrayLike) -> np.ndarray:
-        r = pairwise_scaled_distances(X1, X2, self.lengthscale)
+        return self.from_scaled_distances(
+            pairwise_scaled_distances(X1, X2, self.lengthscale)
+        )
+
+    def from_scaled_distances(self, r: np.ndarray) -> np.ndarray:
         sqrt5_r = np.sqrt(5.0) * r
         return self.variance * (1.0 + sqrt5_r + (5.0 / 3.0) * r**2) * np.exp(-sqrt5_r)
 

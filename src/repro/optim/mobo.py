@@ -6,12 +6,20 @@ unit tests (which use synthetic objective functions).  The loop follows the
 paper's Algorithm 2:
 
 1. evaluate ``num_initial`` random candidates (lines 2-6);
-2. each iteration, fit one Gaussian-process surrogate per objective on all
-   evaluations so far, score a sampled candidate pool with the chosen
+2. each iteration, condition one Gaussian-process surrogate per objective on
+   all evaluations so far, score a sampled candidate pool with the chosen
    acquisition strategy, scalarise the per-objective scores with random
    Chebyshev weights, and evaluate the best-scoring unseen candidate
    (lines 7-13);
 3. maintain the Pareto archive of all evaluations (line 14).
+
+The surrogates live in a persistent shared-Cholesky
+:class:`~repro.optim.gp_bank.GPBank`: each new evaluation is absorbed with a
+rank-1 Cholesky append and the per-iteration objective re-normalisation only
+recomputes the ``alpha`` vectors, so the surrogate phase costs O(n^2) per
+iteration instead of the O(k n^3) of refitting every model from scratch (see
+``benchmarks/bench_gp_hotpath.py``; ``gp_update="exact-refit"`` restores the
+cold-refit behaviour).
 """
 
 from __future__ import annotations
@@ -22,7 +30,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.optim.acquisition import ACQUISITION_STRATEGIES, acquisition_scores
-from repro.optim.gp import GaussianProcess
+from repro.optim.gp import UPDATE_MODES
+from repro.optim.gp_bank import GPBank
 from repro.optim.kernels import kernel_by_name
 from repro.optim.pareto import ParetoArchive, pareto_front_mask
 from repro.optim.scalarization import (
@@ -31,6 +40,12 @@ from repro.optim.scalarization import (
     random_weights,
 )
 from repro.utils.rng import SeedLike, ensure_rng
+
+#: Default surrogate update mode for new optimizers (see ``gp_update``).
+#: Module-level so profiling/benchmark harnesses can flip every search in a
+#: process onto the ``"exact-refit"`` fallback without threading a parameter
+#: through the request envelopes.
+DEFAULT_GP_UPDATE = "incremental"
 
 #: Callable turning a candidate into its GP feature vector.
 FeatureFn = Callable[[Any], np.ndarray]
@@ -172,6 +187,14 @@ class MultiObjectiveBayesianOptimizer:
     optimize_lengthscale_every:
         Period (in iterations) of the marginal-likelihood lengthscale refresh;
         0 disables it.
+    gp_update:
+        Surrogate conditioning mode: ``"incremental"`` (the default, via
+        :data:`DEFAULT_GP_UPDATE`) maintains a persistent shared-Cholesky
+        :class:`~repro.optim.gp_bank.GPBank` grown with rank-1 appends —
+        O(n^2) surrogate work per iteration instead of O(k n^3);
+        ``"exact-refit"`` refactorises from scratch every iteration (the
+        numerically-exact fallback).  Both modes select the same candidates
+        for the same seed (up to floating-point roundoff of the factor).
     neighbor_fn:
         Optional ``neighbor_fn(candidate, count, rng) -> candidates`` used to
         add neighbours of current Pareto-optimal candidates to the pool
@@ -200,6 +223,7 @@ class MultiObjectiveBayesianOptimizer:
         gp_noise: float = 1e-4,
         ucb_beta: float = 2.0,
         optimize_lengthscale_every: int = 0,
+        gp_update: Optional[str] = None,
         neighbor_fn: Optional[NeighborFn] = None,
         key_fn: Callable[[Any], Any] = _default_key,
         seed: SeedLike = None,
@@ -219,6 +243,11 @@ class MultiObjectiveBayesianOptimizer:
             raise ValueError(
                 f"acquisition must be one of {ACQUISITION_STRATEGIES}, got {acquisition!r}"
             )
+        gp_update = DEFAULT_GP_UPDATE if gp_update is None else gp_update
+        if gp_update not in UPDATE_MODES:
+            raise ValueError(
+                f"gp_update must be one of {UPDATE_MODES}, got {gp_update!r}"
+            )
         self.sample_fn = sample_fn
         self.feature_fn = feature_fn
         self.objective_fn = objective_fn
@@ -232,6 +261,7 @@ class MultiObjectiveBayesianOptimizer:
         self.gp_noise = float(gp_noise)
         self.ucb_beta = float(ucb_beta)
         self.optimize_lengthscale_every = int(optimize_lengthscale_every)
+        self.gp_update = gp_update
         self.neighbor_fn = neighbor_fn
         self.key_fn = key_fn
         self.callback = callback
@@ -240,6 +270,13 @@ class MultiObjectiveBayesianOptimizer:
         self._points: List[ObservedPoint] = []
         self._seen: set = set()
         self.archive = ParetoArchive(self.num_objectives)
+        # Growing feature/objective matrices (capacity-doubling) so surrogate
+        # fits never re-vstack the whole history, plus the persistent
+        # shared-Cholesky model bank behind the incremental fast path.
+        self._feature_buf: Optional[np.ndarray] = None
+        self._objective_buf: Optional[np.ndarray] = None
+        self._num_rows: int = 0
+        self._bank: Optional[GPBank] = None
 
     # ------------------------------------------------------------------ evaluation
     def _evaluate(self, candidate: Any, iteration: int, phase: str) -> ObservedPoint:
@@ -259,11 +296,38 @@ class MultiObjectiveBayesianOptimizer:
             metadata=metadata,
         )
         self._points.append(point)
+        self._append_row(features, objectives)
         self._seen.add(self.key_fn(candidate))
         self.archive.add(point, objectives)
         if self.callback is not None:
             self.callback(len(self._points) - 1, point, self.archive)
         return point
+
+    def _append_row(self, features: np.ndarray, objectives: np.ndarray) -> None:
+        """Append one evaluation to the growing feature/objective matrices."""
+        if self._feature_buf is None:
+            capacity = max(16, self.num_initial + self.num_iterations)
+            self._feature_buf = np.zeros((capacity, features.shape[0]))
+            self._objective_buf = np.zeros((capacity, self.num_objectives))
+        elif self._num_rows == self._feature_buf.shape[0]:
+            self._feature_buf = np.vstack([self._feature_buf, np.zeros_like(self._feature_buf)])
+            self._objective_buf = np.vstack([self._objective_buf, np.zeros_like(self._objective_buf)])
+        if features.shape[0] != self._feature_buf.shape[1]:
+            raise ValueError(
+                f"feature function returned {features.shape[0]} features, "
+                f"expected {self._feature_buf.shape[1]}"
+            )
+        self._feature_buf[self._num_rows] = features
+        self._objective_buf[self._num_rows] = objectives
+        self._num_rows += 1
+
+    def _feature_matrix(self) -> np.ndarray:
+        """View of all observed feature vectors, ``(n, d)``."""
+        return self._feature_buf[: self._num_rows]
+
+    def _objective_matrix(self) -> np.ndarray:
+        """View of all observed objective vectors, ``(n, k)``."""
+        return self._objective_buf[: self._num_rows]
 
     def _sample_unseen(self, max_attempts: int = 50) -> Any:
         for _ in range(max_attempts):
@@ -304,28 +368,36 @@ class MultiObjectiveBayesianOptimizer:
         return pool
 
     # ------------------------------------------------------------------ surrogate models
-    def _fit_models(self, refresh_lengthscale: bool) -> Tuple[List[GaussianProcess], np.ndarray, np.ndarray]:
-        X = np.vstack([p.features for p in self._points])
-        Y = np.vstack([p.objectives for p in self._points])
+    def _fit_models(self, refresh_lengthscale: bool) -> Tuple[GPBank, np.ndarray, np.ndarray]:
+        """Condition the per-objective surrogate bank on all evaluations so far.
+
+        The bank persists across iterations: new evaluations arrive as rank-1
+        Cholesky appends and the per-iteration objective re-normalisation only
+        recomputes each model's ``alpha`` (``gp_update="exact-refit"`` instead
+        refits from scratch every call).  Returns the bank — iterable as the
+        per-objective model sequence — plus the normalisation bounds.
+        """
+        X = self._feature_matrix()
+        Y = self._objective_matrix()
         Y_norm, lower, upper = normalize_objectives(Y)
-        if self.lengthscale is not None:
-            lengthscale = self.lengthscale
-        else:
-            # Typical pairwise distance in the unit cube grows like sqrt(d);
-            # scale the lengthscale accordingly so the surrogate carries signal.
-            lengthscale = 0.5 * float(np.sqrt(X.shape[1]))
-        models: List[GaussianProcess] = []
-        for k in range(self.num_objectives):
-            gp = GaussianProcess(
+        if self._bank is None:
+            if self.lengthscale is not None:
+                lengthscale = self.lengthscale
+            else:
+                # Typical pairwise distance in the unit cube grows like sqrt(d);
+                # scale the lengthscale accordingly so the surrogate carries signal.
+                lengthscale = 0.5 * float(np.sqrt(X.shape[1]))
+            self._bank = GPBank(
+                num_objectives=self.num_objectives,
                 kernel=kernel_by_name(self.kernel_name, lengthscale=lengthscale),
                 noise_variance=self.gp_noise,
                 normalize_y=True,
+                update_mode=self.gp_update,
             )
-            gp.fit(X, Y_norm[:, k])
-            if refresh_lengthscale:
-                gp.optimize_lengthscale()
-            models.append(gp)
-        return models, lower, upper
+        self._bank.update(X, Y_norm)
+        if refresh_lengthscale:
+            self._bank.refresh_lengthscales()
+        return self._bank, lower, upper
 
     # ------------------------------------------------------------------ main loop
     def run(self) -> OptimizationResult:

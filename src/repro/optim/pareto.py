@@ -35,7 +35,51 @@ def pareto_front_mask(objectives: np.ndarray) -> np.ndarray:
     """Boolean mask of non-dominated rows of an ``(n, k)`` objective matrix.
 
     Duplicate rows are all retained (none of them dominates the others).
+
+    Sort/block-dominance implementation: rows are lexicographically sorted,
+    so every dominator of a row precedes it, and the scan repeatedly takes
+    the first still-alive row (guaranteed non-dominated), removes the whole
+    block of rows it dominates in one vectorised comparison, and jumps to
+    the next survivor.  The number of passes equals the size of the front
+    (plus duplicates), so typical inputs cost O(|front| * n * k) with NumPy
+    kernels instead of the previous O(n^2 k) Python loop — ~100x faster on a
+    50 000-point cloud (see ``benchmarks/bench_gp_hotpath.py``).
     """
+    Y = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n = Y.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if n == 1:
+        return np.ones(1, dtype=bool)
+    if np.isnan(Y).any():
+        # NaN comparisons would let a NaN pivot eliminate finite rows; the
+        # loop implementation instead leaves non-dominated finite rows alone.
+        return _pareto_front_mask_reference(Y)
+    # Lexicographic sort: primary key column 0, then column 1, ...
+    order = np.lexsort(Y.T[::-1])
+    rows = Y[order]
+    surviving = np.arange(n)  # positions into the sorted rows
+    pointer = 0
+    while pointer < rows.shape[0]:
+        pivot = rows[pointer]
+        # Keep rows with some coordinate strictly better than the pivot
+        # (they are not dominated by it) and exact duplicates of the pivot
+        # (mutually non-dominated by definition).
+        alive = np.any(rows < pivot, axis=1) | np.all(rows == pivot, axis=1)
+        alive[pointer] = True
+        if alive.all():
+            pointer += 1
+            continue
+        surviving = surviving[alive]
+        rows = rows[alive]
+        pointer = int(np.count_nonzero(alive[:pointer])) + 1
+    mask = np.zeros(n, dtype=bool)
+    mask[order[surviving]] = True
+    return mask
+
+
+def _pareto_front_mask_reference(objectives: np.ndarray) -> np.ndarray:
+    """O(n^2 k) loop reference implementation (kept for equivalence tests)."""
     Y = np.atleast_2d(np.asarray(objectives, dtype=float))
     n = Y.shape[0]
     mask = np.ones(n, dtype=bool)

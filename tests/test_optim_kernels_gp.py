@@ -5,10 +5,14 @@ import pytest
 
 from repro.optim.gp import GaussianProcess
 from repro.optim.kernels import (
+    Kernel,
     Matern52Kernel,
     RBFKernel,
+    is_scalar_lengthscale,
     kernel_by_name,
+    pairwise_distances,
     pairwise_scaled_distances,
+    supports_distance_reuse,
 )
 
 
@@ -68,6 +72,34 @@ class TestKernels:
         with pytest.raises(ValueError):
             RBFKernel(variance=0.0)
 
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_from_scaled_distances_matches_direct_evaluation(self, kernel_cls, rng):
+        """One unscaled distance pass + an elementwise rescale ≡ the full kernel."""
+        kernel = kernel_cls(lengthscale=0.45, variance=1.5)
+        X1 = rng.uniform(size=(6, 4))
+        X2 = rng.uniform(size=(9, 4))
+        r0 = pairwise_distances(X1, X2)
+        assert np.allclose(
+            kernel.from_scaled_distances(r0 / 0.45), kernel(X1, X2), atol=1e-12
+        )
+
+    def test_pairwise_distances_is_unscaled(self, rng):
+        X = rng.uniform(size=(5, 3))
+        assert np.allclose(pairwise_distances(X, X), pairwise_scaled_distances(X, X, 1.0))
+
+    def test_is_scalar_lengthscale(self):
+        assert is_scalar_lengthscale(0.3)
+        assert not is_scalar_lengthscale(np.array([0.3, 0.5]))
+
+    def test_supports_distance_reuse(self):
+        assert supports_distance_reuse(Matern52Kernel(lengthscale=0.3))
+        assert not supports_distance_reuse(Matern52Kernel(lengthscale=np.array([0.3, 0.5])))
+
+        class Minimal(Kernel):
+            lengthscale = 0.5
+
+        assert not supports_distance_reuse(Minimal())
+
 
 class TestGaussianProcess:
     def _train_data(self, rng, n=30):
@@ -126,6 +158,57 @@ class TestGaussianProcess:
         after = gp.log_marginal_likelihood()
         assert after >= before
         assert best in (0.01, 0.1, 0.3, 0.8)
+
+    def test_lengthscale_optimisation_factorizes_once_per_candidate(self, rng, monkeypatch):
+        """The winning grid iteration's fit is kept — no redundant final refit."""
+        X, y = self._train_data(rng, n=25)
+        gp = GaussianProcess().fit(X, y)
+        calls = []
+        original = np.linalg.cholesky
+        monkeypatch.setattr(np.linalg, "cholesky", lambda a: calls.append(1) or original(a))
+        candidates = (0.1, 0.3, 0.8, 2.0)
+        gp.optimize_lengthscale(candidates=candidates)
+        assert len(calls) == len(candidates)
+
+    def test_lengthscale_optimisation_leaves_best_fit_installed(self, rng):
+        """The kept factor equals what a fresh fit at the winner produces."""
+        X, y = self._train_data(rng, n=30)
+        gp = GaussianProcess().fit(X, y)
+        best = gp.optimize_lengthscale(candidates=(0.1, 0.3, 0.8))
+        exact = GaussianProcess(kernel=Matern52Kernel(lengthscale=best)).fit(X, y)
+        mean_a, std_a = gp.predict(X[:5])
+        mean_b, std_b = exact.predict(X[:5])
+        assert np.allclose(mean_a, mean_b, atol=1e-10)
+        assert np.allclose(std_a, std_b, atol=1e-10)
+
+    def test_lengthscale_optimisation_vector_lengthscale_fallback(self, rng):
+        """Anisotropic kernels can't share distances but the grid still works."""
+        X, y = self._train_data(rng, n=20)
+        gp = GaussianProcess(kernel=Matern52Kernel(lengthscale=np.array([0.3, 0.3])))
+        gp.fit(X, y)
+        best = gp.optimize_lengthscale(candidates=(0.2, 0.6))
+        assert best in (0.2, 0.6)
+
+    def test_lengthscale_optimisation_custom_kernel_without_distance_hook(self, rng):
+        """Kernels implementing only the pre-existing __call__ contract still work."""
+
+        class ExpKernel(Kernel):
+            def __init__(self, lengthscale=0.3, variance=1.0):
+                self.lengthscale = lengthscale
+                self.variance = float(variance)
+
+            def __call__(self, X1, X2):
+                r = pairwise_scaled_distances(X1, X2, self.lengthscale)
+                return self.variance * np.exp(-r)
+
+            def get_params(self):
+                return {"lengthscale": self.lengthscale, "variance": self.variance}
+
+        X, y = self._train_data(rng, n=20)
+        gp = GaussianProcess(kernel=ExpKernel(lengthscale=0.3)).fit(X, y)
+        best = gp.optimize_lengthscale(candidates=(0.2, 0.6))
+        assert best in (0.2, 0.6)
+        assert gp.predict(X[:3])[0].shape == (3,)
 
     def test_sample_posterior_validates_num_samples(self, rng):
         X, y = self._train_data(rng)

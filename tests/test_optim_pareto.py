@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.optim.pareto import (
     ParetoArchive,
+    _pareto_front_mask_reference,
     combined_front_composition,
     coverage,
     dominates,
@@ -54,6 +55,47 @@ class TestFrontMask:
         assert set(fronts[0]) == {0, 1}
         assert set(fronts[1]) == {2, 3}
         assert set(fronts[2]) == {4}
+
+    def test_empty_matrix(self):
+        assert pareto_front_mask(np.empty((0, 3))).shape == (0,)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_equivalence_with_reference(self, seed):
+        """The sort/block implementation must agree with the O(n^2) loop exactly."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        k = int(rng.integers(1, 5))
+        Y = rng.uniform(size=(n, k))
+        assert np.array_equal(pareto_front_mask(Y), _pareto_front_mask_reference(Y))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_equivalence_with_ties_and_duplicates(self, seed):
+        """Quantised objectives force ties/duplicates; semantics must still match."""
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(2, 200))
+        Y = np.round(rng.uniform(size=(n, 3)) * 4) / 4
+        duplicated = np.vstack([Y, Y[rng.integers(0, n, size=n // 2)]])
+        assert np.array_equal(
+            pareto_front_mask(duplicated), _pareto_front_mask_reference(duplicated)
+        )
+
+    def test_duplicates_of_front_points_all_survive_at_scale(self):
+        rng = np.random.default_rng(0)
+        Y = rng.uniform(size=(500, 2))
+        mask = pareto_front_mask(Y)
+        tripled = np.vstack([Y, Y[mask], Y[mask]])
+        tripled_mask = pareto_front_mask(tripled)
+        assert tripled_mask.sum() == 3 * mask.sum()
+
+    def test_all_identical_rows(self):
+        Y = np.ones((6, 3))
+        assert pareto_front_mask(Y).all()
+
+    def test_nan_rows_do_not_destroy_finite_front(self):
+        """NaN objectives keep the loop-implementation semantics."""
+        Y = np.array([[0.5, 0.5], [np.nan, 0.1], [0.2, 0.9], [0.6, 0.6]])
+        assert np.array_equal(pareto_front_mask(Y), _pareto_front_mask_reference(Y))
+        assert list(pareto_front_mask(Y)[:3]) == [True, True, True]
 
 
 class TestArchive:

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""cProfile harness for one search run, split by surrogate vs evaluation work.
+
+Runs :func:`repro.api.run_search` under cProfile and prints the hottest
+functions plus an aggregate split of where the time went: the surrogate
+engine (``repro.optim.gp`` / ``gp_bank`` / ``kernels``), acquisition
+scoring, Pareto bookkeeping, and candidate evaluation (predictors +
+Algorithm 1).  Use ``--gp-update exact-refit`` to profile the pre-bank
+cold-refit behaviour and quantify the incremental fast path on a real
+search::
+
+    PYTHONPATH=src python tools/profile_search.py --evaluations 300
+    PYTHONPATH=src python tools/profile_search.py --evaluations 300 \
+        --gp-update exact-refit
+
+The harness only flips :data:`repro.optim.mobo.DEFAULT_GP_UPDATE`; request
+envelopes and fingerprints are untouched, so profiled runs select exactly
+the candidates a normal run would.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.optim.mobo as mobo  # noqa: E402
+from repro.api import run_search  # noqa: E402
+from repro.optim.gp import UPDATE_MODES  # noqa: E402
+
+#: Module substrings used to attribute cumulative time to subsystems.
+BUCKETS = {
+    "surrogate (gp/bank/kernels)": ("optim/gp.py", "optim/gp_bank.py", "optim/kernels.py"),
+    "acquisition + scalarisation": ("optim/acquisition.py", "optim/scalarization.py"),
+    "pareto bookkeeping": ("optim/pareto.py",),
+    "candidate evaluation": ("core/evaluation.py", "partition/", "hardware/", "accuracy/"),
+}
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--strategy", default="lens")
+    parser.add_argument("--scenario", default="wifi-3mbps/jetson-tx2-gpu")
+    parser.add_argument("--search-space", default="lens-vgg")
+    parser.add_argument(
+        "--evaluations", type=int, default=300,
+        help="Bayesian-optimization iterations (plus --num-initial random ones)",
+    )
+    parser.add_argument("--num-initial", type=int, default=10)
+    parser.add_argument("--pool-size", type=int, default=128)
+    parser.add_argument("--predictor-samples", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--gp-update", choices=UPDATE_MODES, default="incremental",
+        help="surrogate conditioning mode to profile",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, help="how many rows of the pstats table to print"
+    )
+    parser.add_argument(
+        "--sort", default="cumulative", help="pstats sort key (cumulative, tottime, ...)"
+    )
+    return parser.parse_args(argv)
+
+
+def bucket_times(stats: pstats.Stats) -> dict:
+    """Total internal time attributed to each :data:`BUCKETS` subsystem."""
+    totals = {name: 0.0 for name in BUCKETS}
+    for (filename, _line, _name), entry in stats.stats.items():  # type: ignore[attr-defined]
+        internal_time = entry[2]
+        for name, fragments in BUCKETS.items():
+            if any(fragment in filename for fragment in fragments):
+                totals[name] += internal_time
+                break
+    return totals
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    mobo.DEFAULT_GP_UPDATE = args.gp_update
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    outcome = run_search(
+        strategy=args.strategy,
+        scenario=args.scenario,
+        search_space=args.search_space,
+        num_initial=args.num_initial,
+        num_iterations=args.evaluations,
+        candidate_pool_size=args.pool_size,
+        predictor_samples_per_type=args.predictor_samples,
+        seed=args.seed,
+    )
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+    totals = bucket_times(stats)
+    print(
+        f"run: {args.strategy} / {args.scenario} / {args.search_space}, "
+        f"{len(outcome.candidates)} evaluations, gp_update={args.gp_update}, "
+        f"{elapsed:.2f}s wall"
+    )
+    print("time by subsystem (internal time, seconds):")
+    for name, seconds in sorted(totals.items(), key=lambda item: -item[1]):
+        share = 100.0 * seconds / elapsed if elapsed > 0 else 0.0
+        print(f"  {name:<30} {seconds:8.3f}s  ({share:5.1f}% of wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
