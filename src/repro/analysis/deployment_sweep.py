@@ -162,15 +162,31 @@ def regional_preferences(
 
     For every region the architecture is evaluated at the region's average
     experienced upload throughput under each device/radio configuration, and
-    the option minimising each metric is reported.
+    the option minimising each metric is reported.  Each configuration's
+    whole region set is costed in one batched ``sweep_channels`` call (the
+    per-layer predictions are fetched once per configuration).
     """
     engine = engine or default_engine()
-    rows: List[RegionalPreferenceRow] = []
-    for region in regions:
-        for configuration in configurations:
-            evaluation = evaluate_under(
-                architecture, configuration, region.avg_uplink_mbps, engine=engine
+    regions = list(regions)
+    configurations = list(configurations)
+    evaluations: Dict[Tuple[int, int], PartitionEvaluation] = {}
+    for ci, configuration in enumerate(configurations):
+        channels = [
+            WirelessChannel.create(
+                technology=configuration.technology,
+                uplink_mbps=region.avg_uplink_mbps,
+                round_trip_s=configuration.round_trip_s,
             )
+            for region in regions
+        ]
+        for ri, evaluation in enumerate(
+            engine.sweep_channels(architecture, configuration.predictor, channels)
+        ):
+            evaluations[(ri, ci)] = evaluation
+    rows: List[RegionalPreferenceRow] = []
+    for ri, region in enumerate(regions):
+        for ci, configuration in enumerate(configurations):
+            evaluation = evaluations[(ri, ci)]
             for metric in metrics:
                 best = evaluation.best_for(metric)
                 rows.append(

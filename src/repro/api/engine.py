@@ -21,7 +21,12 @@ re-run the predictors thirty times.
   :class:`~repro.partition.partitioner.PartitionEvaluation` records per
   ``(channel, effective cut-legality graph)`` — runs over different search
   spaces never share partition records unless they request the identical
-  computation.
+  computation;
+* ``evaluate_batch`` is the pool-level entry point behind the search loop
+  and the sweeps: it dedups a whole candidate pool against the caches,
+  evaluates only the misses through the vectorised
+  ``predict_batch`` / ``PartitionAnalyzer.evaluate_batch`` path, and
+  backfills the caches so scalar callers keep hitting.
 
 One engine can (and should) back many runs: pass the same instance to
 :func:`repro.api.session.run_search`, the deployment sweeps and the
@@ -126,9 +131,10 @@ class EvaluationEngine:
         self._layer_cache: "weakref.WeakKeyDictionary[BaseLayerPredictor, Dict[Architecture, Tuple[LayerPrediction, ...]]]" = (
             weakref.WeakKeyDictionary()
         )
-        # predictor -> {(architecture, channel key, require_shrinkage,
-        #                partition graph): evaluation}
-        self._partition_cache: "weakref.WeakKeyDictionary[BaseLayerPredictor, Dict[tuple, PartitionEvaluation]]" = (
+        # predictor -> {(channel key, require_shrinkage):
+        #                {(architecture, partition graph): evaluation}};
+        # nested so pool-level lookups hash the channel context once.
+        self._partition_cache: "weakref.WeakKeyDictionary[BaseLayerPredictor, Dict[tuple, Dict[tuple, PartitionEvaluation]]]" = (
             weakref.WeakKeyDictionary()
         )
         self.stats = EngineStats()
@@ -195,6 +201,19 @@ class EvaluationEngine:
         per_predictor[architecture] = predictions
         return predictions
 
+    def architecture_totals(
+        self, predictor: BaseLayerPredictor, architecture: Architecture
+    ) -> Tuple[float, float]:
+        """``(total latency, total energy)`` through the layer cache.
+
+        One cached prediction pass yields both totals — the engine-aware
+        replacement for calling ``predictor.total_latency`` and
+        ``predictor.total_energy`` back to back (which would run the
+        predictor twice when uncached).
+        """
+        predictions = self.layer_predictions(predictor, architecture)
+        return predictor.totals(architecture, predictions)
+
     # ------------------------------------------------------------------ partition costing
     def evaluate_partitions(
         self,
@@ -229,13 +248,11 @@ class EvaluationEngine:
                 graph=graph,
             )
         per_predictor = self._partition_cache.setdefault(analyzer.predictor, {})
-        key = (
-            architecture,
-            _channel_key(analyzer.channel),
-            analyzer.require_shrinkage,
-            graph,
+        per_channel = per_predictor.setdefault(
+            (_channel_key(analyzer.channel), analyzer.require_shrinkage), {}
         )
-        cached = per_predictor.get(key)
+        key = (architecture, graph)
+        cached = per_channel.get(key)
         if cached is not None:
             self.stats.partition_hits += 1
             return cached
@@ -245,8 +262,215 @@ class EvaluationEngine:
             predictions=self.layer_predictions(analyzer.predictor, architecture),
             graph=graph,
         )
-        per_predictor[key] = evaluation
+        per_channel[key] = evaluation
         return evaluation
+
+    def evaluate_batch(
+        self,
+        architectures: Sequence[Architecture],
+        analyzer: PartitionAnalyzer,
+        *,
+        channels: Optional[Sequence[WirelessChannel]] = None,
+        graphs: Optional[Sequence[Optional["PartitionGraph"]]] = None,
+    ) -> List[List[PartitionEvaluation]]:
+        """Pool-level costing: dedup against the caches, batch the misses.
+
+        The candidate pool is first deduplicated (architectures hash by
+        structure, so genotype duplicates collapse) and checked against the
+        layer and partition caches; only genuine misses run through the
+        vectorised :meth:`~repro.hardware.predictors.BaseLayerPredictor.predict_batch`
+        /:meth:`~repro.partition.partitioner.PartitionAnalyzer.evaluate_batch`
+        path, and their results backfill the caches so later scalar or
+        batched calls hit.  Stats mirror the work actually saved: every
+        pool position counts one partition hit or miss per channel
+        (duplicates and cached ``(architecture, channel, graph)`` cells are
+        hits), and each distinct architecture that needs costing counts one
+        layer hit or miss — fully cached pools touch the layer cache not at
+        all, exactly like the scalar path.
+
+        ``results[i][j]`` is the evaluation of ``architectures[i]`` under
+        ``channels[j]`` (``channels`` defaults to the analyzer's own
+        channel).  Results are cache-shared records — treat them as
+        read-only.  Analyzers with a cloud predictor bypass the partition
+        cache, exactly like :meth:`evaluate_partitions`.
+        """
+        architectures = list(architectures)
+        channels = (
+            [analyzer.channel] if channels is None else list(channels)
+        )
+        n = len(architectures)
+        num_channels = len(channels)
+        if n == 0 or not channels:
+            return [[] for _ in range(n)]
+        # Dedup channels by cache key; repeated channels are pure re-use.
+        channel_index: Dict[ChannelKey, int] = {}
+        channel_owners: List[int] = []
+        unique_channels: List[WirelessChannel] = []
+        unique_channel_keys: List[ChannelKey] = []
+        for channel in channels:
+            channel_key = _channel_key(channel)
+            index = channel_index.get(channel_key)
+            if index is None:
+                index = len(unique_channels)
+                channel_index[channel_key] = index
+                unique_channels.append(channel)
+                unique_channel_keys.append(channel_key)
+            channel_owners.append(index)
+        channels = unique_channels
+        if graphs is None:
+            graphs = [None] * n
+        if len(graphs) != n:
+            raise ValueError(f"expected {n} graphs, got {len(graphs)}")
+        effective_graphs = [
+            graph if graph is not None else architecture.partition_graph()
+            for architecture, graph in zip(architectures, graphs)
+        ]
+
+        # ---- dedup the pool (architectures hash by structure) -----------
+        unique_index: Dict[tuple, int] = {}
+        unique_positions: List[int] = []
+        unique_keys: List[tuple] = []
+        owners: List[int] = []
+        for position, architecture in enumerate(architectures):
+            key = (architecture, effective_graphs[position])
+            index = unique_index.get(key)
+            if index is None:
+                index = len(unique_positions)
+                unique_index[key] = index
+                unique_positions.append(position)
+                unique_keys.append(key)
+            owners.append(index)
+        unique_archs = [architectures[p] for p in unique_positions]
+        unique_graphs = [effective_graphs[p] for p in unique_positions]
+
+        predictor = analyzer.predictor
+
+        def resolve_predictions(
+            indices: Sequence[int],
+        ) -> Tuple[List[Tuple[LayerPrediction, ...]], Optional[np.ndarray]]:
+            """Layer predictions for the given unique-arch indices.
+
+            Cached entries are re-used (one layer hit per distinct
+            architecture), the rest run through one
+            :meth:`~repro.hardware.predictors.BaseLayerPredictor.predict_batch`
+            call and backfill the layer cache.  When the whole request is a
+            cold stream of distinct architectures the predictor's raw pool
+            array rides along (second return) so the partition costing can
+            skip re-converting the prediction tuples.
+            """
+            per_predictor = self._layer_cache.setdefault(predictor, {})
+            resolved: Dict[
+                Architecture, Optional[Tuple[LayerPrediction, ...]]
+            ] = {}
+            for index in indices:
+                architecture = unique_archs[index]
+                if architecture in resolved:
+                    continue
+                cached = per_predictor.get(architecture)
+                resolved[architecture] = cached
+                if cached is not None:
+                    self.stats.layer_hits += 1
+                else:
+                    self.stats.layer_misses += 1
+            missing = [a for a, value in resolved.items() if value is None]
+            pairs: Optional[np.ndarray] = None
+            if missing:
+                predict_pool = getattr(predictor, "predict_pool", None)
+                if predict_pool is not None:
+                    batch, batch_pairs = predict_pool(missing)
+                else:
+                    batch, batch_pairs = predictor.predict_batch(missing), None
+                for architecture, predicted in zip(missing, batch):
+                    per_predictor[architecture] = predicted
+                    resolved[architecture] = predicted
+                if batch_pairs is not None and len(missing) == len(indices):
+                    # All-miss, all-distinct request: the pool array's layer
+                    # stream lines up with `indices` exactly.
+                    pairs = batch_pairs
+            return [resolved[unique_archs[index]] for index in indices], pairs
+
+        # ---- partition costing: cached cells re-used, misses batched ----
+        results: List[List[Optional[PartitionEvaluation]]] = [
+            [None] * len(channels) for _ in range(len(unique_archs))
+        ]
+        if analyzer.cloud_predictor is not None:
+            # Cloud-predictor costing depends on state the cache key does
+            # not capture — batch it, but never cache (same contract as the
+            # scalar path).
+            predictions, pairs = resolve_predictions(range(len(unique_archs)))
+            results = analyzer.evaluate_batch(
+                unique_archs,
+                channels=channels,
+                predictions_list=predictions,
+                graphs=unique_graphs,
+                predictions_array=pairs,
+            )
+        else:
+            per_predictor_partitions = self._partition_cache.setdefault(predictor, {})
+            shrinkage = analyzer.require_shrinkage
+            per_channel_dicts = [
+                per_predictor_partitions.setdefault((channel_key, shrinkage), {})
+                for channel_key in unique_channel_keys
+            ]
+            miss_archs: List[int] = []
+            hits = 0
+            misses = 0
+            for i in range(len(unique_archs)):
+                key = unique_keys[i]
+                row_missing = False
+                row = results[i]
+                for ci, per_channel in enumerate(per_channel_dicts):
+                    cached = per_channel.get(key)
+                    if cached is not None:
+                        hits += 1
+                        row[ci] = cached
+                    else:
+                        misses += 1
+                        row_missing = True
+                if row_missing:
+                    miss_archs.append(i)
+            self.stats.partition_hits += hits
+            self.stats.partition_misses += misses
+            if miss_archs:
+                # Group miss rows by their missing-channel signature so only
+                # genuinely uncached (architecture, channel) cells are
+                # computed — a rectangular batch over all miss channels
+                # would redo cached cells on partial overlap.  Signatures
+                # are usually homogeneous (one group).
+                by_signature: Dict[tuple, List[int]] = {}
+                for i in miss_archs:
+                    signature = tuple(
+                        ci
+                        for ci in range(len(channels))
+                        if results[i][ci] is None
+                    )
+                    by_signature.setdefault(signature, []).append(i)
+                for signature, arch_indices in by_signature.items():
+                    predictions, pairs = resolve_predictions(arch_indices)
+                    fresh = analyzer.evaluate_batch(
+                        [unique_archs[i] for i in arch_indices],
+                        channels=[channels[ci] for ci in signature],
+                        predictions_list=predictions,
+                        graphs=[unique_graphs[i] for i in arch_indices],
+                        predictions_array=pairs,
+                    )
+                    for row_index, i in enumerate(arch_indices):
+                        key = unique_keys[i]
+                        for column, ci in enumerate(signature):
+                            evaluation = fresh[row_index][column]
+                            per_channel_dicts[ci][key] = evaluation
+                            results[i][ci] = evaluation
+            # Duplicate pool positions and repeated channels are cache-level
+            # re-use: every cell beyond the unique (arch, channel) grid is a
+            # hit.
+            self.stats.partition_hits += (
+                n * num_channels - len(unique_archs) * len(channels)
+            )
+
+        return [
+            [results[owner][channel_owners[ci]] for ci in range(num_channels)]
+            for owner in owners
+        ]
 
     def sweep_channels(
         self,
@@ -257,16 +481,17 @@ class EvaluationEngine:
     ) -> List[PartitionEvaluation]:
         """Batched costing of one architecture under many channels.
 
-        The per-layer predictions are computed (or fetched) once and shared
-        across every channel — the hot path of the Fig. 2 / Table I sweeps.
+        A thin wrapper over :meth:`evaluate_batch`: the per-layer
+        predictions are fetched once and every channel is costed in one
+        broadcast pass — the hot path of the Fig. 2 / Table I sweeps.
         """
-        evaluations: List[PartitionEvaluation] = []
-        for channel in channels:
-            analyzer = PartitionAnalyzer(
-                predictor, channel, require_shrinkage=require_shrinkage
-            )
-            evaluations.append(self.evaluate_partitions(architecture, analyzer))
-        return evaluations
+        channels = list(channels)
+        if not channels:
+            return []
+        analyzer = PartitionAnalyzer(
+            predictor, channels[0], require_shrinkage=require_shrinkage
+        )
+        return self.evaluate_batch([architecture], analyzer, channels=channels)[0]
 
     # ------------------------------------------------------------------ maintenance
     def cache_sizes(self) -> Dict[str, int]:
@@ -277,7 +502,9 @@ class EvaluationEngine:
                 len(entries) for entries in self._layer_cache.values()
             ),
             "partition_evaluations": sum(
-                len(entries) for entries in self._partition_cache.values()
+                len(per_channel)
+                for per_predictor in self._partition_cache.values()
+                for per_channel in per_predictor.values()
             ),
         }
 

@@ -171,6 +171,7 @@ def _run_mobo(context: SearchContext, label: str) -> Tuple[SearchResult, Optimiz
         sample_fn=context.evaluator.sample_fn,
         feature_fn=context.evaluator.feature_fn,
         objective_fn=context.evaluator.objective_fn,
+        batch_objective_fn=context.evaluator.evaluate_pool,
         num_objectives=len(OBJECTIVES),
         num_initial=request.num_initial,
         num_iterations=request.num_iterations,
@@ -199,29 +200,46 @@ def _traditional_strategy(context: SearchContext) -> Tuple[SearchResult, Optimiz
     return _run_mobo(context, label="traditional")
 
 
+#: Pool size the random strategy evaluates per batched call — large enough
+#: to amortise the batch setup, small enough that progress callbacks keep
+#: firing throughout long searches.
+_RANDOM_EVAL_CHUNK = 64
+
+
 def _random_strategy(context: SearchContext) -> Tuple[SearchResult, None]:
-    """Uniform-random search with the same budget (sanity baseline)."""
+    """Uniform-random search with the same budget (sanity baseline).
+
+    The whole budget is sampled up front (sampling alone consumes the
+    generator, so the draw sequence matches the old interleaved loop) and
+    costed in chunked pool-level evaluations through the engine's batched
+    path.
+    """
     request = context.request
     rng = ensure_rng(request.seed)
     evaluator = context.evaluator
     seen = set()
-    candidates: List[CandidateEvaluation] = []
+    genotypes: List[np.ndarray] = []
     budget = request.num_evaluations
     attempts = 0
-    while len(candidates) < budget and attempts < budget * 20:
+    while len(genotypes) < budget and attempts < budget * 20:
         attempts += 1
         genotype = evaluator.sample_fn(rng)
         key = np.asarray(genotype, dtype=int).tobytes()
         if key in seen:
             continue
         seen.add(key)
-        _, metadata = evaluator.evaluate_genotype(genotype)
-        evaluation: CandidateEvaluation = metadata["evaluation"]
-        evaluation.iteration = len(candidates)
-        evaluation.phase = "random"
-        candidates.append(evaluation)
-        if context.progress_callback is not None:
-            context.progress_callback(len(candidates) - 1, evaluation)
+        genotypes.append(genotype)
+    candidates: List[CandidateEvaluation] = []
+    for start in range(0, len(genotypes), _RANDOM_EVAL_CHUNK):
+        chunk = genotypes[start : start + _RANDOM_EVAL_CHUNK]
+        for offset, (_, metadata) in enumerate(evaluator.evaluate_pool(chunk)):
+            index = start + offset
+            evaluation: CandidateEvaluation = metadata["evaluation"]
+            evaluation.iteration = index
+            evaluation.phase = "random"
+            candidates.append(evaluation)
+            if context.progress_callback is not None:
+                context.progress_callback(index, evaluation)
     return SearchResult(candidates, label="random"), None
 
 

@@ -21,7 +21,7 @@ partition-within-vs-after ablation (Fig. 7).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -103,7 +103,6 @@ class PartitionAwareEvaluator:
         accuracy_arch = self.search_space.decode_for_accuracy(genotype)
         performance_arch = self.search_space.decode_for_performance(genotype)
 
-        error = float(self.accuracy_model.error_percent(accuracy_arch))
         graph = space_partition_graph(self.search_space, performance_arch)
         if self.engine is not None:
             partition_eval = self.engine.evaluate_partitions(
@@ -111,7 +110,54 @@ class PartitionAwareEvaluator:
             )
         else:
             partition_eval = self.analyzer.evaluate(performance_arch, graph=graph)
+        return self._package(genotype, accuracy_arch, performance_arch, partition_eval)
 
+    def evaluate_pool(
+        self, genotypes: Sequence[Sequence[int]]
+    ) -> List[Tuple[np.ndarray, Dict]]:
+        """Evaluate a whole candidate pool through the batched hot path.
+
+        Equivalent to ``[self.evaluate_genotype(g) for g in genotypes]``
+        (same records, same float packaging) but the per-layer predictions
+        and deployment costing run as one array-level batch:
+        :meth:`~repro.api.engine.EvaluationEngine.evaluate_batch` dedups the
+        pool against the engine caches and backfills them, or — without an
+        engine — :meth:`~repro.partition.partitioner.PartitionAnalyzer.evaluate_batch`
+        costs the pool directly.
+        """
+        genotypes = list(genotypes)
+        if not genotypes:
+            return []
+        accuracy_archs = [self.search_space.decode_for_accuracy(g) for g in genotypes]
+        performance_archs = [
+            self.search_space.decode_for_performance(g) for g in genotypes
+        ]
+        graphs = [
+            space_partition_graph(self.search_space, architecture)
+            for architecture in performance_archs
+        ]
+        if self.engine is not None:
+            rows = self.engine.evaluate_batch(
+                performance_archs, self.analyzer, graphs=graphs
+            )
+        else:
+            rows = self.analyzer.evaluate_batch(performance_archs, graphs=graphs)
+        return [
+            self._package(genotype, accuracy_arch, performance_arch, row[0])
+            for genotype, accuracy_arch, performance_arch, row in zip(
+                genotypes, accuracy_archs, performance_archs, rows
+            )
+        ]
+
+    def _package(
+        self,
+        genotype: Sequence[int],
+        accuracy_arch: Architecture,
+        performance_arch: Architecture,
+        partition_eval,
+    ) -> Tuple[np.ndarray, Dict]:
+        """Shared record/objective packaging of the scalar and pool paths."""
+        error = float(self.accuracy_model.error_percent(accuracy_arch))
         all_edge = partition_eval.all_edge
         best_latency = partition_eval.best_latency
         best_energy = partition_eval.best_energy

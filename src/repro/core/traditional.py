@@ -44,20 +44,27 @@ class TraditionalSearch(LensSearch):
         unchanged, but latency and energy become the best achievable over all
         deployment options under the expected wireless conditions.
         """
+        candidates = list(candidates)
+        performance_archs = [
+            self.search_space.decode_for_performance(candidate.genotype)
+            for candidate in candidates
+        ]
+        # Same graph keys as the search-loop evaluator used, so the engine
+        # already holds these candidates' partition evaluations and
+        # re-costing the frontier is one batched call of cache hits — and a
+        # space-level partition_graph override keeps constraining post-hoc
+        # cuts too.
+        rows = self.engine.evaluate_batch(
+            performance_archs,
+            self.analyzer,
+            graphs=[
+                space_partition_graph(self.search_space, architecture)
+                for architecture in performance_archs
+            ],
+        )
         partitioned: List[CandidateEvaluation] = []
-        for candidate in candidates:
-            performance_arch = self.search_space.decode_for_performance(
-                candidate.genotype
-            )
-            # Same graph key as the search-loop evaluator used, so the
-            # engine already holds this candidate's partition evaluation and
-            # re-costing the frontier is cache hits — and a space-level
-            # partition_graph override keeps constraining post-hoc cuts too.
-            evaluation = self.engine.evaluate_partitions(
-                performance_arch,
-                self.analyzer,
-                graph=space_partition_graph(self.search_space, performance_arch),
-            )
+        for candidate, row in zip(candidates, rows):
+            evaluation = row[0]
             best_latency = evaluation.best_latency
             best_energy = evaluation.best_energy
             partitioned.append(

@@ -8,7 +8,12 @@ from repro.hardware.device import (
     jetson_tx2_cpu,
     jetson_tx2_gpu,
 )
-from repro.hardware.features import feature_dimension, layer_features, stack_features
+from repro.hardware.features import (
+    family_feature_matrix,
+    feature_dimension,
+    layer_features,
+    stack_features,
+)
 from repro.hardware.predictors import (
     BaseLayerPredictor,
     LayerPerformancePredictor,
@@ -27,6 +32,7 @@ __all__ = [
     "device_by_name",
     "jetson_tx2_cpu",
     "jetson_tx2_gpu",
+    "family_feature_matrix",
     "feature_dimension",
     "layer_features",
     "stack_features",

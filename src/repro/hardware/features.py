@@ -105,6 +105,73 @@ def layer_features(summary: LayerSummary) -> np.ndarray:
     return extractor(summary)
 
 
+# ---------------------------------------------------------------------- batched
+# Column builders mirroring the per-layer extractors above.  Each gathers the
+# *raw* counts of a whole family group column-by-column (plain list
+# comprehensions, no per-layer array or tuple allocation), converts them in
+# one ``np.array`` call and applies one matrix-wide ``/ MEGA``; integer counts
+# convert to float64 exactly and the scalar division is the same IEEE
+# operation the per-layer extractors apply, so the values are identical.
+
+def _conv_columns(summaries: List[LayerSummary]) -> tuple:
+    return (
+        [s.input_elements for s in summaries],
+        [s.output_elements for s in summaries],
+        [s.macs for s in summaries],
+        [s.params for s in summaries],
+        [s.weight_bytes for s in summaries],
+        [
+            s.weight_bytes + s.output_bytes + 4 * s.input_elements
+            for s in summaries
+        ],
+    )
+
+
+def _fc_columns(summaries: List[LayerSummary]) -> tuple:
+    return (
+        [s.input_elements for s in summaries],
+        [s.output_elements for s in summaries],
+        [s.macs for s in summaries],
+        [s.weight_bytes for s in summaries],
+    )
+
+
+def _pool_columns(summaries: List[LayerSummary]) -> tuple:
+    return (
+        [s.input_elements for s in summaries],
+        [s.output_elements for s in summaries],
+        [s.macs for s in summaries],
+    )
+
+
+def _generic_columns(summaries: List[LayerSummary]) -> tuple:
+    return (
+        [s.input_elements for s in summaries],
+        [s.output_elements for s in summaries],
+    )
+
+
+_COLUMN_BUILDERS = {
+    "conv": _conv_columns,
+    "fc": _fc_columns,
+    "pool": _pool_columns,
+}
+
+
+def family_feature_matrix(family: str, summaries: List[LayerSummary]) -> np.ndarray:
+    """``(len(summaries), d)`` design matrix for one prediction family.
+
+    Rows equal :func:`layer_features` of the corresponding summary (the
+    family must be the summaries' shared :func:`prediction_family`); building
+    the matrix in one pass is the featurization half of the batched
+    predictor hot path.
+    """
+    builder = _COLUMN_BUILDERS.get(family, _generic_columns)
+    matrix = np.array(builder(summaries), dtype=float).T
+    matrix /= MEGA
+    return matrix
+
+
 def feature_dimension(layer_type: str) -> int:
     """Dimensionality of the feature vector used for a layer family."""
     dims: Dict[str, int] = {"conv": 6, "fc": 4, "pool": 3}

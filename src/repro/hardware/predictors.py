@@ -16,18 +16,25 @@ provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.hardware.device import DeviceProfile
-from repro.hardware.features import layer_features, prediction_family
+from repro.hardware.features import (
+    FAMILY_ALIASES,
+    family_feature_matrix,
+    layer_features,
+    prediction_family,
+)
 from repro.hardware.profiler import LayerProfiler, ProfilingDataset
 from repro.hardware.simulator import LayerCostSimulator
 from repro.nn.architecture import Architecture, LayerSummary
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_non_negative
+
+if TYPE_CHECKING:  # runtime import stays lazy: repro.api imports this module
+    from repro.api.engine import EvaluationEngine
 
 #: Prediction floor: no layer is ever predicted faster/cheaper than this.
 MIN_LATENCY_S = 1e-6
@@ -94,9 +101,13 @@ class RidgeRegression:
         return 1.0 - residual / total
 
 
-@dataclass(frozen=True)
-class LayerPrediction:
-    """Predicted latency, power and energy for a single layer."""
+class LayerPrediction(NamedTuple):
+    """Predicted latency, power and energy for a single layer.
+
+    A named tuple rather than a dataclass: the batched evaluation path
+    materialises one instance per layer per candidate, so construction cost
+    is on the hot path.
+    """
 
     latency_s: float
     power_w: float
@@ -125,13 +136,50 @@ class BaseLayerPredictor:
             self.predict_layer(summary) for summary in architecture.summarize()
         )
 
-    def total_latency(self, architecture: Architecture) -> float:
-        """Whole-model on-device latency (sum of per-layer latencies)."""
-        return sum(p.latency_s for p in self.predict_architecture(architecture))
+    def predict_batch(
+        self, architectures: Sequence[Architecture]
+    ) -> List[Tuple[LayerPrediction, ...]]:
+        """Per-layer predictions for a whole candidate pool.
 
-    def total_energy(self, architecture: Architecture) -> float:
+        The base implementation loops :meth:`predict_architecture`, so the
+        oracle and custom predictors work unchanged;
+        :class:`LayerPerformancePredictor` overrides it with a vectorised
+        per-family path.
+        """
+        return [self.predict_architecture(a) for a in architectures]
+
+    def totals(
+        self,
+        architecture: Architecture,
+        predictions: Optional[Sequence[LayerPrediction]] = None,
+    ) -> Tuple[float, float]:
+        """``(total latency, total energy)`` from one prediction pass.
+
+        Pass cached ``predictions`` (e.g. from
+        :meth:`repro.api.engine.EvaluationEngine.layer_predictions`) to skip
+        the predictor entirely.
+        """
+        if predictions is None:
+            predictions = self.predict_architecture(architecture)
+        latency = sum(p.latency_s for p in predictions)
+        energy = sum(p.energy_j for p in predictions)
+        return latency, energy
+
+    def total_latency(
+        self,
+        architecture: Architecture,
+        predictions: Optional[Sequence[LayerPrediction]] = None,
+    ) -> float:
+        """Whole-model on-device latency (sum of per-layer latencies)."""
+        return self.totals(architecture, predictions)[0]
+
+    def total_energy(
+        self,
+        architecture: Architecture,
+        predictions: Optional[Sequence[LayerPrediction]] = None,
+    ) -> float:
         """Whole-model on-device energy (sum of per-layer energies)."""
-        return sum(p.energy_j for p in self.predict_architecture(architecture))
+        return self.totals(architecture, predictions)[1]
 
 
 class LayerPerformancePredictor(BaseLayerPredictor):
@@ -188,6 +236,7 @@ class LayerPerformancePredictor(BaseLayerPredictor):
 
     # ------------------------------------------------------------------ prediction
     def predict_layer(self, summary: LayerSummary) -> LayerPrediction:
+        """Scalar reference path: one layer, one feature row per model."""
         if not self.is_fitted:
             raise RuntimeError("predictor is not fitted; call fit() or train_for_device()")
         family = prediction_family(summary.layer_type)
@@ -201,6 +250,81 @@ class LayerPerformancePredictor(BaseLayerPredictor):
             latency_s=max(latency, MIN_LATENCY_S),
             power_w=max(power, MIN_POWER_W),
         )
+
+    def predict_architecture(
+        self, architecture: Architecture
+    ) -> Tuple[LayerPrediction, ...]:
+        """Thin wrapper over :meth:`predict_batch` (pool of one)."""
+        return self.predict_batch([architecture])[0]
+
+    def predict_batch(
+        self, architectures: Sequence[Architecture]
+    ) -> List[Tuple[LayerPrediction, ...]]:
+        """Vectorised per-layer predictions for a whole candidate pool.
+
+        All layers of all architectures are grouped by prediction family,
+        each family featurizes into one design matrix
+        (:func:`~repro.hardware.features.family_feature_matrix`), and each
+        :class:`RidgeRegression` runs as a single matrix product — two
+        matmuls per family for the entire pool instead of two per layer.
+        Values match :meth:`predict_layer` to floating-point roundoff.
+        """
+        return self.predict_pool(architectures)[0]
+
+    def predict_pool(
+        self, architectures: Sequence[Architecture]
+    ) -> Tuple[List[Tuple[LayerPrediction, ...]], np.ndarray]:
+        """:meth:`predict_batch` plus the raw ``(total_layers, 2)`` array.
+
+        The array holds the pool's per-layer ``(latency, power)`` stream in
+        architecture order — exactly the values inside the returned
+        prediction tuples.  Batched partition costing consumes the array
+        directly, skipping a NamedTuple-to-array round trip.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predictor is not fitted; call fit() or train_for_device()")
+        summary_lists = [a.summarize() for a in architectures]
+        total = sum(len(summaries) for summaries in summary_lists)
+        latencies = np.empty(total)
+        powers = np.empty(total)
+        latency_models = self._latency_models
+        idle_power = self.device.idle_power_w
+        aliases = FAMILY_ALIASES
+        # One pass groups (position, summary) by family; families without a
+        # model (flatten/dropout) are filled in place as cost-free.
+        groups: Dict[str, Tuple[List[int], List[LayerSummary]]] = {}
+        position = 0
+        for summaries in summary_lists:
+            for summary in summaries:
+                layer_type = summary.layer_type
+                family = aliases.get(layer_type, layer_type)
+                if family in latency_models:
+                    entry = groups.get(family)
+                    if entry is None:
+                        entry = groups[family] = ([], [])
+                    entry[0].append(position)
+                    entry[1].append(summary)
+                else:
+                    latencies[position] = 0.0
+                    powers[position] = idle_power
+                position += 1
+        for family, (positions, members) in groups.items():
+            matrix = family_feature_matrix(family, members)
+            latency = latency_models[family].predict(matrix)
+            power = self._power_models[family].predict(matrix)
+            np.maximum(latency, MIN_LATENCY_S, out=latency)
+            np.maximum(power, MIN_POWER_W, out=power)
+            latencies[positions] = latency
+            powers[positions] = power
+        pairs = list(zip(latencies.tolist(), powers.tolist()))
+        make = LayerPrediction._make
+        results: List[Tuple[LayerPrediction, ...]] = []
+        offset = 0
+        for summaries in summary_lists:
+            end = offset + len(summaries)
+            results.append(tuple(map(make, pairs[offset:end])))
+            offset = end
+        return results, np.stack((latencies, powers), axis=1)
 
     # ------------------------------------------------------------------ convenience
     @classmethod
@@ -249,25 +373,51 @@ class OracleLayerPredictor(BaseLayerPredictor):
 def prediction_error_report(
     predictor: LayerPerformancePredictor,
     architectures: Sequence[Architecture],
+    engine: Optional["EvaluationEngine"] = None,
 ) -> Dict[str, float]:
     """Compare a fitted predictor against the noiseless oracle.
 
     Returns mean absolute percentage errors for whole-model latency and
     energy over the given architectures — a quick check that the regression
     pipeline is faithful enough for search-time ranking.
+
+    Both totals of each model come from one prediction pass
+    (:meth:`BaseLayerPredictor.totals`).  Pass an
+    :class:`~repro.api.engine.EvaluationEngine` to route those passes
+    through its layer cache (and share its cached oracle), so
+    architectures already costed by a search are not re-predicted.
     """
-    oracle = OracleLayerPredictor(predictor.device)
     latency_errors: List[float] = []
     energy_errors: List[float] = []
-    for architecture in architectures:
-        true_latency = oracle.total_latency(architecture)
-        true_energy = oracle.total_energy(architecture)
-        predicted_latency = predictor.total_latency(architecture)
-        predicted_energy = predictor.total_energy(architecture)
+    pool = list(architectures)
+    if engine is not None:
+        oracle: BaseLayerPredictor = engine.predictor_for(
+            predictor.device, oracle=True
+        )
+        totals = [
+            (
+                engine.architecture_totals(oracle, architecture),
+                engine.architecture_totals(predictor, architecture),
+            )
+            for architecture in pool
+        ]
+    else:
+        oracle = OracleLayerPredictor(predictor.device)
+        # One batched prediction pass per predictor for the whole pool.
+        totals = [
+            (
+                oracle.totals(architecture, true_preds),
+                predictor.totals(architecture, model_preds),
+            )
+            for architecture, true_preds, model_preds in zip(
+                pool, oracle.predict_batch(pool), predictor.predict_batch(pool)
+            )
+        ]
+    for (true_latency, true_energy), (predicted_latency, predicted_energy) in totals:
         latency_errors.append(abs(predicted_latency - true_latency) / true_latency)
         energy_errors.append(abs(predicted_energy - true_energy) / true_energy)
     return {
         "latency_mape": float(np.mean(latency_errors)),
         "energy_mape": float(np.mean(energy_errors)),
-        "architectures": float(len(architectures)),
+        "architectures": float(len(pool)),
     }

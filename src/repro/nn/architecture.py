@@ -10,6 +10,7 @@ input/output shapes, parameter counts, MAC counts and activation byte sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.nn.graph import PartitionGraph, SkipEdge
@@ -67,14 +68,14 @@ class LayerSummary:
         """Floating point operations (2 per MAC)."""
         return 2 * self.macs
 
-    @property
+    @cached_property
     def output_elements(self) -> int:
-        """Number of scalars in the output activation."""
+        """Number of scalars in the output activation (computed once)."""
         return element_count(self.output_shape)
 
-    @property
+    @cached_property
     def input_elements(self) -> int:
-        """Number of scalars in the input activation."""
+        """Number of scalars in the input activation (computed once)."""
         return element_count(self.input_shape)
 
     def to_dict(self) -> Dict:
@@ -148,6 +149,7 @@ class Architecture:
         )
         self.skip_edges: Tuple[SkipEdge, ...] = self._partition_graph.skip_edges
         self._summaries: Optional[Tuple[LayerSummary, ...]] = None
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------------ dunder
     def __len__(self) -> int:
@@ -176,14 +178,18 @@ class Architecture:
         )
 
     def __hash__(self) -> int:
-        return hash(
-            (
-                self.input_shape,
-                self.input_bytes_per_element,
-                self.layers,
-                self.skip_edges,
+        # Hashing walks every layer spec; architectures are structurally
+        # immutable, and they key every engine cache, so compute it once.
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self.input_shape,
+                    self.input_bytes_per_element,
+                    self.layers,
+                    self.skip_edges,
+                )
             )
-        )
+        return self._hash
 
     # ------------------------------------------------------------------ analysis
     def summarize(self) -> Tuple[LayerSummary, ...]:

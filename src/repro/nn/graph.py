@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 #: A skip edge: layer ``dst`` additionally consumes the output of layer
 #: ``src``.  ``src == -1`` denotes the raw network input.
 SkipEdge = Tuple[int, int]
@@ -91,6 +93,13 @@ class PartitionGraph:
                     f"skip edge ({src}, {dst}) exceeds the layer count "
                     f"({self.num_layers})"
                 )
+        # Graphs key the engine's partition cache; hash once, not per lookup.
+        object.__setattr__(
+            self, "_hash", hash((self.num_layers, self.skip_edges))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def from_architecture(cls, architecture) -> "PartitionGraph":
@@ -120,6 +129,18 @@ class PartitionGraph:
         return all(
             not (src < index < dst) for src, dst in self.skip_edges
         )
+
+    def legal_cut_mask(self) -> np.ndarray:
+        """Boolean mask over the ``num_layers - 1`` non-final boundaries.
+
+        ``mask[j]`` is :meth:`allows_cut_after` ``(j)`` for
+        ``j in range(num_layers - 1)`` — the vectorised form the batched
+        partition costing broadcasts against per-candidate shrinkage masks.
+        """
+        mask = np.ones(self.num_layers - 1, dtype=bool)
+        for src, dst in self.skip_edges:
+            mask[src + 1 : dst] = False
+        return mask
 
     def legal_cut_indices(self) -> List[int]:
         """Every structurally legal cut boundary, in layer order.

@@ -53,6 +53,8 @@ FeatureFn = Callable[[Any], np.ndarray]
 SampleFn = Callable[[np.random.Generator], Any]
 #: Callable evaluating a candidate; returns objectives or (objectives, metadata).
 ObjectiveFn = Callable[[Any], Any]
+#: Callable evaluating a candidate pool; returns one objective output per candidate.
+BatchObjectiveFn = Callable[[Sequence[Any]], Sequence[Any]]
 #: Optional callable proposing neighbours of a candidate.
 NeighborFn = Callable[[Any, int, np.random.Generator], Sequence[Any]]
 #: Optional per-evaluation callback.
@@ -168,6 +170,15 @@ class MultiObjectiveBayesianOptimizer:
     objective_fn:
         ``objective_fn(candidate) -> objectives`` (all minimised) or
         ``(objectives, metadata)``.
+    batch_objective_fn:
+        Optional ``batch_objective_fn(candidates) -> outputs`` evaluating a
+        whole candidate pool at once (one ``objective_fn``-style output per
+        candidate, in order).  When supplied, the random-initialisation pool
+        and each iteration's selected candidate are costed through it —
+        e.g. :meth:`repro.core.evaluation.PartitionAwareEvaluator.evaluate_pool`,
+        which batches the per-layer predictors and the partition costing
+        across the pool.  Results, bookkeeping order and callbacks are
+        identical to the scalar path.
     num_objectives:
         Number of objectives returned by ``objective_fn``.
     num_initial / num_iterations:
@@ -214,6 +225,7 @@ class MultiObjectiveBayesianOptimizer:
         feature_fn: FeatureFn,
         objective_fn: ObjectiveFn,
         num_objectives: int,
+        batch_objective_fn: Optional[BatchObjectiveFn] = None,
         num_initial: int = 10,
         num_iterations: int = 50,
         candidate_pool_size: int = 128,
@@ -251,6 +263,7 @@ class MultiObjectiveBayesianOptimizer:
         self.sample_fn = sample_fn
         self.feature_fn = feature_fn
         self.objective_fn = objective_fn
+        self.batch_objective_fn = batch_objective_fn
         self.num_objectives = int(num_objectives)
         self.num_initial = int(num_initial)
         self.num_iterations = int(num_iterations)
@@ -279,8 +292,11 @@ class MultiObjectiveBayesianOptimizer:
         self._bank: Optional[GPBank] = None
 
     # ------------------------------------------------------------------ evaluation
-    def _evaluate(self, candidate: Any, iteration: int, phase: str) -> ObservedPoint:
-        objectives, metadata = _normalize_objective_output(self.objective_fn(candidate))
+    def _record(
+        self, candidate: Any, output: Any, iteration: int, phase: str
+    ) -> ObservedPoint:
+        """Book-keep one evaluated candidate (shared by both evaluation paths)."""
+        objectives, metadata = _normalize_objective_output(output)
         if objectives.shape != (self.num_objectives,):
             raise ValueError(
                 f"objective function returned {objectives.shape[0]} objectives, "
@@ -302,6 +318,24 @@ class MultiObjectiveBayesianOptimizer:
         if self.callback is not None:
             self.callback(len(self._points) - 1, point, self.archive)
         return point
+
+    def _evaluate(self, candidate: Any, iteration: int, phase: str) -> ObservedPoint:
+        return self._record(candidate, self.objective_fn(candidate), iteration, phase)
+
+    def _evaluate_batch(
+        self, candidates: Sequence[Any], first_iteration: int, phase: str
+    ) -> List[ObservedPoint]:
+        """Evaluate a pool through ``batch_objective_fn``, book-keeping in order."""
+        outputs = self.batch_objective_fn(candidates)
+        if len(outputs) != len(candidates):
+            raise ValueError(
+                f"batch objective function returned {len(outputs)} outputs "
+                f"for {len(candidates)} candidates"
+            )
+        return [
+            self._record(candidate, output, first_iteration + offset, phase)
+            for offset, (candidate, output) in enumerate(zip(candidates, outputs))
+        ]
 
     def _append_row(self, features: np.ndarray, objectives: np.ndarray) -> None:
         """Append one evaluation to the growing feature/objective matrices."""
@@ -329,10 +363,20 @@ class MultiObjectiveBayesianOptimizer:
         """View of all observed objective vectors, ``(n, k)``."""
         return self._objective_buf[: self._num_rows]
 
-    def _sample_unseen(self, max_attempts: int = 50) -> Any:
+    def _sample_unseen(
+        self, max_attempts: int = 50, pending: Optional[set] = None
+    ) -> Any:
+        """Sample a candidate not yet evaluated (nor in ``pending``).
+
+        ``pending`` lets the pool-evaluation path pre-sample a whole batch
+        with exactly the rejection behaviour of interleaved
+        sample-then-evaluate: sampling consumes the generator, evaluation
+        never does, so the draw sequence is identical either way.
+        """
         for _ in range(max_attempts):
             candidate = self.sample_fn(self._rng)
-            if self.key_fn(candidate) not in self._seen:
+            key = self.key_fn(candidate)
+            if key not in self._seen and (pending is None or key not in pending):
                 return candidate
         # The space may be nearly exhausted; accept a duplicate rather than stall.
         return self.sample_fn(self._rng)
@@ -402,10 +446,22 @@ class MultiObjectiveBayesianOptimizer:
     # ------------------------------------------------------------------ main loop
     def run(self) -> OptimizationResult:
         """Execute the full optimization and return every observation."""
-        # Random initialisation (Algorithm 2, lines 2-6).
-        for i in range(self.num_initial):
-            candidate = self._sample_unseen()
-            self._evaluate(candidate, iteration=i, phase="init")
+        # Random initialisation (Algorithm 2, lines 2-6).  With a batch
+        # objective the whole initial pool is sampled up front (the draw
+        # sequence is identical — evaluation never consumes the generator)
+        # and costed in one batched evaluation.
+        if self.batch_objective_fn is not None:
+            initial: List[Any] = []
+            pending: set = set()
+            for _ in range(self.num_initial):
+                candidate = self._sample_unseen(pending=pending)
+                pending.add(self.key_fn(candidate))
+                initial.append(candidate)
+            self._evaluate_batch(initial, first_iteration=0, phase="init")
+        else:
+            for i in range(self.num_initial):
+                candidate = self._sample_unseen()
+                self._evaluate(candidate, iteration=i, phase="init")
 
         # MOBO iterations (Algorithm 2, lines 7-14).
         for n in range(self.num_iterations):
@@ -428,6 +484,11 @@ class MultiObjectiveBayesianOptimizer:
             scalar = chebyshev_scalarize(scores_norm, weights)
             best_index = int(np.argmin(scalar))
             candidate = pool[best_index]
-            self._evaluate(candidate, iteration=self.num_initial + n, phase="bo")
+            if self.batch_objective_fn is not None:
+                self._evaluate_batch(
+                    [candidate], first_iteration=self.num_initial + n, phase="bo"
+                )
+            else:
+                self._evaluate(candidate, iteration=self.num_initial + n, phase="bo")
 
         return OptimizationResult(self._points, self.num_objectives)

@@ -11,7 +11,7 @@ energy of running an architecture under it for a given wireless channel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, NamedTuple, Optional
 
 #: Deployment kinds.
 ALL_EDGE = "all_edge"
@@ -53,13 +53,21 @@ class DeploymentOption:
     # ------------------------------------------------------------------ constructors
     @classmethod
     def all_edge(cls) -> "DeploymentOption":
-        """Run every layer on the edge device."""
-        return cls(kind=ALL_EDGE)
+        """Run every layer on the edge device.
+
+        Returns the shared immutable module-level instance (the option
+        carries no per-architecture state), so hot loops do not
+        re-validate it.
+        """
+        return _ALL_EDGE
 
     @classmethod
     def all_cloud(cls) -> "DeploymentOption":
-        """Upload the raw input and run every layer in the cloud."""
-        return cls(kind=ALL_CLOUD)
+        """Upload the raw input and run every layer in the cloud.
+
+        Returns the shared immutable instance, like :meth:`all_edge`.
+        """
+        return _ALL_CLOUD
 
     @classmethod
     def split_after(cls, index: int, layer_name: Optional[str] = None) -> "DeploymentOption":
@@ -100,14 +108,21 @@ class DeploymentOption:
         )
 
 
-@dataclass(frozen=True)
-class DeploymentMetrics:
+#: Shared instances behind :meth:`DeploymentOption.all_edge` /
+#: :meth:`DeploymentOption.all_cloud` (immutable, so sharing is safe).
+_ALL_EDGE = DeploymentOption(kind=ALL_EDGE)
+_ALL_CLOUD = DeploymentOption(kind=ALL_CLOUD)
+
+
+class DeploymentMetrics(NamedTuple):
     """Estimated cost of running a model under one deployment option.
 
     The edge-side and communication components are stored separately so the
     runtime threshold analysis (paper §IV-E) can re-evaluate the same
     deployment under a different uplink throughput without re-running the
-    layer predictors.
+    layer predictors.  A named tuple rather than a dataclass: the batched
+    evaluation path materialises one instance per deployment option per
+    ``(candidate, channel)`` pair, so construction cost is on the hot path.
 
     Attributes
     ----------

@@ -25,8 +25,8 @@ optional cloud predictor can be supplied for sensitivity studies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from operator import itemgetter
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.hardware.predictors import BaseLayerPredictor, LayerPrediction
 from repro.nn.architecture import Architecture, LayerSummary
 from repro.nn.graph import PartitionGraph
 from repro.partition.deployment import DeploymentMetrics, DeploymentOption
+from repro.utils.units import mbps_to_bytes_per_second
 from repro.wireless.channel import WirelessChannel
 
 
@@ -72,8 +73,7 @@ def identify_partition_points(
     return candidates
 
 
-@dataclass
-class PartitionEvaluation:
+class PartitionEvaluation(NamedTuple):
     """Result of evaluating every deployment option for one architecture.
 
     Attributes
@@ -180,17 +180,24 @@ class PartitionAnalyzer:
         self.require_shrinkage = bool(require_shrinkage)
 
     # ------------------------------------------------------------------ helpers
-    def _cloud_suffix_latency(
-        self, architecture: Architecture, first_cloud_layer: int
-    ) -> float:
-        """Cloud compute latency of layers ``first_cloud_layer..end`` (optional)."""
+    def _cloud_suffix_latencies(
+        self, architecture: Architecture
+    ) -> Optional[np.ndarray]:
+        """Cloud compute latency of every layer suffix, or ``None``.
+
+        ``suffix[i]`` is the summed cloud latency of layers ``i..end``
+        (``suffix[num_layers] == 0``), computed as a single reversed
+        cumulative sum of the cloud predictor's per-layer latencies instead
+        of a ``summarize()[first:]`` re-walk per cut point.  Shared by the
+        scalar and batched costing paths.
+        """
         if self.cloud_predictor is None:
-            return 0.0
-        summaries = architecture.summarize()[first_cloud_layer:]
-        return sum(
-            self.cloud_predictor.predict_layer(summary).latency_s
-            for summary in summaries
-        )
+            return None
+        predictions = self.cloud_predictor.predict_architecture(architecture)
+        latencies = np.array([p.latency_s for p in predictions])
+        suffix = np.zeros(latencies.shape[0] + 1)
+        suffix[:-1] = latencies[::-1].cumsum()[::-1]
+        return suffix
 
     # ------------------------------------------------------------------ evaluation
     def evaluate(
@@ -229,6 +236,7 @@ class PartitionAnalyzer:
         cumulative_latency = np.cumsum(latencies)
         cumulative_energy = np.cumsum(energies)
         input_bytes = architecture.input_bytes
+        cloud_suffix = self._cloud_suffix_latencies(architecture)
 
         options: List[DeploymentMetrics] = []
 
@@ -238,7 +246,7 @@ class PartitionAnalyzer:
             DeploymentMetrics(
                 option=DeploymentOption.all_cloud(),
                 latency_s=cloud_cost.latency_s
-                + self._cloud_suffix_latency(architecture, 0),
+                + (float(cloud_suffix[0]) if cloud_suffix is not None else 0.0),
                 energy_j=cloud_cost.energy_j,
                 edge_latency_s=0.0,
                 edge_energy_j=0.0,
@@ -280,7 +288,11 @@ class PartitionAnalyzer:
                     option=DeploymentOption.split_after(index, summaries[index].name),
                     latency_s=edge_latency
                     + comm_cost.latency_s
-                    + self._cloud_suffix_latency(architecture, index + 1),
+                    + (
+                        float(cloud_suffix[index + 1])
+                        if cloud_suffix is not None
+                        else 0.0
+                    ),
                     energy_j=edge_energy + comm_cost.energy_j,
                     edge_latency_s=edge_latency,
                     edge_energy_j=edge_energy,
@@ -298,6 +310,322 @@ class PartitionAnalyzer:
             layer_output_bytes=tuple(int(v) for v in output_bytes),
             partition_point_indices=tuple(partition_points),
         )
+
+    def evaluate_batch(
+        self,
+        architectures: Sequence[Architecture],
+        channels: Optional[Sequence[WirelessChannel]] = None,
+        predictions_list: Optional[Sequence[Sequence[LayerPrediction]]] = None,
+        graphs: Optional[Sequence[Optional[PartitionGraph]]] = None,
+        predictions_array: Optional[np.ndarray] = None,
+    ) -> List[List[PartitionEvaluation]]:
+        """Array-based costing of a candidate pool under many channels.
+
+        Semantically equivalent to calling :meth:`evaluate` (the scalar
+        reference implementation) for every ``(architecture, channel)`` pair,
+        but computed end to end on arrays: per-candidate latency/energy/
+        output-byte vectors concatenate into one flat pool-wide axis, split
+        costing (prefix sums, the shrinkage rule, the
+        :class:`~repro.nn.graph.PartitionGraph` legal-cut mask and the
+        channel cost model) is broadcast across every cut point of every
+        candidate at once, and cloud-suffix latencies come from one reversed
+        cumulative sum per candidate instead of a ``summarize()`` re-walk
+        per cut.  Results match the scalar path to floating-point roundoff
+        (<= 1e-9, asserted by ``benchmarks/bench_eval_batch.py`` and the
+        hypothesis parity suite).
+
+        Parameters
+        ----------
+        architectures:
+            The candidate pool.
+        channels:
+            Wireless channels to cost under; defaults to the analyzer's own
+            channel.  The per-candidate arrays are built once and shared.
+        predictions_list:
+            Optional pre-computed per-layer predictions, one sequence per
+            architecture (e.g. from
+            :meth:`~repro.hardware.predictors.BaseLayerPredictor.predict_batch`).
+        graphs:
+            Optional per-architecture cut-legality overrides (``None``
+            entries fall back to each architecture's own graph).
+        predictions_array:
+            Optional raw ``(total_layers, 2)`` latency/power array matching
+            ``predictions_list`` (the second return of
+            :meth:`~repro.hardware.predictors.LayerPerformancePredictor.predict_pool`);
+            skips the prediction-tuple-to-array conversion.
+
+        Returns
+        -------
+        ``results[i][j]`` is the :class:`PartitionEvaluation` of
+        ``architectures[i]`` under ``channels[j]``.
+        """
+        architectures = list(architectures)
+        channels = [self.channel] if channels is None else list(channels)
+        n = len(architectures)
+        if n == 0 or not channels:
+            return [[] for _ in range(n)]
+        if predictions_list is None:
+            predict_pool = getattr(self.predictor, "predict_pool", None)
+            if predict_pool is not None:
+                predictions_list, predictions_array = predict_pool(architectures)
+            else:
+                predictions_list = self.predictor.predict_batch(architectures)
+        if graphs is None:
+            graphs = [None] * n
+        if len(predictions_list) != n or len(graphs) != n:
+            raise ValueError(
+                f"expected {n} prediction sequences and graphs, got "
+                f"{len(predictions_list)} and {len(graphs)}"
+            )
+
+        # ---- channel-independent pool arrays (flat layer axis) ----------
+        # All per-layer quantities are concatenated along one flat axis
+        # (candidate i owns positions offsets[i]:offsets[i+1]) so every
+        # numpy operation below runs once for the whole pool; per-candidate
+        # 2-D padding would cost one small-array operation per candidate.
+        summary_lists = [a.summarize() for a in architectures]
+        lengths = [len(s) for s in summary_lists]
+        offsets = [0]
+        for count in lengths:
+            offsets.append(offsets[-1] + count)
+        for architecture, predictions, count in zip(
+            architectures, predictions_list, lengths
+        ):
+            if len(predictions) != count:
+                raise ValueError(
+                    f"expected {count} layer predictions for "
+                    f"{architecture.name}, got {len(predictions)}"
+                )
+        # The per-layer (latency, power) stream as a (total_layers, 2)
+        # array: the predictor's raw pool array when supplied, otherwise one
+        # conversion of the prediction tuples (LayerPrediction is a named
+        # tuple; duck-typed prediction objects fall back to attribute access).
+        if predictions_array is not None and predictions_array.shape == (
+            offsets[-1],
+            2,
+        ):
+            pairs = predictions_array
+        else:
+            flat_predictions = [
+                p for predictions in predictions_list for p in predictions
+            ]
+            try:
+                pairs = np.asarray(flat_predictions, dtype=float)
+            except (TypeError, ValueError):
+                pairs = None
+            if pairs is None or pairs.ndim != 2 or pairs.shape[1] != 2:
+                pairs = np.array(
+                    [(p.latency_s, p.power_w) for p in flat_predictions],
+                    dtype=float,
+                )
+        flat_latency = pairs[:, 0]
+        # Per-layer energy is latency * power (LayerPrediction.energy_j),
+        # one elementwise product for the whole pool.
+        flat_energy = flat_latency * pairs[:, 1]
+
+        # Per-candidate prefix sums: one flat cumsum, then subtract each
+        # candidate's starting total.
+        starts = np.array(offsets[:-1])
+        last_positions = np.array(offsets[1:]) - 1
+        cum_lat_all = np.cumsum(flat_latency)
+        cum_en_all = np.cumsum(flat_energy)
+        base_lat = np.repeat(np.concatenate(([0.0], cum_lat_all))[starts], lengths)
+        base_en = np.repeat(np.concatenate(([0.0], cum_en_all))[starts], lengths)
+        cumulative_latency = cum_lat_all - base_lat
+        cumulative_energy = cum_en_all - base_en
+
+        flat_bytes: List[int] = []
+        flat_flags: List[bool] = []
+        for summaries in summary_lists:
+            for summary in summaries:
+                flat_bytes.append(summary.output_bytes)
+                flat_flags.append(summary.is_partition_candidate)
+        bytes_array = np.array(flat_bytes, dtype=float)
+        input_bytes = np.array(
+            [a.input_bytes for a in architectures], dtype=float
+        )
+
+        # Legal-cut mask: the structural flag, the final-boundary exclusion,
+        # the paper's shrinkage rule and the graph's single-tensor-cut mask,
+        # all as pool-wide boolean vector operations.
+        mask = np.array(flat_flags, dtype=bool)
+        mask[last_positions] = False  # cutting after the last layer is All-Edge
+        if self.require_shrinkage:
+            mask &= bytes_array < np.repeat(input_bytes, lengths)
+        for i, architecture in enumerate(architectures):
+            graph = graphs[i]
+            if graph is None:
+                graph = architecture.partition_graph()
+            if not graph.is_linear:
+                mask[offsets[i] : offsets[i + 1] - 1] &= graph.legal_cut_mask()
+        flat_cuts = np.flatnonzero(mask).tolist()
+
+        # Cloud-suffix latencies for the whole pool: one batched cloud
+        # prediction pass, then one reversed cumsum per candidate.
+        if self.cloud_predictor is not None:
+            cloud_suffixes: List[Optional[List[float]]] = []
+            for cloud_preds in self.cloud_predictor.predict_batch(architectures):
+                cloud_latencies = np.array([p.latency_s for p in cloud_preds])
+                suffix = np.zeros(cloud_latencies.shape[0] + 1)
+                suffix[:-1] = cloud_latencies[::-1].cumsum()[::-1]
+                cloud_suffixes.append(suffix.tolist())
+        else:
+            cloud_suffixes = [None] * n
+
+        # Per-candidate cut segments: flat positions (for array indexing),
+        # relative indices (the split points) and shared DeploymentOptions,
+        # concatenated pool-wide so each flat per-cut value list is later
+        # extracted with a single itemgetter call per channel.
+        split_option_cache: Dict[Tuple[int, str], DeploymentOption] = {}
+        flat_split_options: List[DeploymentOption] = []
+        cut_offsets: List[int] = [0]
+        cut_tuples: List[Tuple[int, ...]] = []
+        cursor = 0
+        num_cuts = len(flat_cuts)
+        for i in range(n):
+            start = offsets[i]
+            end = offsets[i + 1]
+            summaries = summary_lists[i]
+            rel_cuts: List[int] = []
+            while cursor < num_cuts and flat_cuts[cursor] < end:
+                index = flat_cuts[cursor] - start
+                key = (index, summaries[index].name)
+                option = split_option_cache.get(key)
+                if option is None:
+                    option = DeploymentOption.split_after(index, summaries[index].name)
+                    split_option_cache[key] = option
+                flat_split_options.append(option)
+                rel_cuts.append(index)
+                cursor += 1
+            cut_offsets.append(cursor)
+            cut_tuples.append(tuple(rel_cuts))
+        if num_cuts == 1:
+            only = flat_cuts[0]
+
+            def flat_getter(values, _p=only):
+                return (values[_p],)
+
+        elif num_cuts:
+            flat_getter = itemgetter(*flat_cuts)
+        else:
+            flat_getter = None
+
+        lat_list = flat_latency.tolist()
+        en_list = flat_energy.tolist()
+        layer_latency_tuples = [
+            tuple(lat_list[offsets[i] : offsets[i + 1]]) for i in range(n)
+        ]
+        layer_energy_tuples = [
+            tuple(en_list[offsets[i] : offsets[i + 1]]) for i in range(n)
+        ]
+        layer_byte_tuples = [
+            tuple(flat_bytes[offsets[i] : offsets[i + 1]]) for i in range(n)
+        ]
+        cum_lat_list = cumulative_latency.tolist()
+        cum_en_list = cumulative_energy.tolist()
+        all_edge_latency = cumulative_latency[last_positions].tolist()
+        all_edge_energy = cumulative_energy[last_positions].tolist()
+        bytes_floats = bytes_array.tolist()
+        input_bytes_floats = input_bytes.tolist()
+        names = [a.name for a in architectures]
+        all_cloud_option = DeploymentOption.all_cloud()
+        all_edge_option = DeploymentOption.all_edge()
+        # Channel-independent per-cut value streams, extracted pool-wide in
+        # one itemgetter call each.
+        if flat_getter is not None:
+            transferred_cuts = flat_getter(bytes_floats)
+            edge_latency_cuts = flat_getter(cum_lat_list)
+            edge_energy_cuts = flat_getter(cum_en_list)
+        metrics = DeploymentMetrics._make
+        has_cloud_suffix = self.cloud_predictor is not None
+
+        # ---- per-channel broadcast costing ------------------------------
+        results: List[List[PartitionEvaluation]] = [
+            [None] * len(channels) for _ in range(n)  # type: ignore[list-item]
+        ]
+        for ci, channel in enumerate(channels):
+            rate = mbps_to_bytes_per_second(channel.uplink_mbps)
+            round_trip = channel.round_trip_s
+            power = channel.transmission_power_w()
+            transmission = bytes_array / rate
+            comm_latency = transmission + round_trip
+            comm_energy = power * transmission
+            split_latency = (cumulative_latency + comm_latency).tolist()
+            split_energy = (cumulative_energy + comm_energy).tolist()
+            comm_latency_list = comm_latency.tolist()
+            comm_energy_list = comm_energy.tolist()
+            cloud_transmission = input_bytes / rate
+            cloud_latency = (cloud_transmission + round_trip).tolist()
+            cloud_energy = (power * cloud_transmission).tolist()
+
+            # Every split option of every candidate, one map over the
+            # pool-wide per-cut value streams; candidate i's splits are
+            # flat_split_metrics[cut_offsets[i]:cut_offsets[i + 1]].
+            if flat_getter is not None:
+                split_latency_cuts = flat_getter(split_latency)
+                if has_cloud_suffix:
+                    split_latency_cuts = tuple(
+                        value + cloud_suffixes[i][index + 1]
+                        for i in range(n)
+                        for value, index in zip(
+                            split_latency_cuts[
+                                cut_offsets[i] : cut_offsets[i + 1]
+                            ],
+                            cut_tuples[i],
+                        )
+                    )
+                flat_split_metrics = list(
+                    map(
+                        metrics,
+                        zip(
+                            flat_split_options,
+                            split_latency_cuts,
+                            flat_getter(split_energy),
+                            edge_latency_cuts,
+                            edge_energy_cuts,
+                            flat_getter(comm_latency_list),
+                            flat_getter(comm_energy_list),
+                            transferred_cuts,
+                        ),
+                    )
+                )
+            else:
+                flat_split_metrics = []
+
+            for i in range(n):
+                suffix = cloud_suffixes[i]
+                results[i][ci] = PartitionEvaluation(
+                    names[i],
+                    (
+                        DeploymentMetrics(
+                            all_cloud_option,
+                            cloud_latency[i]
+                            + (suffix[0] if suffix is not None else 0.0),
+                            cloud_energy[i],
+                            0.0,
+                            0.0,
+                            cloud_latency[i],
+                            cloud_energy[i],
+                            input_bytes_floats[i],
+                        ),
+                        DeploymentMetrics(
+                            all_edge_option,
+                            all_edge_latency[i],
+                            all_edge_energy[i],
+                            all_edge_latency[i],
+                            all_edge_energy[i],
+                            0.0,
+                            0.0,
+                            0.0,
+                        ),
+                        *flat_split_metrics[cut_offsets[i] : cut_offsets[i + 1]],
+                    ),
+                    layer_latency_tuples[i],
+                    layer_energy_tuples[i],
+                    layer_byte_tuples[i],
+                    cut_tuples[i],
+                )
+        return results
 
     def with_channel(self, channel: WirelessChannel) -> "PartitionAnalyzer":
         """Copy of this analyzer bound to a different wireless channel."""

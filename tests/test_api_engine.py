@@ -87,11 +87,22 @@ class TestLayerAndPartitionCaches:
         ]
         evaluations = engine.sweep_channels(alexnet, gpu_oracle, channels)
         assert len(evaluations) == 3
+        # The batched sweep fetches the per-layer predictions exactly once
+        # for the whole channel set and costs each channel once.
         assert engine.stats.layer_misses == 1
-        assert engine.stats.layer_hits == 2
+        assert engine.stats.layer_hits == 0
+        assert engine.stats.partition_misses == 3
         # Costs must differ across channels (communication term changes).
         cloud_latencies = {e.all_cloud.latency_s for e in evaluations}
         assert len(cloud_latencies) == 3
+        # A second sweep over the same channels is pure cache hits.
+        again = engine.sweep_channels(alexnet, gpu_oracle, channels)
+        assert [e.all_cloud.latency_s for e in again] == [
+            e.all_cloud.latency_s for e in evaluations
+        ]
+        assert engine.stats.partition_misses == 3
+        assert engine.stats.partition_hits == 3
+        assert engine.stats.layer_misses == 1
 
     def test_clear_resets_everything(self, engine, gpu_oracle, alexnet):
         engine.layer_predictions(gpu_oracle, alexnet)

@@ -41,6 +41,20 @@ BUCKETS = {
     "candidate evaluation": ("core/evaluation.py", "partition/", "hardware/", "accuracy/"),
 }
 
+#: Finer attribution inside the evaluation phase (``--phase eval``): which
+#: share goes to the per-layer predictors, the partition costing, the channel
+#: cost model, decoding/shape inference, the accuracy surrogate and the
+#: engine's caching layer.  Order matters — first match wins.
+EVAL_BUCKETS = {
+    "layer predictors + features": ("hardware/predictors.py", "hardware/features.py"),
+    "partition costing": ("partition/",),
+    "channel cost model": ("wireless/",),
+    "nn: decode/sampling/shapes": ("nn/",),
+    "accuracy surrogate": ("accuracy/",),
+    "engine caching": ("api/engine.py",),
+    "evaluator glue": ("core/evaluation.py",),
+}
+
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -60,6 +74,13 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="surrogate conditioning mode to profile",
     )
     parser.add_argument(
+        "--phase", choices=("all", "eval"), default="all",
+        help=(
+            "'eval' adds an evaluation-phase breakdown (predictor vs "
+            "partition vs channel vs decode time)"
+        ),
+    )
+    parser.add_argument(
         "--top", type=int, default=25, help="how many rows of the pstats table to print"
     )
     parser.add_argument(
@@ -68,12 +89,12 @@ def parse_args(argv=None) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
-def bucket_times(stats: pstats.Stats) -> dict:
-    """Total internal time attributed to each :data:`BUCKETS` subsystem."""
-    totals = {name: 0.0 for name in BUCKETS}
+def bucket_times(stats: pstats.Stats, buckets: dict = BUCKETS) -> dict:
+    """Total internal time attributed to each bucket of ``buckets``."""
+    totals = {name: 0.0 for name in buckets}
     for (filename, _line, _name), entry in stats.stats.items():  # type: ignore[attr-defined]
         internal_time = entry[2]
-        for name, fragments in BUCKETS.items():
+        for name, fragments in buckets.items():
             if any(fragment in filename for fragment in fragments):
                 totals[name] += internal_time
                 break
@@ -113,6 +134,17 @@ def main(argv=None) -> int:
     for name, seconds in sorted(totals.items(), key=lambda item: -item[1]):
         share = 100.0 * seconds / elapsed if elapsed > 0 else 0.0
         print(f"  {name:<30} {seconds:8.3f}s  ({share:5.1f}% of wall)")
+
+    if args.phase == "eval":
+        eval_totals = bucket_times(stats, EVAL_BUCKETS)
+        phase_total = sum(eval_totals.values())
+        print(
+            "evaluation-phase breakdown "
+            f"(internal time, {phase_total:.3f}s total):"
+        )
+        for name, seconds in sorted(eval_totals.items(), key=lambda item: -item[1]):
+            share = 100.0 * seconds / phase_total if phase_total > 0 else 0.0
+            print(f"  {name:<30} {seconds:8.3f}s  ({share:5.1f}% of phase)")
     return 0
 
 
