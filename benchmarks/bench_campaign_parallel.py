@@ -82,3 +82,115 @@ def test_parallel_campaign_matches_serial(tmp_path):
             "winners": [list(pair) for pair in reference_winners],
         },
     )
+
+
+def test_index_persistence_scales_past_5k_records(tmp_path):
+    """Deferred index flushing: 5k appends write the index O(log n) times.
+
+    Before the fix every append rewrote the full ``index.json`` — O(n^2)
+    index bytes over a campaign.  Appends past :data:`INDEX_FLUSH_SMALL`
+    now flush only at geometrically spaced store sizes (plus on
+    ``flush()``/``close()``), so the total index cost is O(n).
+    """
+    import time as _time
+
+    from repro.api.envelopes import SearchRequest
+    from repro.api.session import run_search
+
+    records = 5_000
+    outcome = run_search(
+        SearchRequest(
+            scenario="wifi-3mbps/jetson-tx2-gpu",
+            strategy="random",
+            num_initial=4,
+            num_iterations=2,
+            candidate_pool_size=16,
+            predictor_samples_per_type=40,
+        )
+    )
+    store = RunStore(tmp_path / "big")
+    start = _time.perf_counter()
+    for i in range(records):
+        store.append(outcome, fingerprint=f"{i:016x}")
+    store.flush()
+    elapsed = _time.perf_counter() - start
+
+    assert len(store) == records
+    # the O(n^2) behaviour wrote the index `records` times; geometric
+    # flushing stays within the small-store threshold plus ~log2(n) flushes
+    assert store.index_writes < records / 4, (
+        f"{store.index_writes} index writes for {records} appends"
+    )
+    writes_per_append = store.index_writes / records
+    text = (
+        f"Index persistence at {records} records\n"
+        f"appends: {records}, index writes: {store.index_writes} "
+        f"({writes_per_append:.4f}/append), elapsed: {elapsed:.2f}s "
+        f"({records / elapsed:,.0f} appends/s)"
+    )
+    print("\n" + text)
+    save_table(
+        "campaign_store_index",
+        text,
+        {
+            "records": records,
+            "index_writes": store.index_writes,
+            "index_writes_per_append": writes_per_append,
+            "elapsed_s": elapsed,
+            "appends_per_s": records / elapsed,
+        },
+    )
+
+
+def test_pull_worker_sharded_matches_serial(tmp_path):
+    """Distributed variant: pull workers + sharded store vs the serial path.
+
+    The acceptance bar of the distributed campaign service: the same grid
+    through 2 pull workers against one shared sharded store yields exactly
+    the serial fingerprint set.  Wall clocks are reported, not asserted
+    (worker startup dominates at benchmark-smoke budgets).
+    """
+    from repro.campaign import ShardedRunStore
+
+    spec = SPEC if not FAST_MODE else CampaignSpec(
+        scenarios=("wifi-3mbps/jetson-tx2-gpu", "lte-3mbps/jetson-tx2-gpu"),
+        strategies=("random",),
+        seeds=(2021,),
+        num_initial=4,
+        num_iterations=2,
+        candidate_pool_size=16,
+        predictor_samples_per_type=40,
+    )
+    serial = RunStore(tmp_path / "serial")
+    serial_result = run_campaign(spec, serial, workers=1)
+
+    sharded = ShardedRunStore(tmp_path / "sharded")
+    pull_result = run_campaign(
+        spec,
+        sharded,
+        executor="pull-worker",
+        workers=2,
+        executor_options={"ttl_s": 30.0, "poll_s": 0.2},
+    )
+    assert sorted(sharded.fingerprints()) == sorted(serial.fingerprints())
+    assert len(pull_result.executed) == spec.num_cells
+
+    text = (
+        f"Distributed campaign — {spec.num_cells} cells\n"
+        f"serial: {serial_result.wall_time_s:.2f}s, "
+        f"pull-worker x2 (sharded store): {pull_result.wall_time_s:.2f}s, "
+        f"shards: {len(sharded.shard_keys())}, fingerprints match: yes"
+    )
+    print("\n" + text)
+    save_table(
+        "campaign_distributed",
+        text,
+        {
+            "cells": spec.num_cells,
+            "serial_wall_s": serial_result.wall_time_s,
+            "pull_worker_wall_s": pull_result.wall_time_s,
+            "workers": 2,
+            "shards": len(sharded.shard_keys()),
+            "fingerprints_match": True,
+        },
+    )

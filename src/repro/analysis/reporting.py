@@ -219,6 +219,37 @@ class ExperimentReport:
         )
         return self.add_text(heading, body)
 
+    def add_audit_summary(
+        self, audit: Dict[str, Any], heading: str = "Failure audit"
+    ) -> "ExperimentReport":
+        """Add a campaign's error/audit overview.
+
+        ``audit`` is the dict produced by
+        :func:`repro.campaign.errors.summarize_audit` — per-code counts,
+        permanently failed cells, retries and reporting workers.
+        """
+        if not audit.get("num_records"):
+            return self.add_text(heading, "No failure records.")
+        code_rows = [
+            [code, count] for code, count in sorted(audit["by_code"].items())
+        ]
+        failed = audit.get("failed_cells", [])
+        lines = [
+            f"**{audit['num_records']}** failure record(s), "
+            f"**{len(failed)}** cell(s) permanently failed, "
+            f"**{audit.get('retries', 0)}** retries.",
+            "",
+            _markdown_table(["error code", "records"], code_rows),
+        ]
+        if failed:
+            listed = ", ".join(f"`{fp}`" for fp in failed[:10])
+            suffix = " …" if len(failed) > 10 else ""
+            lines += ["", f"Failed cells: {listed}{suffix}"]
+        workers = audit.get("workers", [])
+        if workers:
+            lines += ["", f"Reporting workers: {', '.join(workers)}"]
+        return self.add_text(heading, "\n".join(lines))
+
 
 # ---------------------------------------------------------------------- campaigns
 

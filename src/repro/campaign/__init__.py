@@ -1,4 +1,4 @@
-"""repro.campaign — parallel, resumable search campaigns.
+"""repro.campaign — a distributed, resumable search-campaign service.
 
 A *campaign* runs the same search grid the paper's headline figures are
 built from (scenarios x strategies x seeds) as one restartable unit:
@@ -7,8 +7,20 @@ built from (scenarios x strategies x seeds) as one restartable unit:
   grid (axes + shared budgets, JSON round-trip);
 * :mod:`repro.campaign.store` — :class:`RunStore`, an append-only JSONL
   store of outcomes keyed by request fingerprint, with a derived index;
+* :mod:`repro.campaign.sharded` — :class:`ShardedRunStore`, the same
+  interface over per-(scenario x space) shard files safe for concurrent
+  writers, plus :func:`open_store` / :func:`merge_stores` /
+  :func:`export_metrics`;
+* :mod:`repro.campaign.executors` — the :data:`EXECUTORS` registry of
+  execution back-ends (``serial`` / ``process-pool`` / ``asyncio`` /
+  ``pull-worker``);
+* :mod:`repro.campaign.leases` / :mod:`repro.campaign.manifest` /
+  :mod:`repro.campaign.worker` — the crash-safe pull protocol behind the
+  ``pull-worker`` executor (``repro worker`` on the CLI);
+* :mod:`repro.campaign.errors` — :class:`ErrorEnvelope` failure records and
+  per-shard audit logs;
 * :mod:`repro.campaign.runner` — :func:`run_campaign`, which skips cells
-  already in the store and fans the rest out over worker processes.
+  already in the store and hands the rest to the chosen executor.
 
 Quickstart::
 
@@ -23,19 +35,56 @@ Quickstart::
     result = run_campaign(spec, RunStore("runs/paper-grid"), workers=4)
     print(result.summary())   # re-running executes only missing cells
 
+Distributed::
+
+    from repro.campaign import ShardedRunStore, run_campaign
+
+    store = ShardedRunStore("runs/shared")       # multi-writer safe
+    run_campaign(spec, store, executor="pull-worker", workers=4)
+    # ... or point extra `repro worker --store runs/shared` processes at
+    # the same directory from other machines.
+
 The same machinery is scriptable from the command line; see
-``python -m repro campaign --help`` and ``docs/cli.md``.
+``python -m repro campaign --help``, ``python -m repro worker --help`` and
+``docs/distributed.md``.
 """
 
+from repro.campaign.errors import ERROR_CODES, AuditLog, ErrorEnvelope, summarize_audit
+from repro.campaign.executors import EXECUTORS, CampaignExecutor
 from repro.campaign.gridspec import CampaignSpec, expand_requests
-from repro.campaign.runner import CampaignResult, run_campaign
+from repro.campaign.leases import Lease, LeaseBoard
+from repro.campaign.manifest import CampaignManifest
+from repro.campaign.runner import CampaignResult, CellFailure, run_campaign
+from repro.campaign.sharded import (
+    ShardedRunStore,
+    export_metrics,
+    merge_stores,
+    open_store,
+)
 from repro.campaign.store import RunStore, StoreError
+from repro.campaign.worker import WorkerReport, run_worker
 
 __all__ = [
     "CampaignSpec",
     "expand_requests",
     "CampaignResult",
+    "CellFailure",
     "run_campaign",
     "RunStore",
     "StoreError",
+    "ShardedRunStore",
+    "open_store",
+    "merge_stores",
+    "export_metrics",
+    "EXECUTORS",
+    "CampaignExecutor",
+    "ErrorEnvelope",
+    "ERROR_CODES",
+    "AuditLog",
+    "summarize_audit",
+    "Lease",
+    "LeaseBoard",
+    "CampaignManifest",
+    "WorkerReport",
+    "run_worker",
 ]

@@ -1,0 +1,287 @@
+"""Structured failure records for distributed campaigns.
+
+One bad cell must never kill a million-cell campaign.  Every failure inside
+the campaign service is therefore captured as an :class:`ErrorEnvelope` — a
+uniform ``code``/``message``/``retryable``/``attempt`` record in the style
+of service error-code schemes — and appended to an :class:`AuditLog`, an
+append-only JSONL file living next to the store data it describes.  Workers
+read the audit log back to drive bounded retry with exponential backoff:
+the number of prior attempts and the timestamp of the last failure are both
+recoverable from the log alone, so retry state survives worker crashes.
+
+Error codes
+-----------
+========== ========= ====================================================
+code       retryable meaning
+========== ========= ====================================================
+E_REGISTRY no        unknown scenario / search-space / strategy name
+E_VALIDATION no      invalid request field values
+E_STORE    no        store inconsistency (corrupt record, duplicate key)
+E_WORKER_LOST yes    a worker process died before returning a result
+E_TIMEOUT  yes       the cell exceeded its time limit
+E_SYSTEM   yes       OS-level failure (out of memory, I/O error)
+E_EXECUTION no       the search strategy raised while running
+E_INTERNAL no        anything else — a library bug
+========== ========= ====================================================
+
+Retryable codes describe conditions that can heal (a crashed peer, a full
+disk); non-retryable codes are deterministic — re-running the same request
+would fail the same way — so workers mark them ``final`` on first sight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+try:  # advisory locking for multi-writer audit appends (POSIX only)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: ``code -> (description, retryable)`` — the uniform error-code scheme of
+#: the campaign service (documented in ``docs/distributed.md``).
+ERROR_CODES: Dict[str, tuple] = {
+    "E_REGISTRY": ("unknown scenario/search-space/strategy name", False),
+    "E_VALIDATION": ("invalid request field values", False),
+    "E_STORE": ("store inconsistency", False),
+    "E_WORKER_LOST": ("worker process died before returning a result", True),
+    "E_TIMEOUT": ("cell exceeded its time limit", True),
+    "E_SYSTEM": ("OS-level failure (memory, I/O)", True),
+    "E_EXECUTION": ("search strategy raised while running", False),
+    "E_INTERNAL": ("unexpected library failure", False),
+}
+
+
+def classify_error(error: BaseException) -> str:
+    """Map an exception to its campaign error code.
+
+    Import-order safe: registry/store types are matched by class name as
+    well as identity, so classification works in worker processes that
+    raised through a different import path.
+    """
+    names = {cls.__name__ for cls in type(error).__mro__}
+    if "RegistryError" in names:
+        return "E_REGISTRY"
+    if "StoreError" in names:
+        return "E_STORE"
+    if isinstance(error, (TimeoutError,)):
+        return "E_TIMEOUT"
+    if "BrokenProcessPool" in names or "BrokenExecutor" in names:
+        return "E_WORKER_LOST"
+    if isinstance(error, (MemoryError, OSError)):
+        return "E_SYSTEM"
+    if isinstance(error, (ValueError, TypeError, KeyError)):
+        return "E_VALIDATION"
+    if isinstance(error, Exception):
+        return "E_EXECUTION"
+    return "E_INTERNAL"
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope:
+    """One structured failure record.
+
+    Parameters
+    ----------
+    code:
+        A key of :data:`ERROR_CODES`.
+    message:
+        Human-readable description (usually ``str(exception)``).
+    retryable:
+        Whether re-running the cell can succeed.  Defaults to the code's
+        table entry.
+    attempt:
+        1-based attempt number of the failed execution.
+    final:
+        ``True`` once the cell is permanently failed (non-retryable error,
+        or the retry budget is exhausted) — workers treat final cells as
+        resolved and stop claiming them.
+    fingerprint / worker / time_s / context:
+        Which cell failed, who ran it, when (epoch seconds), and optional
+        routing metadata (scenario / search space).
+    """
+
+    code: str
+    message: str
+    retryable: bool = False
+    attempt: int = 1
+    final: bool = False
+    fingerprint: Optional[str] = None
+    worker: Optional[str] = None
+    time_s: float = 0.0
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in ERROR_CODES:
+            raise ValueError(
+                f"unknown error code {self.code!r}; "
+                f"known codes: {sorted(ERROR_CODES)}"
+            )
+
+    @classmethod
+    def from_exception(
+        cls,
+        error: BaseException,
+        *,
+        attempt: int = 1,
+        fingerprint: Optional[str] = None,
+        worker: Optional[str] = None,
+        context: Optional[Mapping[str, Any]] = None,
+        max_attempts: int = 1,
+    ) -> "ErrorEnvelope":
+        """Wrap an exception, deciding retryability and finality.
+
+        A failure is ``final`` when its code is non-retryable or the
+        attempt just made was the last one allowed.
+        """
+        code = classify_error(error)
+        retryable = ERROR_CODES[code][1]
+        return cls(
+            code=code,
+            message=f"{type(error).__name__}: {error}",
+            retryable=retryable,
+            attempt=int(attempt),
+            final=(not retryable) or attempt >= max_attempts,
+            fingerprint=fingerprint,
+            worker=worker,
+            time_s=time.time(),
+            context=dict(context or {}),
+        )
+
+    def replace(self, **changes: Any) -> "ErrorEnvelope":
+        """Copy with the given fields changed."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+            "attempt": self.attempt,
+            "final": self.final,
+            "fingerprint": self.fingerprint,
+            "worker": self.worker,
+            "time_s": self.time_s,
+            "context": dict(self.context),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorEnvelope":
+        return cls(
+            code=str(data["code"]),
+            message=str(data.get("message", "")),
+            retryable=bool(data.get("retryable", False)),
+            attempt=int(data.get("attempt", 1)),
+            final=bool(data.get("final", False)),
+            fingerprint=data.get("fingerprint"),
+            worker=data.get("worker"),
+            time_s=float(data.get("time_s", 0.0)),
+            context=dict(data.get("context", {})),
+        )
+
+
+def append_jsonl_atomic(path: Path, payload: Mapping[str, Any]) -> int:
+    """Append one JSON line to ``path`` safely under concurrent writers.
+
+    The whole line goes down in a single ``os.write`` on a descriptor opened
+    with ``O_APPEND`` (atomic with respect to the file offset on POSIX),
+    wrapped in an advisory ``flock`` where available so concurrent appends
+    from workers on one machine never interleave.  Returns the byte offset
+    the line was written at.
+    """
+    line = (json.dumps(payload, sort_keys=False) + "\n").encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            offset = os.lseek(fd, 0, os.SEEK_END)
+            os.write(fd, line)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+    return offset
+
+
+class AuditLog:
+    """Append-only JSONL log of :class:`ErrorEnvelope` records.
+
+    Safe for concurrent writers (single atomic append per record) and for
+    readers at any time: a torn trailing line is skipped, never half-parsed.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, envelope: ErrorEnvelope) -> None:
+        """Persist one failure record."""
+        append_jsonl_atomic(self.path, envelope.to_dict())
+
+    def records(self) -> List[ErrorEnvelope]:
+        """Every intact record, in append order."""
+        if not self.path.exists():
+            return []
+        out: List[ErrorEnvelope] = []
+        with self.path.open("rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # torn tail — a writer is (or was) mid-append
+                try:
+                    out.append(ErrorEnvelope.from_dict(json.loads(raw)))
+                except (ValueError, KeyError):
+                    continue  # interleave casualty; compaction removes it
+        return out
+
+    def attempts(self, fingerprint: str) -> int:
+        """Number of recorded failures of one cell."""
+        return sum(1 for r in self.records() if r.fingerprint == fingerprint)
+
+    def last(self, fingerprint: str) -> Optional[ErrorEnvelope]:
+        """Most recent failure record of one cell, if any."""
+        match = None
+        for record in self.records():
+            if record.fingerprint == fingerprint:
+                match = record
+        return match
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+def summarize_audit(records: Iterable[ErrorEnvelope]) -> Dict[str, Any]:
+    """Aggregate audit records into the shape reports and the CLI print.
+
+    Returns ``num_records``, per-``code`` counts, the fingerprints of
+    permanently failed cells, how many records were retries
+    (``attempt > 1``) and which workers reported failures.
+    """
+    records = list(records)
+    by_code: Dict[str, int] = {}
+    failed: List[str] = []
+    workers = set()
+    retries = 0
+    for record in records:
+        by_code[record.code] = by_code.get(record.code, 0) + 1
+        if record.final and record.fingerprint:
+            if record.fingerprint not in failed:
+                failed.append(record.fingerprint)
+        if record.attempt > 1:
+            retries += 1
+        if record.worker:
+            workers.add(record.worker)
+    return {
+        "num_records": len(records),
+        "by_code": dict(sorted(by_code.items())),
+        "failed_cells": sorted(failed),
+        "retries": retries,
+        "workers": sorted(workers),
+    }

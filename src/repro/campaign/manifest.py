@@ -1,0 +1,143 @@
+"""Shared work manifest for pull workers.
+
+The ``pull-worker`` executor does not *push* cells to workers; it writes a
+``manifest.json`` into the shared store directory describing the whole
+campaign — every cell keyed by its request fingerprint (the idempotency
+key), plus the lease/retry policy — and workers *pull* from it: claim a
+lease on an unresolved fingerprint, execute, append, release, repeat.  The
+manifest is the only coordination artifact besides the store itself, so a
+worker needs nothing but the store directory path to join a campaign (from
+any machine sharing the filesystem).
+
+The file is written atomically (temp + ``os.replace``), so workers always
+read a complete manifest, and re-writing the same campaign is idempotent —
+cells are keyed by fingerprint, and fingerprints of already-stored cells
+are simply skipped by every worker.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Union
+
+from repro.api.envelopes import SearchRequest, request_fingerprint
+from repro.campaign.store import atomic_write_text
+
+#: Name of the manifest file inside a shared store directory.
+MANIFEST_FILENAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class CampaignManifest:
+    """Everything a pull worker needs to execute a campaign.
+
+    Parameters
+    ----------
+    cells:
+        ``fingerprint -> serialized SearchRequest`` for every cell of the
+        expanded grid (including already-finished ones — workers skip
+        stored fingerprints, which is what makes re-publishing idempotent).
+    ttl_s / poll_s:
+        Lease expiry window and idle-poll interval of the worker loop.
+    max_attempts / backoff_base_s:
+        Bounded-retry policy: a cell is retried while its audit trail shows
+        fewer than ``max_attempts`` retryable failures, after an
+        exponential backoff of ``backoff_base_s * 2**(attempt-1)`` seconds.
+    on_error:
+        ``"fail"`` or ``"continue"`` — what the *orchestrator* does about
+        permanently failed cells; workers always continue past failures.
+    created_at:
+        Epoch seconds the manifest was published.
+    """
+
+    cells: Dict[str, Dict[str, Any]]
+    ttl_s: float = 30.0
+    poll_s: float = 0.5
+    max_attempts: int = 3
+    backoff_base_s: float = 0.5
+    on_error: str = "fail"
+    created_at: float = field(default_factory=time.time)
+
+    def __post_init__(self) -> None:
+        if self.ttl_s <= 0 or self.poll_s <= 0:
+            raise ValueError(
+                f"ttl_s/poll_s must be positive, got {self.ttl_s}/{self.poll_s}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.on_error not in ("fail", "continue"):
+            raise ValueError(
+                f"on_error must be 'fail' or 'continue', got {self.on_error!r}"
+            )
+
+    @classmethod
+    def from_requests(
+        cls, requests: Iterable[SearchRequest], **policy: Any
+    ) -> "CampaignManifest":
+        """Build a manifest from expanded grid requests."""
+        cells = {
+            request_fingerprint(request): request.to_dict() for request in requests
+        }
+        return cls(cells=cells, **policy)
+
+    def requests(self) -> Dict[str, SearchRequest]:
+        """Deserialized ``fingerprint -> SearchRequest`` mapping."""
+        return {
+            fingerprint: SearchRequest.from_dict(payload)
+            for fingerprint, payload in self.cells.items()
+        }
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": 1,
+            "cells": dict(self.cells),
+            "ttl_s": self.ttl_s,
+            "poll_s": self.poll_s,
+            "max_attempts": self.max_attempts,
+            "backoff_base_s": self.backoff_base_s,
+            "on_error": self.on_error,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignManifest":
+        return cls(
+            cells={str(k): dict(v) for k, v in dict(data.get("cells", {})).items()},
+            ttl_s=float(data.get("ttl_s", 30.0)),
+            poll_s=float(data.get("poll_s", 0.5)),
+            max_attempts=int(data.get("max_attempts", 3)),
+            backoff_base_s=float(data.get("backoff_base_s", 0.5)),
+            on_error=str(data.get("on_error", "fail")),
+            created_at=float(data.get("created_at", 0.0)),
+        )
+
+    # ------------------------------------------------------------------ file I/O
+    def write(self, store_dir: Union[str, Path]) -> Path:
+        """Atomically publish the manifest into a store directory."""
+        path = Path(store_dir) / MANIFEST_FILENAME
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, store_dir: Union[str, Path]) -> "CampaignManifest":
+        """Read the manifest published in a store directory."""
+        path = Path(store_dir) / MANIFEST_FILENAME
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no campaign manifest at {path}; publish one with "
+                f"'repro campaign --executor pull-worker' first"
+            )
+        return cls.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+def resolve_backoff(
+    last_failure_time_s: float, attempt: int, backoff_base_s: float
+) -> float:
+    """Epoch time before which a failed cell must not be retried."""
+    return last_failure_time_s + backoff_base_s * (2 ** max(0, attempt - 1))

@@ -1,50 +1,80 @@
-"""Campaign execution: fan a request grid out over worker processes.
+"""Campaign execution: plan the grid, delegate to a pluggable executor.
 
 :func:`run_campaign` takes a :class:`~repro.campaign.gridspec.CampaignSpec`
-(or an explicit request list) and a :class:`~repro.campaign.store.RunStore`,
-skips every cell whose fingerprint the store already holds (*resume*), and
-executes the rest — serially in-process for ``workers <= 1``, or via a
-:class:`concurrent.futures.ProcessPoolExecutor` otherwise.  Each finished
-:class:`~repro.api.envelopes.SearchOutcome` is appended to the store as soon
-as it completes, so an interrupted campaign loses at most the cells that
-were in flight.
+(or an explicit request list) and a run store, skips every cell whose
+fingerprint the store already holds (*resume*), and hands the rest to a
+:class:`~repro.campaign.executors.CampaignExecutor` resolved by name
+through :data:`~repro.campaign.executors.EXECUTORS`:
 
-Parallel execution ships requests to workers in their serialized dict form
-and rebuilds outcomes from dicts in the parent, so only plain data crosses
-process boundaries.  Workers resolve scenario, search-space and strategy
-*names* through their own (freshly imported) default registries; custom
-scenarios must therefore be passed inline (a
+* ``serial`` — in-process, one shared engine (default for ``workers <= 1``);
+* ``process-pool`` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out (default for ``workers > 1``);
+* ``asyncio`` — one fresh subprocess per cell under a concurrency limit;
+* ``pull-worker`` — N independent ``repro worker`` processes pulling from a
+  shared :class:`~repro.campaign.sharded.ShardedRunStore` through the
+  crash-safe lease protocol (see :doc:`docs/distributed`).
+
+Each finished :class:`~repro.api.envelopes.SearchOutcome` is appended to
+the store as soon as it completes, so an interrupted campaign loses at
+most the cells that were in flight.  Failures become structured
+:class:`~repro.campaign.errors.ErrorEnvelope` audit records; under the
+default ``on_error="fail"`` the first failure stops the campaign (finished
+cells stay stored for resume), while ``on_error="continue"`` records the
+envelope and keeps going, surfacing failed-cell counts in
+:meth:`CampaignResult.summary`.
+
+Out-of-process executors ship requests to workers in their serialized dict
+form and rebuild outcomes from dicts in the parent, so only plain data
+crosses process boundaries.  Workers resolve scenario, search-space and
+strategy *names* through their own (freshly imported) default registries;
+custom scenarios must therefore be passed inline (a
 :class:`~repro.api.scenario.Scenario` object inside the request serializes
 fully) or registered at import time.  Custom *search spaces* have no inline
 form — a space registered only in the parent script passes ``validate()``
 there but raises in every worker, so register custom spaces from a module
 workers import (e.g. via :func:`repro.api.registry.register_search_space`
-at module level) or run with ``workers=1``.  The serial path uses the
-calling process's registries directly.
+at module level) or run with the ``serial`` executor.
 
-Results are identical between serial and parallel execution: every run is
-seeded through its request, and the engine caches are bit-transparent.
+Results are identical across executors: every run is seeded through its
+request, and the engine caches are bit-transparent.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.engine import EvaluationEngine
 from repro.api.envelopes import SearchOutcome, SearchRequest, request_fingerprint
 from repro.api.scenario import ScenarioRegistry
-from repro.api.session import run_search
+from repro.campaign.errors import ErrorEnvelope
+from repro.campaign.executors import (
+    EXECUTORS,
+    CampaignExecutor,
+    ExecutionContext,
+    _execute_request,  # noqa: F401  (re-exported; pickled by older callers)
+    resolve_executor,
+)
 from repro.campaign.gridspec import CampaignSpec, expand_requests
+from repro.campaign.sharded import AnyRunStore, open_store
 from repro.campaign.store import RunStore, StoreError
-from repro.utils.serialization import to_jsonable
 
 #: Optional ``callback(done_count, total_count, fingerprint, outcome)`` fired
 #: after each cell is stored (and once per skipped cell, with ``outcome=None``).
 CampaignProgress = Callable[[int, int, str, Optional[SearchOutcome]], None]
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One permanently failed campaign cell."""
+
+    fingerprint: str
+    envelope: ErrorEnvelope
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"fingerprint": self.fingerprint, "envelope": self.envelope.to_dict()}
 
 
 @dataclass
@@ -59,20 +89,25 @@ class CampaignResult:
         Fingerprints run by this call, in completion order.
     skipped:
         Fingerprints that were already stored (resume hits), in grid order.
-    workers / wall_time_s:
+    failed:
+        :class:`CellFailure` records of permanently failed cells (only
+        non-empty under ``on_error="continue"``).
+    workers / executor / wall_time_s:
         Execution settings and total duration of the call.
     """
 
-    store: RunStore
+    store: AnyRunStore
     executed: Tuple[str, ...] = ()
     skipped: Tuple[str, ...] = ()
+    failed: Tuple[CellFailure, ...] = ()
     workers: int = 1
+    executor: str = "serial"
     wall_time_s: float = 0.0
 
     @property
     def total_cells(self) -> int:
-        """Grid size seen by this call (executed + skipped)."""
-        return len(self.executed) + len(self.skipped)
+        """Grid size seen by this call (executed + skipped + failed)."""
+        return len(self.executed) + len(self.skipped) + len(self.failed)
 
     def summary(self) -> Dict[str, Any]:
         """Compact dict form (for logs and the CLI)."""
@@ -81,25 +116,17 @@ class CampaignResult:
             "total_cells": self.total_cells,
             "executed": len(self.executed),
             "skipped": len(self.skipped),
+            "failed": len(self.failed),
+            "failed_cells": [failure.fingerprint for failure in self.failed],
             "workers": self.workers,
+            "executor": self.executor,
             "wall_time_s": self.wall_time_s,
         }
 
 
-def _execute_request(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: run one serialized request, return a plain dict.
-
-    Module-level (picklable) and dict-in/dict-out so it crosses process
-    boundaries regardless of start method.  The per-process default engine
-    warms up across the cells a worker executes.
-    """
-    outcome = run_search(SearchRequest.from_dict(payload))
-    return to_jsonable(outcome.to_dict())
-
-
 def _plan(
     spec: Union[CampaignSpec, Sequence[SearchRequest]],
-    store: RunStore,
+    store: AnyRunStore,
     resume: bool,
 ) -> Tuple[List[Tuple[str, SearchRequest]], List[str]]:
     """Split the grid into (pending fingerprint/request pairs, skipped)."""
@@ -126,10 +153,13 @@ def _plan(
 
 def run_campaign(
     spec: Union[CampaignSpec, Sequence[SearchRequest]],
-    store: Union[RunStore, str, Path],
+    store: Union[AnyRunStore, str, Path],
     *,
     workers: int = 1,
     resume: bool = True,
+    executor: Optional[Union[str, CampaignExecutor]] = None,
+    executor_options: Optional[Dict[str, Any]] = None,
+    on_error: str = "fail",
     scenarios: Optional[ScenarioRegistry] = None,
     engine: Optional[EvaluationEngine] = None,
     progress: Optional[CampaignProgress] = None,
@@ -141,28 +171,47 @@ def run_campaign(
     spec:
         A :class:`CampaignSpec` or an explicit request sequence.
     store:
-        Target :class:`RunStore` (or its directory path).
+        Target store — a :class:`~repro.campaign.store.RunStore`, a
+        :class:`~repro.campaign.sharded.ShardedRunStore`, or a directory
+        path (auto-detected via :func:`~repro.campaign.sharded.open_store`).
     workers:
-        ``<= 1`` runs serially in-process; larger values fan cells out over
-        that many worker processes.
+        Parallelism degree.  With ``executor=None``, ``<= 1`` runs the
+        ``serial`` executor and larger values the ``process-pool`` one.
     resume:
         Skip cells whose fingerprint the store already holds (default).
         ``resume=False`` raises *before any cell runs* if part of the grid
         is already stored, rather than silently duplicating records.
+    executor:
+        Executor name from :data:`~repro.campaign.executors.EXECUTORS`
+        (``"serial"``, ``"process-pool"``, ``"asyncio"``,
+        ``"pull-worker"``) or an instance; ``None`` picks by ``workers``.
+    executor_options:
+        Executor-specific settings (e.g. ``ttl_s`` / ``poll_s`` /
+        ``max_attempts`` / ``backoff_base_s`` for ``pull-worker``).
+    on_error:
+        ``"fail"`` (default) stops on the first failed cell and raises
+        after draining in-flight work — finished cells stay stored.
+        ``"continue"`` records an error envelope in the store's audit log
+        and keeps going; failures are reported in the result.
     scenarios:
         Registry used for upfront validation and by the serial path
         (defaults to :data:`repro.api.scenario.SCENARIOS`).
     engine:
         Evaluation engine for the serial path; shared across cells so
         predictors and layer costs are trained once per device.  Ignored by
-        worker processes (each keeps its own process-wide engine).
+        out-of-process executors (each worker keeps its own).
     progress:
         Optional :data:`CampaignProgress` callback.
     """
+    if on_error not in ("fail", "continue"):
+        raise ValueError(
+            f"on_error must be 'fail' or 'continue', got {on_error!r}"
+        )
     if isinstance(store, (str, Path)):
-        store = RunStore(store)
+        store = open_store(store)
     if isinstance(spec, CampaignSpec):
         spec.validate(scenarios)
+    resolved = resolve_executor(executor, workers)
     start = time.perf_counter()
     pending, skipped = _plan(spec, store, resume)
     total = len(pending) + len(skipped)
@@ -173,59 +222,58 @@ def run_campaign(
             progress(done, total, fingerprint, None)
 
     executed: List[str] = []
+    failures: List[CellFailure] = []
 
-    def _record(fingerprint: str, outcome: SearchOutcome) -> None:
+    def _record(
+        fingerprint: str, outcome: SearchOutcome, persisted: bool = False
+    ) -> None:
         nonlocal done
-        store.append(outcome, fingerprint=fingerprint)
+        if not persisted:
+            store.append(outcome, fingerprint=fingerprint)
         executed.append(fingerprint)
         done += 1
         if progress is not None:
             progress(done, total, fingerprint, outcome)
 
-    if workers <= 1:
-        for fingerprint, request in pending:
-            _record(
-                fingerprint,
-                run_search(request, scenarios=scenarios, engine=engine),
+    def _fail(
+        fingerprint: str, envelope: ErrorEnvelope, persisted: bool = False
+    ) -> None:
+        nonlocal done
+        if not persisted:
+            store.record_error(envelope, **envelope.context)
+        failures.append(CellFailure(fingerprint, envelope))
+        done += 1
+
+    if pending:
+        resolved.run(
+            ExecutionContext(
+                pending=pending,
+                store=store,
+                workers=max(1, int(workers)),
+                on_error=on_error,
+                scenarios=scenarios,
+                engine=engine,
+                record=_record,
+                fail=_fail,
+                options=dict(executor_options or {}),
             )
-    elif pending:
-        # A failing cell must not discard finished work: successes are
-        # recorded as they complete, not-yet-started cells are cancelled on
-        # the first failure, in-flight cells are drained and stored, and the
-        # first error is re-raised only after everything finished is safe.
-        errors: List[Tuple[str, BaseException]] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_request, request.to_dict()): fingerprint
-                for fingerprint, request in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    if future.cancelled():
-                        continue
-                    fingerprint = futures[future]
-                    try:
-                        outcome = SearchOutcome.from_dict(future.result())
-                    except Exception as error:  # noqa: BLE001 — drain the rest
-                        if not errors:
-                            for outstanding in remaining:
-                                outstanding.cancel()
-                        errors.append((fingerprint, error))
-                        continue
-                    _record(fingerprint, outcome)
-        if errors:
-            fingerprint, error = errors[0]
-            raise RuntimeError(
-                f"campaign cell {fingerprint} failed ({len(executed)} finished "
-                f"cells were stored; resume re-runs only the rest): {error}"
-            ) from error
+        )
+    if hasattr(store, "flush"):
+        store.flush()
+    if failures and on_error == "fail":
+        first = failures[0]
+        raise RuntimeError(
+            f"campaign cell {first.fingerprint} failed ({len(executed)} finished "
+            f"cells were stored; resume re-runs only the rest): "
+            f"{first.envelope.message}"
+        )
 
     return CampaignResult(
         store=store,
         executed=tuple(executed),
         skipped=tuple(skipped),
+        failed=tuple(failures),
         workers=max(1, int(workers)),
+        executor=resolved.name,
         wall_time_s=time.perf_counter() - start,
     )

@@ -1,0 +1,598 @@
+"""Sharded, multi-writer run storage for distributed campaigns.
+
+A :class:`ShardedRunStore` presents the :class:`~repro.campaign.store.RunStore`
+read/write interface over *per-(scenario x search-space) shard files*: each
+outcome is routed deterministically to ``shards/<key>.jsonl`` by the
+scenario and search space its request declares, a merged cross-shard
+``index.json`` maps every fingerprint to its shard and byte offset, and a
+per-shard audit log under ``audit/`` collects structured
+:class:`~repro.campaign.errors.ErrorEnvelope` failure records.
+
+Unlike the single-file store, shards accept **concurrent writers**: every
+append is a single ``O_APPEND`` ``os.write`` under an advisory ``flock``,
+so records from independent ``repro worker`` processes never interleave on
+one machine and land whole.  Because workers hold a lease per fingerprint
+(see :mod:`repro.campaign.leases`) the protocol already guarantees at most
+one *intentional* writer per cell; the store adds two safety nets for the
+crashy tail of that guarantee:
+
+* the shard scanner is *tolerant* — a torn trailing line is simply not yet
+  durable, an unparseable line mid-file (a record half-written by a worker
+  killed mid-``write``) is skipped and counted, and a duplicate fingerprint
+  (a lease reclaimed from a worker that died after appending but before
+  releasing) is resolved latest-record-wins ("superseded");
+* :meth:`ShardedRunStore.compact` rewrites every shard dropping torn
+  tails, dead bytes and superseded records, restoring the pristine
+  one-line-one-record invariant.  Run it only while no workers are active.
+
+Reads are paginated (``outcomes(offset=..., limit=...)``) over a
+deterministic global order — shards sorted by key, append order within a
+shard — and :func:`export_metrics` emits a columnar per-candidate view
+(latency / energy / error arrays keyed by scenario, space, strategy and
+seed) for analysis pipelines and dashboards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.api.envelopes import SearchOutcome, request_fingerprint
+from repro.campaign.errors import (
+    AuditLog,
+    ErrorEnvelope,
+    append_jsonl_atomic,
+    summarize_audit,
+)
+from repro.campaign.store import (
+    INDEX_FILENAME,
+    RunStore,
+    StoreError,
+    _record_summary,
+    atomic_write_text,
+)
+from repro.utils.serialization import to_jsonable
+
+#: Subdirectory holding the per-(scenario x space) shard JSONL files.
+SHARDS_DIRNAME = "shards"
+
+#: Subdirectory holding the per-shard audit logs.
+AUDIT_DIRNAME = "audit"
+
+#: Marker file identifying a directory as a sharded store.
+MARKER_FILENAME = "store.json"
+
+#: Hex digits of the shard-key hash suffix (collision guard for slugs).
+_SHARD_HASH_LENGTH = 8
+
+
+def shard_key(scenario: str, search_space: str) -> str:
+    """Deterministic shard key of one (scenario, search space) context.
+
+    A readable slug plus a short hash of the exact pair, so two contexts
+    whose names slugify identically still land in different shards, and the
+    routing is stable across processes, platforms and store reopens.
+    """
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", f"{scenario}--{search_space}")
+    slug = slug.strip("-") or "shard"
+    digest = hashlib.sha256(
+        f"{scenario}\x00{search_space}".encode("utf-8")
+    ).hexdigest()[:_SHARD_HASH_LENGTH]
+    return f"{slug}-{digest}"
+
+
+@dataclass
+class _Shard:
+    """In-memory scan state of one shard file."""
+
+    key: str
+    path: Path
+    #: Byte position up to which the file has been durably parsed; a torn
+    #: tail past it is re-examined on the next :meth:`ShardedRunStore.refresh`.
+    good_end: int = 0
+    #: Unparseable lines skipped by the tolerant scanner.
+    corrupt_lines: int = 0
+    #: ``fingerprint -> (offset, summary)`` in append order (dict ordering).
+    entries: Dict[str, Tuple[int, Dict[str, Any]]] = field(default_factory=dict)
+    #: Records replaced by a later append of the same fingerprint.
+    superseded: int = 0
+
+
+class ShardedRunStore:
+    """Fingerprint-keyed store sharded by (scenario x search space).
+
+    Parameters
+    ----------
+    directory:
+        Store root; created (with marker) by the first append.  Existing
+        shard files are indexed immediately.
+
+    The interface is a superset of :class:`~repro.campaign.store.RunStore`:
+    ``append`` / ``get`` / ``__contains__`` / ``__len__`` /
+    ``fingerprints`` / ``outcomes`` / ``records`` / ``summary`` behave the
+    same, plus :meth:`refresh` (pick up concurrent writers' appends),
+    :meth:`compact`, :meth:`export_metrics` and per-shard audit logs.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.shards_dir = self.directory / SHARDS_DIRNAME
+        self.audit_dir = self.directory / AUDIT_DIRNAME
+        self.index_path = self.directory / INDEX_FILENAME
+        self.marker_path = self.directory / MARKER_FILENAME
+        self._shards: Dict[str, _Shard] = {}
+        #: fingerprint -> shard key (offsets live in the shard entries).
+        self._routing: Dict[str, str] = {}
+        self._index_dirty = False
+        self._index_writes = 0
+        self.refresh(full=True)
+
+    # ------------------------------------------------------------------ scanning
+    def refresh(self, full: bool = False) -> None:
+        """(Re)scan shard files, picking up concurrent writers' appends.
+
+        Incremental by default: each known shard is re-read only past its
+        last durable byte, so a refresh inside a polling worker costs the
+        new records, not the whole store.  A shard that *shrank* (an
+        external :meth:`compact`) triggers a full rescan of that shard.
+        """
+        if full:
+            self._shards.clear()
+            self._routing.clear()
+        if not self.shards_dir.is_dir():
+            return
+        for path in sorted(self.shards_dir.glob("*.jsonl")):
+            key = path.stem
+            shard = self._shards.get(key)
+            if shard is None:
+                shard = _Shard(key=key, path=path)
+                self._shards[key] = shard
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            if size < shard.good_end:
+                # compacted (or truncated) behind our back — rescan it
+                shard.good_end = 0
+                shard.corrupt_lines = 0
+                shard.superseded = 0
+                for fingerprint in list(shard.entries):
+                    self._routing.pop(fingerprint, None)
+                shard.entries.clear()
+            if size > shard.good_end:
+                self._scan_shard(shard)
+
+    def _scan_shard(self, shard: _Shard) -> None:
+        """Tolerantly parse records from ``good_end`` to the durable end."""
+        with shard.path.open("rb") as handle:
+            handle.seek(shard.good_end)
+            offset = shard.good_end
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # torn tail: not durable (yet) — re-read next time
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                    fingerprint = str(record["fingerprint"])
+                    summary = _record_summary(record)
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    # a line mangled by a writer killed mid-append; skip it
+                    # (compact() drops the dead bytes) but keep scanning —
+                    # later records are intact
+                    shard.corrupt_lines += 1
+                    offset += len(raw)
+                    shard.good_end = offset
+                    continue
+                if fingerprint in shard.entries:
+                    shard.superseded += 1
+                    shard.entries.pop(fingerprint)  # latest record wins
+                previous = self._routing.get(fingerprint)
+                if previous is not None and previous != shard.key:
+                    raise StoreError(
+                        f"fingerprint {fingerprint!r} appears in shards "
+                        f"{previous!r} and {shard.key!r}; the store needs "
+                        f"manual repair"
+                    )
+                shard.entries[fingerprint] = (offset, summary)
+                self._routing[fingerprint] = shard.key
+                offset += len(raw)
+                shard.good_end = offset
+
+    # ------------------------------------------------------------------ writing
+    def _ensure_marker(self) -> None:
+        if not self.marker_path.exists():
+            atomic_write_text(
+                self.marker_path,
+                json.dumps(
+                    {"format": "sharded-run-store", "schema_version": 1},
+                    indent=2,
+                )
+                + "\n",
+            )
+
+    def append(
+        self, outcome: SearchOutcome, fingerprint: Optional[str] = None
+    ) -> str:
+        """Persist one outcome into its (scenario x space) shard.
+
+        Routing is deterministic: the shard key derives from the outcome's
+        scenario and search-space names, so every writer sends the same
+        fingerprint to the same file.  Appending a fingerprint this
+        instance already sees raises like the single-file store; a racing
+        append from a *different* process (a reclaimed lease whose original
+        holder silently finished) lands as a superseded duplicate instead,
+        resolved latest-wins on scan and dropped by :meth:`compact`.
+        """
+        fingerprint = fingerprint or request_fingerprint(outcome.request)
+        if fingerprint in self._routing:
+            raise StoreError(
+                f"fingerprint {fingerprint!r} is already stored in {self.directory}"
+            )
+        record = {"fingerprint": fingerprint, "outcome": to_jsonable(outcome.to_dict())}
+        summary = _record_summary(record)
+        key = shard_key(summary["scenario"], summary["search_space"])
+        shard = self._shards.get(key)
+        if shard is None:
+            shard = _Shard(key=key, path=self.shards_dir / f"{key}.jsonl")
+            self._shards[key] = shard
+        self._ensure_marker()
+        offset = append_jsonl_atomic(shard.path, record)
+        if offset == shard.good_end:  # no concurrent append slipped in between
+            shard.entries[fingerprint] = (offset, summary)
+            shard.good_end = offset + len(
+                (json.dumps(record, sort_keys=False) + "\n").encode("utf-8")
+            )
+            self._routing[fingerprint] = key
+        else:
+            # another writer appended since our last refresh: rescan the
+            # gap so the in-memory view stays consistent
+            self._scan_shard(shard)
+        self._index_dirty = True
+        self._maybe_write_index()
+        return fingerprint
+
+    # ------------------------------------------------------------------ index
+    def _maybe_write_index(self) -> None:
+        # the merged index is derived and purely advisory (every open
+        # rescans the shards); refresh it on size doublings per shard count
+        total = len(self._routing)
+        if total < 64 or total & (total - 1) == 0:  # power of two
+            self._write_index()
+
+    def _write_index(self) -> None:
+        payload = {
+            "schema_version": 1,
+            "format": "sharded",
+            "shards": {
+                shard.key: {
+                    "path": f"{SHARDS_DIRNAME}/{shard.key}.jsonl",
+                    "records": len(shard.entries),
+                    "corrupt_lines": shard.corrupt_lines,
+                    "superseded": shard.superseded,
+                }
+                for shard in self._shards.values()
+            },
+            "records": {
+                fingerprint: dict(
+                    self._shards[key].entries[fingerprint][1],
+                    shard=key,
+                    offset=self._shards[key].entries[fingerprint][0],
+                )
+                for fingerprint, key in self._routing.items()
+            },
+        }
+        atomic_write_text(
+            self.index_path,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+        self._index_writes += 1
+        self._index_dirty = False
+
+    def flush(self) -> None:
+        """Persist the merged cross-shard index."""
+        if self._index_dirty:
+            self._write_index()
+
+    def close(self) -> None:
+        """Flush deferred state; the store stays usable afterwards."""
+        self.flush()
+
+    def __enter__(self) -> "ShardedRunStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ reading
+    def _ordered_entries(self) -> List[Tuple[str, _Shard, int]]:
+        """``(fingerprint, shard, offset)`` in deterministic global order."""
+        ordered: List[Tuple[str, _Shard, int]] = []
+        for key in sorted(self._shards):
+            shard = self._shards[key]
+            for fingerprint, (offset, _) in shard.entries.items():
+                ordered.append((fingerprint, shard, offset))
+        return ordered
+
+    def fingerprints(self) -> List[str]:
+        """Stored fingerprints — shards in key order, append order within."""
+        return [fingerprint for fingerprint, _, _ in self._ordered_entries()]
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return isinstance(fingerprint, str) and fingerprint in self._routing
+
+    def __len__(self) -> int:
+        return len(self._routing)
+
+    def get(self, fingerprint: str) -> SearchOutcome:
+        """Load one stored outcome (O(1) via the shard offset index)."""
+        try:
+            shard = self._shards[self._routing[fingerprint]]
+            offset, _ = shard.entries[fingerprint]
+        except KeyError:
+            raise KeyError(
+                f"fingerprint {fingerprint!r} is not stored in {self.directory}"
+            ) from None
+        with shard.path.open("rb") as handle:
+            handle.seek(offset)
+            record = json.loads(handle.readline().decode("utf-8"))
+        return SearchOutcome.from_dict(record["outcome"])
+
+    def outcomes(
+        self, offset: int = 0, limit: Optional[int] = None
+    ) -> Iterator[SearchOutcome]:
+        """Stream stored outcomes, paginated over the deterministic order.
+
+        The order — shards sorted by key, append order within each shard —
+        is stable across reopens, so ``offset``/``limit`` windows partition
+        the store consistently for paginated readers.
+        """
+        if offset < 0 or (limit is not None and limit < 0):
+            raise ValueError(
+                f"offset/limit must be non-negative, got {offset}/{limit}"
+            )
+        entries = self._ordered_entries()
+        window = entries[offset:] if limit is None else entries[offset:offset + limit]
+        for fingerprint, shard, position in window:
+            with shard.path.open("rb") as handle:
+                handle.seek(position)
+                record = json.loads(handle.readline().decode("utf-8"))
+            yield SearchOutcome.from_dict(record["outcome"])
+
+    def records(self) -> Dict[str, Dict[str, Any]]:
+        """Fingerprint -> summary mapping, in the deterministic order."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for fingerprint, shard, _ in self._ordered_entries():
+            out[fingerprint] = dict(shard.entries[fingerprint][1])
+        return out
+
+    def shard_keys(self) -> List[str]:
+        """Sorted keys of every shard currently holding records."""
+        return sorted(key for key, shard in self._shards.items() if shard.entries)
+
+    def summary(self) -> Dict[str, Any]:
+        """Store overview (used by ``repro list --store`` and reports)."""
+        records = self.records()
+        audit = summarize_audit(self.audit_records())
+        return {
+            "directory": str(self.directory),
+            "format": "sharded",
+            "num_runs": len(records),
+            "num_shards": len(self.shard_keys()),
+            "scenarios": sorted({r["scenario"] for r in records.values()}),
+            "strategies": sorted({r["strategy"] for r in records.values()}),
+            "search_spaces": sorted({r["search_space"] for r in records.values()}),
+            "total_wall_time_s": sum(r["wall_time_s"] for r in records.values()),
+            "superseded": sum(s.superseded for s in self._shards.values()),
+            "corrupt_lines": sum(s.corrupt_lines for s in self._shards.values()),
+            "audit": audit,
+        }
+
+    # ------------------------------------------------------------------ audit
+    def audit_log(self, scenario: str, search_space: str) -> AuditLog:
+        """The audit log of one (scenario x search space) shard."""
+        key = shard_key(scenario, search_space)
+        return AuditLog(self.audit_dir / f"{key}.jsonl")
+
+    def record_error(
+        self,
+        envelope: ErrorEnvelope,
+        *,
+        scenario: Optional[str] = None,
+        search_space: Optional[str] = None,
+    ) -> None:
+        """Append a failure envelope to its shard's audit log.
+
+        Falls back to the envelope's own ``context`` for routing, and to a
+        catch-all ``_unrouted`` log when neither names the shard.
+        """
+        scenario = scenario or envelope.context.get("scenario")
+        search_space = search_space or envelope.context.get("search_space")
+        if scenario and search_space:
+            log = self.audit_log(str(scenario), str(search_space))
+        else:
+            log = AuditLog(self.audit_dir / "_unrouted.jsonl")
+        log.append(envelope)
+
+    def audit_records(self) -> List[ErrorEnvelope]:
+        """Every failure envelope across all shard audit logs."""
+        records: List[ErrorEnvelope] = []
+        if not self.audit_dir.is_dir():
+            return records
+        for path in sorted(self.audit_dir.glob("*.jsonl")):
+            records.extend(AuditLog(path).records())
+        return records
+
+    # ------------------------------------------------------------------ maintenance
+    def compact(self) -> Dict[str, Any]:
+        """Rewrite every shard, dropping torn tails and superseded records.
+
+        Each shard is rebuilt into a temp file (intact latest-wins records
+        only, original order) and atomically replaced, so a crash mid-compact
+        leaves the old shard untouched.  **Single-writer only**: run while
+        no workers are appending.  Returns per-store statistics.
+        """
+        self.refresh()
+        kept = 0
+        dropped_superseded = 0
+        dropped_corrupt = 0
+        torn_bytes = 0
+        for key in sorted(self._shards):
+            shard = self._shards[key]
+            dropped_superseded += shard.superseded
+            dropped_corrupt += shard.corrupt_lines
+            try:
+                size = shard.path.stat().st_size
+            except OSError:
+                size = shard.good_end
+            torn_bytes += max(0, size - shard.good_end)
+            lines: List[bytes] = []
+            with shard.path.open("rb") as handle:
+                for fingerprint, (offset, _) in sorted(
+                    shard.entries.items(), key=lambda item: item[1][0]
+                ):
+                    handle.seek(offset)
+                    lines.append(handle.readline())
+            tmp = shard.path.with_name(shard.path.name + f".tmp.{os.getpid()}")
+            with tmp.open("wb") as handle:
+                handle.writelines(lines)
+            os.replace(tmp, shard.path)
+            kept += len(lines)
+        self.refresh(full=True)
+        self._write_index()
+        return {
+            "shards": len(self._shards),
+            "kept": kept,
+            "dropped_superseded": dropped_superseded,
+            "dropped_corrupt_lines": dropped_corrupt,
+            "dropped_torn_bytes": torn_bytes,
+        }
+
+    def export_metrics(self) -> Dict[str, Any]:
+        """Columnar per-candidate metrics; see :func:`export_metrics`."""
+        return export_metrics(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRunStore({str(self.directory)!r}, runs={len(self)}, "
+            f"shards={len(self.shard_keys())})"
+        )
+
+
+# ---------------------------------------------------------------------- helpers
+
+AnyRunStore = Union[RunStore, ShardedRunStore]
+
+
+def is_sharded_store(directory: Union[str, Path]) -> bool:
+    """Whether a directory holds (or is marked as) a sharded store."""
+    directory = Path(directory)
+    if (directory / SHARDS_DIRNAME).is_dir():
+        return True
+    marker = directory / MARKER_FILENAME
+    if marker.exists():
+        try:
+            return json.loads(marker.read_text(encoding="utf-8")).get(
+                "format"
+            ) == "sharded-run-store"
+        except ValueError:
+            return False
+    return False
+
+
+def open_store(
+    directory: Union[str, Path], *, sharded: Optional[bool] = None
+) -> AnyRunStore:
+    """Open a store directory as whichever format it holds.
+
+    ``sharded=None`` auto-detects (marker file or ``shards/`` directory);
+    pass ``sharded=True``/``False`` to force the format for a *new*
+    directory.  Forcing a format that contradicts existing contents raises.
+    """
+    directory = Path(directory)
+    detected = is_sharded_store(directory)
+    if sharded is None:
+        return ShardedRunStore(directory) if detected else RunStore(directory)
+    if detected and not sharded:
+        raise StoreError(
+            f"{directory} holds a sharded store; cannot open it single-file"
+        )
+    if sharded and (directory / "runs.jsonl").exists():
+        raise StoreError(
+            f"{directory} holds a single-file store; cannot open it sharded "
+            f"(use 'repro store merge' to convert)"
+        )
+    return ShardedRunStore(directory) if sharded else RunStore(directory)
+
+
+def merge_stores(
+    sources: Sequence[AnyRunStore], dest: AnyRunStore
+) -> Dict[str, int]:
+    """Copy every record the destination is missing, keyed by fingerprint.
+
+    Fingerprints already present in ``dest`` are skipped (idempotent —
+    re-merging is a no-op), so merging is how single-file stores convert to
+    sharded ones and how per-machine stores consolidate.
+    """
+    merged = 0
+    skipped = 0
+    for source in sources:
+        for fingerprint in source.fingerprints():
+            if fingerprint in dest:
+                skipped += 1
+                continue
+            dest.append(source.get(fingerprint), fingerprint=fingerprint)
+            merged += 1
+    if hasattr(dest, "flush"):
+        dest.flush()
+    return {"merged": merged, "skipped": skipped}
+
+
+def export_metrics(store: AnyRunStore) -> Dict[str, Any]:
+    """Columnar per-candidate metric arrays from any run store.
+
+    One group per (scenario, search space, strategy, seed) — the campaign
+    grid axes — each carrying parallel ``latency_s`` / ``energy_j`` /
+    ``error_percent`` arrays over every stored candidate of that cell, in
+    evaluation order, plus the contributing fingerprints.  This is the
+    analysis/dashboard feed: loading it needs no envelope decoding at all.
+    """
+    groups: Dict[Tuple[str, str, str, Any], Dict[str, Any]] = {}
+    for outcome in store.outcomes():
+        request = outcome.request
+        key = (
+            outcome.scenario.name,
+            request.search_space,
+            outcome.label,
+            request.seed,
+        )
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = {
+                "scenario": key[0],
+                "search_space": key[1],
+                "strategy": key[2],
+                "seed": key[3],
+                "fingerprints": [],
+                "latency_s": [],
+                "energy_j": [],
+                "error_percent": [],
+            }
+        group["fingerprints"].append(request_fingerprint(request))
+        for candidate in outcome.candidates:
+            group["latency_s"].append(float(candidate.latency_s))
+            group["energy_j"].append(float(candidate.energy_j))
+            group["error_percent"].append(float(candidate.error_percent))
+    ordered = [
+        groups[key]
+        for key in sorted(groups, key=lambda k: tuple(str(part) for part in k))
+    ]
+    return {
+        "schema_version": 1,
+        "num_groups": len(ordered),
+        "num_candidates": sum(len(g["latency_s"]) for g in ordered),
+        "groups": ordered,
+    }

@@ -21,16 +21,27 @@ parent process only).  Concurrent readers are safe because records are
 immutable once written and opening a store for reading never writes: the
 torn-tail repair and the ``index.json`` refresh both happen inside
 :meth:`RunStore.append`, so a monitoring ``repro report`` cannot corrupt a
-live campaign's store.
+live campaign's store.  ``index.json`` itself is written atomically (temp
+file + ``os.replace``) and, past :data:`INDEX_FLUSH_SMALL` records, only at
+geometrically spaced sizes — call :meth:`RunStore.flush` (or use the store
+as a context manager) to persist it eagerly; a stale or missing index is
+always rebuilt from the JSONL on open.
+
+Multi-writer campaigns (several ``repro worker`` processes appending
+concurrently) use the sharded sibling,
+:class:`repro.campaign.sharded.ShardedRunStore`, which presents the same
+read/write interface over per-(scenario x space) shard files.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.api.envelopes import SearchOutcome, request_fingerprint
+from repro.campaign.errors import AuditLog, ErrorEnvelope
 from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 from repro.utils.serialization import to_jsonable
 
@@ -40,9 +51,31 @@ RUNS_FILENAME = "runs.jsonl"
 #: Name of the derived fingerprint index inside a store directory.
 INDEX_FILENAME = "index.json"
 
+#: Name of the failure audit log inside a (single-file) store directory.
+AUDIT_FILENAME = "audit.jsonl"
+
+#: Stores at or below this many records rewrite ``index.json`` on every
+#: append (cheap, and keeps small stores browsable at all times); larger
+#: stores flush at geometrically spaced sizes plus on :meth:`RunStore.flush`,
+#: so a long campaign writes O(n) index bytes instead of O(n^2).
+INDEX_FLUSH_SMALL = 256
+
 
 class StoreError(RuntimeError):
     """A run store's on-disk state is inconsistent."""
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` crash-safely.
+
+    The content goes to a temp file in the same directory and is
+    ``os.replace``-d into place, so a crash mid-write leaves either the old
+    file or the new one — never a torn hybrid.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def _record_summary(record: Dict[str, Any]) -> Dict[str, Any]:
@@ -81,7 +114,14 @@ class RunStore:
         self._index: Dict[str, Tuple[int, Dict[str, Any]]] = {}
         #: End of the last intact record; bytes past it are a torn tail.
         self._good_end = 0
+        #: Index-persistence state: ``runs.jsonl`` is the rebuildable source
+        #: of truth, so ``index.json`` may lag behind; it is flushed on every
+        #: append while the store is small, at geometrically spaced sizes
+        #: after that, and always by :meth:`flush` / :meth:`close`.
+        self._index_dirty = False
+        self._index_writes = 0
         self._scan()
+        self._next_index_flush = max(INDEX_FLUSH_SMALL, len(self._index)) * 2
 
     # ------------------------------------------------------------------ scanning
     def _scan(self) -> None:
@@ -129,9 +169,52 @@ class RunStore:
                 for fingerprint, (offset, summary) in self._index.items()
             },
         }
-        self.index_path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        # temp file + os.replace: a crash mid-write can no longer leave a
+        # corrupt index.json behind (the JSONL rebuild would mask it, but a
+        # half-written index should never exist in the first place)
+        atomic_write_text(
+            self.index_path,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
         )
+        self._index_writes += 1
+        self._index_dirty = False
+
+    def _maybe_write_index(self) -> None:
+        """Flush the index now or defer it, depending on store size.
+
+        Every append persists the index while the store holds at most
+        :data:`INDEX_FLUSH_SMALL` records; past that, flushes happen when
+        the store doubles in size (plus on :meth:`flush`/:meth:`close`),
+        keeping total index-write cost linear in campaign length instead of
+        quadratic.  A stale index is harmless: opening a store always
+        rebuilds from ``runs.jsonl``.
+        """
+        count = len(self._index)
+        if count <= INDEX_FLUSH_SMALL or count >= self._next_index_flush:
+            self._write_index()
+            self._next_index_flush = max(INDEX_FLUSH_SMALL, count) * 2
+        else:
+            self._index_dirty = True
+
+    def flush(self) -> None:
+        """Persist the index if any appends deferred it."""
+        if self._index_dirty:
+            self._write_index()
+
+    def close(self) -> None:
+        """Flush deferred state; the store stays usable afterwards."""
+        self.flush()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def index_writes(self) -> int:
+        """How many times ``index.json`` was written by this instance."""
+        return self._index_writes
 
     # ------------------------------------------------------------------ writing
     def append(
@@ -161,7 +244,7 @@ class RunStore:
             handle.flush()
         self._index[fingerprint] = (offset, _record_summary(record))
         self._good_end = offset + len(line)
-        self._write_index()
+        self._maybe_write_index()
         return fingerprint
 
     # ------------------------------------------------------------------ reading
@@ -188,23 +271,41 @@ class RunStore:
             record = json.loads(handle.readline().decode("utf-8"))
         return SearchOutcome.from_dict(record["outcome"])
 
-    def outcomes(self) -> Iterator[SearchOutcome]:
-        """Stream every stored outcome, in append order.
+    def outcomes(
+        self, offset: int = 0, limit: Optional[int] = None
+    ) -> Iterator[SearchOutcome]:
+        """Stream stored outcomes in append order, optionally paginated.
 
-        Stops at the last intact record, so a torn tail (or a record a live
-        writer is flushing right now) is never half-parsed.
+        ``offset``/``limit`` select a window of the append order (the same
+        pagination contract as :meth:`ShardedRunStore.outcomes
+        <repro.campaign.sharded.ShardedRunStore.outcomes>`), so large
+        stores can be read in bounded slices.  Stops at the last intact
+        record, so a torn tail (or a record a live writer is flushing right
+        now) is never half-parsed.
         """
-        if not self.runs_path.exists():
+        if offset < 0 or (limit is not None and limit < 0):
+            raise ValueError(
+                f"offset/limit must be non-negative, got {offset}/{limit}"
+            )
+        if not self.runs_path.exists() or limit == 0:
             return
         consumed = 0
+        position = 0
+        yielded = 0
         with self.runs_path.open("rb") as handle:
             for raw in handle:
                 consumed += len(raw)
                 if consumed > self._good_end:
                     return
+                position += 1
+                if position <= offset:
+                    continue
                 yield SearchOutcome.from_dict(
                     json.loads(raw.decode("utf-8"))["outcome"]
                 )
+                yielded += 1
+                if limit is not None and yielded >= limit:
+                    return
 
     def records(self) -> Dict[str, Dict[str, Any]]:
         """Fingerprint -> summary mapping (scenario, strategy, space, seed, size)."""
@@ -224,6 +325,25 @@ class RunStore:
             "search_spaces": sorted({r["search_space"] for r in records.values()}),
             "total_wall_time_s": sum(r["wall_time_s"] for r in records.values()),
         }
+
+    # ------------------------------------------------------------------ audit
+    @property
+    def audit(self) -> AuditLog:
+        """The store's failure audit log (``audit.jsonl``)."""
+        return AuditLog(self.directory / AUDIT_FILENAME)
+
+    def record_error(self, envelope: ErrorEnvelope, **_routing: Any) -> None:
+        """Append one failure envelope to the audit log.
+
+        Routing keywords (``scenario=`` / ``search_space=``) are accepted
+        for interface parity with the sharded store and ignored here — a
+        single-file store has a single audit log.
+        """
+        self.audit.append(envelope)
+
+    def audit_records(self) -> List[ErrorEnvelope]:
+        """Every recorded failure envelope, in append order."""
+        return self.audit.records()
 
     def __repr__(self) -> str:
         return f"RunStore({str(self.directory)!r}, runs={len(self)})"

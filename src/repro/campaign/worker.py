@@ -1,0 +1,220 @@
+"""The pull-worker loop: claim, execute, append, release.
+
+A worker is an independent process (``repro worker --store DIR``) that
+needs nothing but a shared store directory to join a campaign.  Its loop:
+
+1. load the :class:`~repro.campaign.manifest.CampaignManifest` and open the
+   :class:`~repro.campaign.sharded.ShardedRunStore`;
+2. each cycle, :meth:`~repro.campaign.sharded.ShardedRunStore.refresh` and
+   walk the manifest's unresolved cells — not stored, not permanently
+   failed, not inside a retry-backoff window;
+3. claim each via the :class:`~repro.campaign.leases.LeaseBoard` (expired
+   leases of crashed peers are reclaimed transparently), **re-check the
+   store under the lease** (a re-claimed finished cell is a no-op — the
+   idempotence guarantee), execute under a heartbeat thread, append the
+   outcome, release the lease;
+4. failures become :class:`~repro.campaign.errors.ErrorEnvelope` records in
+   the per-shard audit log; retryable ones are retried by whichever worker
+   gets there after the exponential backoff, up to ``max_attempts``;
+5. terminate once every manifest cell is resolved (stored or finally
+   failed), sleeping ``poll_s`` between fruitless cycles while peers hold
+   the remaining leases.
+
+Because every coordination artifact is a file keyed by the request
+fingerprint, any number of workers can run against one directory — on one
+machine or many — and killing a worker at *any* point loses at most the
+cell it was executing, which a peer reclaims one TTL later.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.api.envelopes import SearchRequest
+from repro.api.session import run_search
+from repro.campaign.errors import ErrorEnvelope
+from repro.campaign.leases import LEASES_DIRNAME, LeaseBoard, heartbeat
+from repro.campaign.manifest import CampaignManifest, resolve_backoff
+from repro.campaign.sharded import ShardedRunStore
+from repro.campaign.store import StoreError
+
+#: Progress callback: ``(worker_id, event, fingerprint)`` with event one of
+#: ``"executed" | "skipped" | "failed" | "reclaimed" | "waiting"``.
+WorkerProgress = Callable[[str, str, str], None]
+
+
+@dataclass
+class WorkerReport:
+    """What one worker process did over its lifetime."""
+
+    worker: str
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    reclaimed: int = 0
+    cycles: int = 0
+    wall_time_s: float = 0.0
+    #: Fingerprints this worker personally stored, in completion order.
+    fingerprints: List[str] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "reclaimed": self.reclaimed,
+            "cycles": self.cycles,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+def default_worker_id() -> str:
+    """A worker identity unique enough for audit records: host + pid."""
+    host = os.uname().nodename if hasattr(os, "uname") else "host"
+    return f"{host}-{os.getpid()}"
+
+
+def _resolved(
+    store: ShardedRunStore, fingerprint: str, request: SearchRequest
+) -> bool:
+    """Whether a cell needs no further work (stored, or finally failed)."""
+    if fingerprint in store:
+        return True
+    log = store.audit_log(_scenario_name(request), request.search_space)
+    last = log.last(fingerprint)
+    return last is not None and last.final
+
+
+def _scenario_name(request: SearchRequest) -> str:
+    scenario = request.scenario
+    return scenario if isinstance(scenario, str) else scenario.name
+
+
+def run_worker(
+    store_dir: Union[str, Path],
+    *,
+    worker_id: Optional[str] = None,
+    manifest: Optional[CampaignManifest] = None,
+    scenarios: Optional[Any] = None,
+    engine: Optional[Any] = None,
+    max_cycles: Optional[int] = None,
+    progress: Optional[WorkerProgress] = None,
+) -> WorkerReport:
+    """Run the pull loop against a shared store directory until done.
+
+    Parameters
+    ----------
+    store_dir:
+        Directory holding the sharded store, manifest and lease board.
+    worker_id:
+        Identity for leases/audit records (default ``<host>-<pid>``).
+    manifest:
+        Pre-loaded manifest (default: read ``manifest.json`` from the
+        directory — the normal path for CLI workers).
+    scenarios / engine:
+        Optional registry/engine overrides forwarded to ``run_search``
+        (in-process callers only; CLI workers use the defaults).
+    max_cycles:
+        Safety bound on poll cycles (``None`` = run to completion).
+    progress:
+        Optional ``(worker, event, fingerprint)`` callback.
+    """
+    store_dir = Path(store_dir)
+    worker = worker_id or default_worker_id()
+    if manifest is None:
+        manifest = CampaignManifest.load(store_dir)
+    store = ShardedRunStore(store_dir)
+    board = LeaseBoard(
+        store_dir / LEASES_DIRNAME, worker, ttl_s=manifest.ttl_s
+    )
+    requests = manifest.requests()
+    report = WorkerReport(worker=worker)
+    started = time.perf_counter()
+
+    def note(event: str, fingerprint: str) -> None:
+        if progress is not None:
+            progress(worker, event, fingerprint)
+
+    while True:
+        report.cycles += 1
+        store.refresh()
+        progressed = False
+        unresolved = 0
+        for fingerprint, request in requests.items():
+            if _resolved(store, fingerprint, request):
+                continue
+            unresolved += 1
+            log = store.audit_log(_scenario_name(request), request.search_space)
+            last = log.last(fingerprint)
+            if last is not None:
+                ready_at = resolve_backoff(
+                    last.time_s, last.attempt, manifest.backoff_base_s
+                )
+                if time.time() < ready_at:
+                    continue  # inside the exponential-backoff window
+            lease = board.claim(fingerprint)
+            if lease is None:
+                continue  # a live peer holds it
+            if lease.reclaims > 0:
+                report.reclaimed += 1
+                note("reclaimed", fingerprint)
+            try:
+                # idempotence: the lease may have been reclaimed from a peer
+                # that finished the cell but died before releasing — re-check
+                # the store *under the lease* and no-op if so
+                store.refresh()
+                if fingerprint in store:
+                    report.skipped += 1
+                    note("skipped", fingerprint)
+                    continue
+                attempt = log.attempts(fingerprint) + 1
+                try:
+                    with heartbeat(board, lease):
+                        outcome = run_search(
+                            request, scenarios=scenarios, engine=engine
+                        )
+                    store.append(outcome, fingerprint=fingerprint)
+                except StoreError:
+                    # a racing peer stored the cell first — idempotent no-op
+                    report.skipped += 1
+                    note("skipped", fingerprint)
+                    continue
+                except Exception as error:  # noqa: BLE001 - audited, not fatal
+                    envelope = ErrorEnvelope.from_exception(
+                        error,
+                        attempt=attempt,
+                        fingerprint=fingerprint,
+                        worker=worker,
+                        context={
+                            "scenario": _scenario_name(request),
+                            "search_space": request.search_space,
+                        },
+                        max_attempts=manifest.max_attempts,
+                    )
+                    store.record_error(envelope)
+                    report.failed += 1
+                    progressed = True
+                    note("failed", fingerprint)
+                    continue
+                report.executed += 1
+                report.fingerprints.append(fingerprint)
+                progressed = True
+                note("executed", fingerprint)
+            finally:
+                board.release(lease)
+        if unresolved == 0:
+            break
+        if max_cycles is not None and report.cycles >= max_cycles:
+            break
+        if not progressed:
+            # everything unresolved is leased by peers or backing off
+            note("waiting", "")
+            time.sleep(manifest.poll_s)
+    store.flush()
+    report.wall_time_s = time.perf_counter() - started
+    return report

@@ -1,20 +1,28 @@
 """``repro`` — command-line front end of the experiment API.
 
-Four subcommands mirror the library's layers (also reachable as
+The subcommands mirror the library's layers (also reachable as
 ``python -m repro``):
 
-* ``repro list`` — registries (scenarios, strategies, devices, wireless,
-  acquisitions) and, with ``--store``, the runs persisted in a store;
+* ``repro list`` — registries (scenarios, strategies, executors, devices,
+  wireless, acquisitions) and, with ``--store``, the runs persisted in a
+  store;
 * ``repro run`` — execute one :class:`~repro.api.envelopes.SearchRequest`
   by scenario/strategy name, print its summary, optionally persist it;
 * ``repro campaign`` — fan a scenario x search-space x strategy x seed grid
-  out over worker processes into a resumable
-  :class:`~repro.campaign.store.RunStore`;
+  out through a pluggable executor (``--executor serial | process-pool |
+  asyncio | pull-worker``) into a resumable run store;
+* ``repro worker`` — join a distributed campaign by pulling cells from a
+  shared sharded store directory (the ``pull-worker`` protocol; start any
+  number, on any machine sharing the filesystem);
+* ``repro store`` — maintenance: ``compact`` (drop torn tails and
+  superseded records), ``export`` (columnar per-candidate metrics) and
+  ``merge`` (consolidate stores by fingerprint);
 * ``repro report`` — aggregate a store into per-scenario winner and Pareto
-  summaries (text, Markdown or JSON).
+  summaries (text, Markdown or JSON), including audit/error summaries.
 
 Every command is plumbing around the public API — anything the CLI does can
-be done in a few lines of Python (see ``docs/cli.md`` for the mapping).
+be done in a few lines of Python (see ``docs/cli.md`` and
+``docs/distributed.md`` for the mapping).
 """
 
 from __future__ import annotations
@@ -37,9 +45,21 @@ from repro.api.registry import (
 )
 from repro.api.scenario import SCENARIOS
 from repro.api.session import STRATEGIES, run_search
-from repro.campaign import CampaignSpec, RunStore, StoreError, run_campaign
+from repro.campaign import (
+    EXECUTORS,
+    CampaignSpec,
+    ErrorEnvelope,
+    RunStore,
+    StoreError,
+    merge_stores,
+    open_store,
+    run_campaign,
+    run_worker,
+    summarize_audit,
+)
+from repro.campaign.sharded import ShardedRunStore, export_metrics
 from repro.nn.spaces import DEFAULT_SEARCH_SPACE
-from repro.utils.serialization import dump_json, format_table
+from repro.utils.serialization import dump_json, format_table, to_jsonable
 
 
 def _parse_tags(pairs: Optional[Sequence[str]]) -> Dict[str, str]:
@@ -150,12 +170,111 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="run-store directory (created if missing)")
     campaign_parser.add_argument("--workers", type=int, default=1, metavar="N",
                                  help="worker processes (default: 1 = in-process)")
+    campaign_parser.add_argument("--executor", default=None,
+                                 choices=EXECUTORS.names(), metavar="NAME",
+                                 help=f"execution back-end {EXECUTORS.names()} "
+                                      "(default: serial for --workers 1, "
+                                      "process-pool otherwise)")
+    campaign_parser.add_argument("--sharded", action="store_true",
+                                 help="use a sharded (multi-writer) store; "
+                                      "required by --executor pull-worker")
+    campaign_parser.add_argument("--on-error", choices=("fail", "continue"),
+                                 default="fail",
+                                 help="stop on the first failed cell (fail, "
+                                      "default) or record an error envelope "
+                                      "and keep going (continue)")
+    campaign_parser.add_argument("--ttl", type=float, default=30.0, metavar="S",
+                                 help="pull-worker lease expiry window "
+                                      "(default: 30s)")
+    campaign_parser.add_argument("--poll", type=float, default=0.5, metavar="S",
+                                 help="pull-worker idle poll interval "
+                                      "(default: 0.5s)")
+    campaign_parser.add_argument("--max-attempts", type=int, default=3,
+                                 metavar="N",
+                                 help="retry budget per cell for retryable "
+                                      "failures (pull-worker; default: 3)")
+    campaign_parser.add_argument("--backoff", type=float, default=0.5,
+                                 metavar="S",
+                                 help="exponential-backoff base between "
+                                      "retries (pull-worker; default: 0.5s)")
     campaign_parser.add_argument("--no-resume", action="store_true",
                                  help="fail on already-stored cells instead of "
                                       "skipping them")
     campaign_parser.add_argument("--quiet", action="store_true",
                                  help="suppress per-cell progress lines")
     _add_budget_arguments(campaign_parser)
+
+    worker_parser = commands.add_parser(
+        "worker",
+        help="pull and execute campaign cells from a shared store directory",
+        description="Join a distributed campaign: claim unresolved cells from "
+                    "the manifest published in --store via crash-safe lease "
+                    "files, execute them, and append outcomes to the sharded "
+                    "store. Start any number of workers (on any machine "
+                    "sharing the filesystem); each exits once every cell is "
+                    "stored or permanently failed.",
+    )
+    worker_parser.add_argument("--store", required=True, metavar="DIR",
+                               help="shared store directory holding "
+                                    "manifest.json")
+    worker_parser.add_argument("--worker-id", default=None, metavar="ID",
+                               help="identity recorded in leases and audit "
+                                    "logs (default: <host>-<pid>)")
+    worker_parser.add_argument("--max-cycles", type=int, default=None,
+                               metavar="N",
+                               help="exit after N poll cycles even if cells "
+                                    "remain (default: run to completion)")
+
+    store_parser = commands.add_parser(
+        "store",
+        help="run-store maintenance: compact, export metrics, merge",
+        description="Operate on run stores (single-file or sharded; the "
+                    "format is auto-detected).",
+    )
+    store_commands = store_parser.add_subparsers(dest="store_command",
+                                                 metavar="operation")
+    compact_parser = store_commands.add_parser(
+        "compact",
+        help="rewrite shards dropping torn tails and superseded records",
+        description="Rewrite every shard of a sharded store keeping only the "
+                    "latest intact record per fingerprint. Run only while no "
+                    "workers are active.",
+    )
+    compact_parser.add_argument("--store", required=True, metavar="DIR")
+    export_parser = store_commands.add_parser(
+        "export",
+        help="columnar per-candidate metrics (JSON)",
+        description="Export per-candidate latency/energy/accuracy arrays "
+                    "grouped by scenario x space x strategy x seed.",
+    )
+    export_parser.add_argument("--store", required=True, metavar="DIR")
+    export_parser.add_argument("--out", metavar="FILE",
+                               help="write the export to FILE instead of "
+                                    "stdout")
+    merge_parser = store_commands.add_parser(
+        "merge",
+        help="copy missing records between stores by fingerprint",
+        description="Merge one or more source stores into a destination; "
+                    "records whose fingerprint the destination already holds "
+                    "are skipped, so merging is idempotent.",
+    )
+    merge_parser.add_argument("sources", nargs="+", metavar="SRC",
+                              help="source store directories")
+    merge_parser.add_argument("--into", required=True, metavar="DIR",
+                              help="destination store directory")
+    merge_parser.add_argument("--sharded", action="store_true",
+                              help="create the destination sharded when it "
+                                   "does not exist yet")
+
+    run_cell_parser = commands.add_parser(
+        "run-cell",
+        help=argparse.SUPPRESS,
+        description="Internal: read one SearchRequest JSON from stdin, run "
+                    "it, write the outcome JSON to stdout (or an error "
+                    "envelope to stderr, exit 3). Used by the asyncio "
+                    "executor.",
+    )
+    del run_cell_parser  # no arguments; declared for the help machinery
 
     report_parser = commands.add_parser(
         "report",
@@ -185,14 +304,17 @@ def _cmd_list(args: argparse.Namespace) -> int:
               f"{scenario.uplink_mbps:6.2f} Mbps  {scenario.device_name}")
     print(f"strategies: {', '.join(STRATEGIES.names())}")
     print(f"search spaces: {', '.join(SEARCH_SPACES.names())}")
+    print(f"campaign executors: {', '.join(EXECUTORS.names())}")
     print(f"devices: {', '.join(DEVICES.names())}")
     print(f"wireless technologies: {', '.join(WIRELESS_TECHNOLOGIES.names())}")
     print(f"acquisitions: {', '.join(ACQUISITIONS.names())}")
     if args.store:
-        store = RunStore(args.store)
+        store = open_store(args.store)
         overview = store.summary()
-        print(f"\nstore {overview['directory']}: {overview['num_runs']} runs, "
-              f"{overview['total_wall_time_s']:.1f}s total search time")
+        extra = (f" in {overview['num_shards']} shards"
+                 if overview.get("num_shards") is not None else "")
+        print(f"\nstore {overview['directory']}: {overview['num_runs']} runs"
+              f"{extra}, {overview['total_wall_time_s']:.1f}s total search time")
         rows = [
             [fp, r["scenario"], r["search_space"], r["strategy"],
              "-" if r["seed"] is None else r["seed"], r["num_candidates"]]
@@ -291,7 +413,9 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    store = RunStore(args.store)
+    if args.executor == "pull-worker" and not args.sharded:
+        args.sharded = True  # pull workers need the multi-writer format
+    store = open_store(args.store, sharded=True if args.sharded else None)
     stored = store.records()  # one snapshot for labelling every skipped cell
 
     def progress(done: int, total: int, fingerprint: str, outcome) -> None:
@@ -311,29 +435,47 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         spec, store,
         workers=args.workers,
         resume=not args.no_resume,
+        executor=args.executor,
+        executor_options={
+            "ttl_s": args.ttl,
+            "poll_s": args.poll,
+            "max_attempts": args.max_attempts,
+            "backoff_base_s": args.backoff,
+        },
+        on_error=args.on_error,
         progress=progress,
     )
     summary = result.summary()
     print(f"campaign done: {summary['executed']} executed, "
           f"{summary['skipped']} skipped, {summary['total_cells']} cells, "
           f"workers={summary['workers']}, {summary['wall_time_s']:.2f}s")
+    if summary["failed"]:
+        print(f"failed cells: {summary['failed']} "
+              f"({', '.join(summary['failed_cells'][:5])}) — "
+              f"see the store's audit log; 'repro campaign' again retries them")
     print(f"store: {store.directory} ({len(store)} runs total)")
-    return 0
+    return 1 if summary["failed"] else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
-    store = RunStore(args.store)
+    store = open_store(args.store)
     if len(store) == 0:
         print(f"store {store.directory} holds no runs", file=sys.stderr)
         return 1
     summary = summarize_campaign(store.outcomes(), metrics=metrics)
+    audit = summarize_audit(store.audit_records())
 
     if args.format == "json":
-        text = json.dumps(summary.to_dict(), indent=2, sort_keys=True)
+        payload = summary.to_dict()
+        if audit["num_records"]:
+            payload = dict(payload, audit=audit)
+        text = json.dumps(payload, indent=2, sort_keys=True)
     elif args.format == "markdown":
         report = ExperimentReport(title=f"Campaign report — {store.directory}")
         report.add_campaign_summary(summary)
+        if audit["num_records"]:
+            report.add_audit_summary(audit)
         text = report.render_markdown()
     else:
         # wall time is excluded so identical stores render identical reports
@@ -345,6 +487,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
             + "\n\nwinners (largest combined-frontier share):\n"
             + format_table(winner_rows, winner_headers)
         )
+        if audit["num_records"]:
+            codes = ", ".join(
+                f"{code}={count}" for code, count in audit["by_code"].items()
+            )
+            text += (
+                f"\n\naudit: {audit['num_records']} failure record(s) "
+                f"[{codes}], {len(audit['failed_cells'])} cell(s) "
+                f"permanently failed, {audit['retries']} retries"
+            )
     print(text)
     if args.out:
         path = Path(args.out)
@@ -354,10 +505,80 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    report = run_worker(
+        args.store,
+        worker_id=args.worker_id,
+        max_cycles=args.max_cycles,
+        progress=lambda worker, event, fp: print(
+            f"[{worker}] {event} {fp}".rstrip(), file=sys.stderr
+        ),
+    )
+    summary = report.summary()
+    print(f"worker {summary['worker']} done: {summary['executed']} executed, "
+          f"{summary['skipped']} skipped, {summary['failed']} failed, "
+          f"{summary['reclaimed']} leases reclaimed, "
+          f"{summary['wall_time_s']:.2f}s")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command is None:
+        print("repro store: choose an operation: compact, export or merge",
+              file=sys.stderr)
+        return 2
+    if args.store_command == "compact":
+        store = open_store(args.store)
+        if not isinstance(store, ShardedRunStore):
+            print(f"repro store compact: {store.directory} is a single-file "
+                  f"store; compaction applies to sharded stores",
+                  file=sys.stderr)
+            return 2
+        stats = store.compact()
+        print(f"compacted {stats['shards']} shard(s): {stats['kept']} records "
+              f"kept, {stats['dropped_superseded']} superseded and "
+              f"{stats['dropped_corrupt_lines']} corrupt line(s) dropped, "
+              f"{stats['dropped_torn_bytes']} torn byte(s) trimmed")
+        return 0
+    if args.store_command == "export":
+        store = open_store(args.store)
+        payload = export_metrics(store)
+        if args.out:
+            path = dump_json(payload, args.out)
+            print(f"exported {payload['num_candidates']} candidate(s) in "
+                  f"{payload['num_groups']} group(s) to {path}")
+        else:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    # merge
+    dest = open_store(args.into, sharded=True if args.sharded else None)
+    sources = [open_store(source) for source in args.sources]
+    stats = merge_stores(sources, dest)
+    print(f"merged {stats['merged']} record(s) into {dest.directory} "
+          f"({stats['skipped']} already present)")
+    return 0
+
+
+def _cmd_run_cell(args: argparse.Namespace) -> int:
+    """Internal executor plumbing: one cell over stdin/stdout pipes."""
+    try:
+        request = SearchRequest.from_dict(json.loads(sys.stdin.read()))
+        outcome = run_search(request)
+    except Exception as error:  # noqa: BLE001 - enveloped for the parent
+        envelope = ErrorEnvelope.from_exception(error)
+        print(json.dumps(envelope.to_dict()), file=sys.stderr)
+        return 3
+    print(json.dumps(to_jsonable(outcome.to_dict())))
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "campaign": _cmd_campaign,
+    "worker": _cmd_worker,
+    "store": _cmd_store,
+    "run-cell": _cmd_run_cell,
     "report": _cmd_report,
 }
 
@@ -377,6 +598,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"repro {args.command}: {error}", file=sys.stderr)
         return 2
+    except RuntimeError as error:
+        # a campaign stopped by on_error="fail" — finished cells are stored
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 3
     except BrokenPipeError:
         # downstream consumer (head, a pager) closed the pipe — not an error
         devnull = os.open(os.devnull, os.O_WRONLY)

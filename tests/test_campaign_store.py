@@ -160,3 +160,64 @@ class TestRunStore:
         assert summary["num_runs"] == 2
         assert summary["scenarios"] == ["wifi-3mbps/jetson-tx2-gpu"]
         assert summary["strategies"] == ["lens", "random"]
+
+    def test_outcomes_paginate_with_offset_and_limit(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        expected = []
+        for seed in (0, 1, 2, 3):
+            store.append(run_search(_request(seed=seed)))
+            expected.append(seed)
+        assert [o.request.seed for o in store.outcomes(offset=1, limit=2)] == [1, 2]
+        assert [o.request.seed for o in store.outcomes(offset=3)] == [3]
+        assert [o.request.seed for o in store.outcomes(offset=9)] == []
+        with pytest.raises(ValueError, match="non-negative"):
+            list(store.outcomes(offset=-1))
+        with pytest.raises(ValueError, match="non-negative"):
+            list(store.outcomes(limit=-1))
+
+    def test_index_write_is_atomic(self, tmp_path):
+        """No temp droppings, and never a torn index file on disk."""
+        directory = tmp_path / "store"
+        store = RunStore(directory)
+        store.append(run_search(_request(seed=0)))
+        leftovers = [
+            p.name for p in directory.iterdir()
+            if ".tmp." in p.name
+        ]
+        assert leftovers == []
+        json.loads((directory / INDEX_FILENAME).read_text(encoding="utf-8"))
+
+    def test_index_flush_is_deferred_past_small_threshold(self, tmp_path):
+        """Large stores write O(n) index bytes, not O(n^2): flushes happen
+        at geometric sizes, with flush()/close() persisting the rest."""
+        from repro.campaign.store import INDEX_FLUSH_SMALL
+
+        directory = tmp_path / "store"
+        directory.mkdir(parents=True)
+        outcome = run_search(_request(seed=0))
+        record = json.dumps(
+            {"fingerprint": "f", "outcome": outcome.to_dict()}
+        )
+        # simulate a long campaign cheaply: append raw records, then reopen
+        with (directory / RUNS_FILENAME).open("a", encoding="utf-8") as handle:
+            for i in range(INDEX_FLUSH_SMALL + 100):
+                handle.write(record.replace('"f"', f'"f{i:08d}"', 1) + "\n")
+        big = RunStore(directory)
+        assert len(big) == INDEX_FLUSH_SMALL + 100
+        writes_before = big.index_writes
+        for i in range(40):
+            big.append(run_search(_request(seed=100 + i)))
+        # 40 appends past the threshold trigger at most a couple of flushes
+        assert big.index_writes - writes_before <= 2
+        big.flush()
+        reopened = RunStore(directory)
+        assert len(reopened) == len(big)
+        # the persisted index is current after flush()
+        index = json.loads((directory / INDEX_FILENAME).read_text("utf-8"))
+        assert len(index["records"]) == len(big)
+
+    def test_context_manager_flushes_on_close(self, tmp_path):
+        directory = tmp_path / "store"
+        with RunStore(directory) as store:
+            store.append(run_search(_request(seed=0)))
+        json.loads((directory / INDEX_FILENAME).read_text(encoding="utf-8"))
