@@ -24,9 +24,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.serving.session import ServingReport
 
 from repro.analysis.criteria import CriterionComparison
 from repro.analysis.pareto_metrics import FrontComparison
@@ -182,6 +195,39 @@ class ExperimentReport:
             + (f"{threshold:.2f} Mbps" if threshold is not None else "none in range")
             + f"; deployment switches over the trace: {study.comparison.num_switches}."
         )
+        return self.add_text(heading, body)
+
+    def add_serving_report(
+        self, report: "ServingReport", heading: Optional[str] = None
+    ) -> "ExperimentReport":
+        """Add a fleet serving-session summary (see :mod:`repro.serving`).
+
+        Renders the one-row fleet summary (decisions/sec, decision-latency
+        percentiles, switch counts, SLA accounting) followed by the
+        per-region breakdown when the workload labelled one.
+        """
+        heading = heading or f"Serving session — {report.name} ({report.metric})"
+        summary_headers, summary_rows = report.summary_rows()
+        body = (
+            f"Served **{report.num_clients}** clients for **{report.ticks}** "
+            f"ticks, deciding between: {', '.join(report.option_labels)}.\n\n"
+            + _markdown_table(summary_headers, summary_rows)
+        )
+        region_headers, region_rows = report.region_rows()
+        if region_rows:
+            body += (
+                "\n\n### Per-region breakdown\n\n"
+                + _markdown_table(region_headers, region_rows)
+            )
+        degraded = []
+        if report.anomalies:
+            degraded.append(f"{report.anomalies} anomalous measurement(s)")
+        if report.silent_clients:
+            degraded.append(f"{report.silent_clients} silent client(s)")
+        if report.exhausted_clients:
+            degraded.append(f"{report.exhausted_clients} exhausted trace(s)")
+        if degraded:
+            body += "\n\nDegraded inputs absorbed: " + ", ".join(degraded) + "."
         return self.add_text(heading, body)
 
     # ------------------------------------------------------------------ rendering

@@ -18,7 +18,10 @@ The subcommands mirror the library's layers (also reachable as
   superseded records), ``export`` (columnar per-candidate metrics) and
   ``merge`` (consolidate stores by fingerprint);
 * ``repro report`` — aggregate a store into per-scenario winner and Pareto
-  summaries (text, Markdown or JSON), including audit/error summaries.
+  summaries (text, Markdown or JSON), including audit/error summaries;
+* ``repro serve`` — replay a campaign-produced Pareto winner against a
+  synthetic multi-region client fleet through the vectorized serving layer
+  (:mod:`repro.serving`) and print the service metrics.
 
 Every command is plumbing around the public API — anything the CLI does can
 be done in a few lines of Python (see ``docs/cli.md`` and
@@ -35,6 +38,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import ExperimentReport, summarize_campaign
+from repro.analysis.runtime_eval import select_runtime_options
+from repro.api.engine import default_engine
 from repro.api.envelopes import SearchRequest, load_request
 from repro.api.registry import (
     ACQUISITIONS,
@@ -58,7 +63,11 @@ from repro.campaign import (
     summarize_audit,
 )
 from repro.campaign.sharded import ShardedRunStore, export_metrics
+from repro.core.results import SearchResult
+from repro.core.runtime import ThresholdAnalysis
 from repro.nn.spaces import DEFAULT_SEARCH_SPACE
+from repro.serving import FleetWorkload, ServingSession
+from repro.serving.fleet import DECISION_METHODS
 from repro.utils.serialization import dump_json, format_table, to_jsonable
 
 
@@ -292,6 +301,57 @@ def build_parser() -> argparse.ArgumentParser:
                                default="table", help="output format (default: table)")
     report_parser.add_argument("--out", metavar="FILE",
                                help="also write the report to FILE")
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="replay a stored Pareto winner against a synthetic client fleet",
+        description="Pick the stored runs' Pareto-optimal model for --metric, "
+                    "rebuild its runtime threshold analysis, and replay a "
+                    "synthetic multi-region fleet against it through the "
+                    "vectorized serving layer, printing decisions/sec, switch "
+                    "counts, decision-latency percentiles and SLA violations.",
+    )
+    serve_parser.add_argument("--store", required=True, metavar="DIR",
+                              help="run store holding the campaign outcomes")
+    serve_parser.add_argument("--scenario", default=None,
+                              help="serve this scenario's runs (default: the "
+                                   "store's only scenario)")
+    serve_parser.add_argument("--search-space", default=None,
+                              help="restrict to one search space (default: the "
+                                   "matching runs' only space)")
+    serve_parser.add_argument("--metric", choices=("energy", "latency"),
+                              default="energy",
+                              help="runtime metric optimised by the controller "
+                                   "(default: energy)")
+    serve_parser.add_argument("--clients", type=int, default=1000, metavar="N",
+                              help="fleet size (default: 1000)")
+    serve_parser.add_argument("--ticks", type=int, default=60, metavar="T",
+                              help="replay length in ticks (default: 60)")
+    serve_parser.add_argument("--sla-ms", type=float, default=None, metavar="X",
+                              help="end-to-end latency SLA in milliseconds "
+                                   "(default: no SLA accounting)")
+    serve_parser.add_argument("--smoothing", type=float, default=1.0,
+                              metavar="S",
+                              help="EWMA smoothing coefficient in (0, 1] "
+                                   "(default: 1.0 = last measurement wins)")
+    serve_parser.add_argument("--regions", default=None, metavar="A,B,...",
+                              help="comma-separated region names assigned "
+                                   "round-robin (default: the paper's Table-I "
+                                   "regions)")
+    serve_parser.add_argument("--stall-probability", type=float, default=0.0,
+                              metavar="P",
+                              help="probability a client skips reporting on a "
+                                   "tick (default: 0)")
+    serve_parser.add_argument("--method", choices=DECISION_METHODS,
+                              default="auto",
+                              help="fleet decision method (default: auto)")
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="workload synthesis seed (default: 0)")
+    serve_parser.add_argument("--format", choices=("table", "markdown", "json"),
+                              default="table",
+                              help="output format (default: table)")
+    serve_parser.add_argument("--out", metavar="FILE",
+                              help="also write the report as JSON to FILE")
     return parser
 
 
@@ -505,6 +565,131 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _select_served_model(args: argparse.Namespace, outcomes):
+    """Pick the Pareto winner to serve; raises/None-returns map to exit codes."""
+    if args.scenario is not None and args.scenario not in {
+        o.scenario.name for o in outcomes
+    }:
+        SCENARIOS.get(args.scenario)  # unknown name -> RegistryError (exit 2)
+    if args.search_space is not None:
+        SEARCH_SPACES.get(args.search_space)  # unknown -> RegistryError
+    selected = [
+        o for o in outcomes
+        if (args.scenario is None or o.scenario.name == args.scenario)
+        and (args.search_space is None
+             or o.request.search_space == args.search_space)
+    ]
+    if not selected:
+        return None
+    scenarios = {o.scenario.name for o in selected}
+    if len(scenarios) > 1:
+        raise ValueError(
+            f"store holds runs for scenarios {sorted(scenarios)}; "
+            "pick one with --scenario"
+        )
+    spaces = {o.request.search_space for o in selected}
+    if len(spaces) > 1:
+        raise ValueError(
+            f"matching runs span search spaces {sorted(spaces)}; "
+            "pick one with --search-space"
+        )
+    metric_key = "energy_j" if args.metric == "energy" else "latency_s"
+    pool = [c for o in selected for c in o.candidates]
+    front = SearchResult(pool, label="serving-pool").pareto_candidates(
+        ("error_percent", metric_key)
+    )
+    if not front:
+        return None
+    model = min(front, key=lambda c: c.metric(metric_key))
+    return selected[0], next(iter(spaces)), model
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = open_store(args.store)
+    selection = _select_served_model(args, list(store.outcomes()))
+    if selection is None:
+        print(f"repro serve: store {store.directory} yields no Pareto "
+              f"candidates for the requested scenario/space", file=sys.stderr)
+        return 1
+    reference, space_name, model = selection
+    scenario = reference.scenario
+    request = reference.request
+    architecture = SEARCH_SPACES.create(space_name).decode_for_performance(
+        model.genotype
+    )
+    channel = scenario.build_channel()
+    predictor = default_engine().predictor_for(
+        scenario.resolve_device(),
+        noise_std=request.predictor_noise_std,
+        samples_per_type=request.predictor_samples_per_type,
+        seed=request.seed,
+    )
+    options = select_runtime_options(
+        architecture, predictor, channel, args.metric,
+        include_all_cloud=True, include_all_edge=True,
+    )
+    analysis = ThresholdAnalysis(
+        options=options,
+        power_model=channel.power_model,
+        round_trip_s=channel.round_trip_s,
+        metric=args.metric,
+    )
+    regions = (
+        [name.strip() for name in args.regions.split(",") if name.strip()]
+        if args.regions else None
+    )
+    workload = FleetWorkload.synthesize(
+        args.clients, args.ticks,
+        regions=regions,
+        stall_probability=args.stall_probability,
+        seed=args.seed,
+        name=f"{scenario.name} fleet",
+    )
+    report = ServingSession(
+        analysis, workload,
+        smoothing=args.smoothing,
+        latency_sla_s=None if args.sla_ms is None else args.sla_ms / 1e3,
+        method=args.method,
+    ).run()
+
+    context = {
+        "scenario": scenario.name,
+        "search_space": space_name,
+        "model": model.architecture_name,
+        "model_error_percent": model.error_percent,
+        "deployment_options": list(report.option_labels),
+        "switching_thresholds_mbps": {
+            f"{a} vs {b}": threshold
+            for (a, b), threshold in analysis.thresholds().items()
+        },
+    }
+    payload = dict(report.to_dict(), **context)
+    if args.format == "json":
+        text = json.dumps(to_jsonable(payload), indent=2, sort_keys=True)
+    elif args.format == "markdown":
+        markdown = ExperimentReport(
+            title=f"Serving report — {scenario.name}"
+        )
+        markdown.add_serving_report(report)
+        text = markdown.render_markdown()
+    else:
+        headers, rows = report.summary_rows()
+        region_headers, region_rows = report.region_rows()
+        text = (
+            f"serving {model.architecture_name} "
+            f"(error {model.error_percent:.2f}%) from {scenario.name}\n"
+            f"deployment options: {', '.join(report.option_labels)}\n"
+            + format_table(rows, headers)
+            + "\n\nper region:\n"
+            + format_table(region_rows, region_headers)
+        )
+    print(text)
+    if args.out:
+        path = dump_json(to_jsonable(payload), args.out)
+        print(f"serving report written to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     report = run_worker(
         args.store,
@@ -580,6 +765,7 @@ _COMMANDS = {
     "store": _cmd_store,
     "run-cell": _cmd_run_cell,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 

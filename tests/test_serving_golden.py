@@ -1,0 +1,142 @@
+"""Golden trace-replay tests for the runtime/serving switch sequences.
+
+``tests/data/golden_serving_traces.json`` (regenerate with
+``tools/gen_golden_serving.py``) pins, for one wifi / lte / 3g replay each:
+
+* the trace values themselves (drift in the trace generator fails here
+  first, with a clear message);
+* ``simulate_runtime``'s switch count and cumulative per-strategy metrics —
+  the scalar path's Fig. 8 behaviour;
+* the per-sample decision sequence of a memoryless tracker, which the
+  vectorized :class:`repro.serving.ServingSession` must reproduce
+  label-for-label, switch-for-switch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import ThresholdAnalysis, simulate_runtime
+from repro.partition.deployment import DeploymentMetrics, DeploymentOption
+from repro.serving import FleetWorkload, ServingSession
+from repro.wireless.power_models import RadioPowerModel
+from repro.wireless.traces import ThroughputTrace, generate_lte_trace
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_serving_traces.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+CASES = {case["name"]: case for case in GOLDEN["cases"]}
+
+
+def build_options():
+    """The fixed option set the golden file was generated with."""
+    edge = DeploymentMetrics(
+        option=DeploymentOption.all_edge(),
+        latency_s=0.04, energy_j=0.28,
+        edge_latency_s=0.04, edge_energy_j=0.28,
+        comm_latency_s=0.0, comm_energy_j=0.0, transferred_bytes=0.0,
+    )
+    split = DeploymentMetrics(
+        option=DeploymentOption.split_after(7, "pool5"),
+        latency_s=0.0, energy_j=0.0,
+        edge_latency_s=0.015, edge_energy_j=0.16,
+        comm_latency_s=0.0, comm_energy_j=0.0, transferred_bytes=36864.0,
+    )
+    cloud = DeploymentMetrics(
+        option=DeploymentOption.all_cloud(),
+        latency_s=0.0, energy_j=0.0,
+        edge_latency_s=0.0, edge_energy_j=0.0,
+        comm_latency_s=0.0, comm_energy_j=0.0, transferred_bytes=150528.0,
+    )
+    return [edge, split, cloud]
+
+
+def analysis_for(case) -> ThresholdAnalysis:
+    return ThresholdAnalysis(
+        options=build_options(),
+        power_model=RadioPowerModel.for_technology(case["technology"]),
+        round_trip_s=case["round_trip_s"],
+        metric=case["metric"],
+    )
+
+
+def trace_for(case) -> ThroughputTrace:
+    return ThroughputTrace.from_values(
+        case["uplinks_mbps"], name=f"golden-{case['name']}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+class TestGoldenReplays:
+    def test_trace_generator_still_produces_the_pinned_trace(self, name):
+        """Regenerating from (seed, mean) must reproduce the stored values."""
+        case = CASES[name]
+        regenerated = generate_lte_trace(
+            num_samples=len(case["uplinks_mbps"]),
+            mean_mbps=case["trace_mean_mbps"],
+            seed=case["trace_seed"],
+        )
+        np.testing.assert_allclose(
+            regenerated.uplinks_mbps,
+            np.asarray(case["uplinks_mbps"]),
+            rtol=1e-12,
+            err_msg=(
+                "generate_lte_trace drifted from the pinned golden trace; "
+                "if intentional, rerun tools/gen_golden_serving.py"
+            ),
+        )
+
+    def test_simulate_runtime_matches_golden(self, name):
+        """The scalar Fig. 8 replay: switch count + cumulative metrics."""
+        case = CASES[name]
+        comparison = simulate_runtime(analysis_for(case), trace_for(case))
+        assert comparison.num_switches == case["num_switches"]
+        assert set(comparison.cumulative) == set(case["cumulative"])
+        for label, expected in case["cumulative"].items():
+            assert comparison.cumulative[label] == pytest.approx(
+                expected, rel=1e-12
+            ), f"cumulative[{label!r}] drifted"
+
+    def test_serving_session_reproduces_the_decision_sequence(self, name):
+        """The vectorized replay must match the golden labels exactly."""
+        case = CASES[name]
+        analysis = analysis_for(case)
+        workload = FleetWorkload.from_traces(
+            [trace_for(case)], regions=[case["technology"]]
+        )
+        report = ServingSession(
+            analysis, workload, record_decisions=True
+        ).run()
+        labels = [m.option.label for m in analysis.options]
+        got = [labels[int(i)] for i in report.decision_log[:, 0]]
+        assert got == case["decisions"]
+        assert report.switches == case["num_switches"]
+        assert report.decisions == len(case["decisions"])
+        assert report.anomalies == 0
+
+    def test_fleet_of_identical_clients_switches_identically(self, name):
+        """N copies of the trace: every client follows the golden sequence."""
+        case = CASES[name]
+        analysis = analysis_for(case)
+        num_clients = 5
+        workload = FleetWorkload.from_traces(
+            [trace_for(case)] * num_clients,
+        )
+        report = ServingSession(
+            analysis, workload, record_decisions=True
+        ).run()
+        assert report.switches == num_clients * case["num_switches"]
+        for client in range(1, num_clients):
+            np.testing.assert_array_equal(
+                report.decision_log[:, client], report.decision_log[:, 0]
+            )
+
+
+def test_golden_cases_cover_all_three_technologies():
+    assert {case["technology"] for case in GOLDEN["cases"]} == {
+        "wifi", "lte", "3g"
+    }
+    assert all(case["num_switches"] > 0 for case in GOLDEN["cases"])

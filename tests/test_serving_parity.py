@@ -1,0 +1,272 @@
+"""Property tests: the vectorized serving layer vs its scalar references.
+
+The contract under test (see :mod:`repro.serving.fleet`): feeding the same
+measurements to a :class:`FleetTracker`/:class:`FleetController` and to one
+:class:`ThroughputTracker` + ``analysis.best_option`` loop per client must
+produce *bitwise identical* EWMA estimates and *element-wise identical*
+decisions and switch counts — including rounding-decided tie-breaks at exact
+threshold crossings, where interval membership alone would disagree with the
+scalar float comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import ThresholdAnalysis
+from repro.partition.deployment import DeploymentMetrics, DeploymentOption
+from repro.serving import FleetController, FleetTracker
+from repro.serving.fleet import DecisionTable
+from repro.wireless.power_models import RadioPowerModel
+from repro.wireless.tracker import ThroughputTracker
+
+WIFI = RadioPowerModel.for_technology("wifi")
+RTT = 0.01
+
+
+def edge_option(latency_s=0.04, energy_j=0.28):
+    return DeploymentMetrics(
+        option=DeploymentOption.all_edge(),
+        latency_s=latency_s,
+        energy_j=energy_j,
+        edge_latency_s=latency_s,
+        edge_energy_j=energy_j,
+        comm_latency_s=0.0,
+        comm_energy_j=0.0,
+        transferred_bytes=0.0,
+    )
+
+
+def split_option(edge_latency_s=0.015, edge_energy_j=0.16,
+                 transferred_bytes=36864.0):
+    return DeploymentMetrics(
+        option=DeploymentOption.split_after(7, "pool5"),
+        latency_s=0.0,
+        energy_j=0.0,
+        edge_latency_s=edge_latency_s,
+        edge_energy_j=edge_energy_j,
+        comm_latency_s=0.0,
+        comm_energy_j=0.0,
+        transferred_bytes=transferred_bytes,
+    )
+
+
+def cloud_option(transferred_bytes=150528.0):
+    return DeploymentMetrics(
+        option=DeploymentOption.all_cloud(),
+        latency_s=0.0,
+        energy_j=0.0,
+        edge_latency_s=0.0,
+        edge_energy_j=0.0,
+        comm_latency_s=0.0,
+        comm_energy_j=0.0,
+        transferred_bytes=transferred_bytes,
+    )
+
+
+def make_analysis(metric="energy"):
+    return ThresholdAnalysis(
+        options=[edge_option(), split_option(), cloud_option()],
+        power_model=WIFI,
+        round_trip_s=RTT,
+        metric=metric,
+    )
+
+
+ANALYSES = {metric: make_analysis(metric) for metric in ("energy", "latency")}
+
+
+def scalar_replay(analysis, uplinks, smoothing):
+    """Per-client reference loop: one tracker + ``best_option`` per client.
+
+    NaN measurements hold the previous decision, matching the serving
+    layer's idle-client semantics.
+    """
+    ticks, num_clients = uplinks.shape
+    smoothing = np.broadcast_to(np.asarray(smoothing, dtype=np.float64),
+                                (num_clients,))
+    trackers = [ThroughputTracker(smoothing=float(s)) for s in smoothing]
+    options = list(analysis.options)
+    decisions = np.full((ticks, num_clients), -1, dtype=np.intp)
+    last = [-1] * num_clients
+    switches = [0] * num_clients
+    for tick in range(ticks):
+        for client in range(num_clients):
+            value = uplinks[tick, client]
+            if np.isnan(value):
+                decisions[tick, client] = last[client]
+                continue
+            estimate = trackers[client].observe(float(value))
+            best = analysis.best_option(estimate)
+            index = next(i for i, m in enumerate(options) if m is best)
+            if last[client] >= 0 and index != last[client]:
+                switches[client] += 1
+            last[client] = index
+            decisions[tick, client] = index
+    estimates = np.array(
+        [np.nan if t.estimate_mbps is None else t.estimate_mbps
+         for t in trackers],
+        dtype=np.float64,
+    )
+    return estimates, decisions, np.array(switches, dtype=np.int64)
+
+
+def vector_replay(analysis, uplinks, smoothing, method="auto"):
+    ticks, num_clients = uplinks.shape
+    tracker = FleetTracker(num_clients, smoothing=smoothing)
+    controller = FleetController(analysis, num_clients, method=method)
+    decisions = np.empty((ticks, num_clients), dtype=np.intp)
+    for tick in range(ticks):
+        decisions[tick] = controller.decide(tracker.observe(uplinks[tick]))
+    return tracker.estimates_mbps, decisions, controller.switches
+
+
+def assert_replays_match(analysis, uplinks, smoothing, method="auto"):
+    scalar = scalar_replay(analysis, uplinks, smoothing)
+    vector = vector_replay(analysis, uplinks, smoothing, method=method)
+    # Estimates: bitwise identical (same float expression, same order).
+    np.testing.assert_array_equal(scalar[0], vector[0])
+    np.testing.assert_array_equal(scalar[1], vector[1])
+    np.testing.assert_array_equal(scalar[2], vector[2])
+
+
+measurement = st.one_of(
+    st.just(float("nan")),  # idle tick
+    st.floats(min_value=0.01, max_value=500.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def fleets(draw):
+    num_clients = draw(st.integers(min_value=1, max_value=6))
+    ticks = draw(st.integers(min_value=1, max_value=10))
+    uplinks = np.array(
+        draw(
+            st.lists(
+                st.lists(measurement, min_size=num_clients,
+                         max_size=num_clients),
+                min_size=ticks, max_size=ticks,
+            )
+        ),
+        dtype=np.float64,
+    )
+    smoothing = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0,
+                          allow_nan=False),
+                min_size=num_clients, max_size=num_clients,
+            )
+        ),
+        dtype=np.float64,
+    )
+    metric = draw(st.sampled_from(("energy", "latency")))
+    return uplinks, smoothing, metric
+
+
+class TestElementwiseParity:
+    @given(fleet=fleets())
+    @settings(max_examples=60, deadline=None)
+    def test_random_fleets_match_scalar_loop(self, fleet):
+        uplinks, smoothing, metric = fleet
+        assert_replays_match(ANALYSES[metric], uplinks, smoothing)
+
+    @given(fleet=fleets(),
+           method=st.sampled_from(("intervals", "values")))
+    @settings(max_examples=30, deadline=None)
+    def test_every_decision_method_matches(self, fleet, method):
+        uplinks, smoothing, metric = fleet
+        assert_replays_match(ANALYSES[metric], uplinks, smoothing,
+                             method=method)
+
+
+class TestExactThresholdTieBreaking:
+    @pytest.mark.parametrize("metric", ["energy", "latency"])
+    @pytest.mark.parametrize("method", ["auto", "intervals", "values"])
+    def test_decisions_at_exact_crossings(self, metric, method):
+        """Measurements *at* (and one ulp around) every threshold agree."""
+        analysis = ANALYSES[metric]
+        table = DecisionTable.from_analysis(analysis)
+        assert table.thresholds.size, "fixture options must cross somewhere"
+        probes = []
+        for threshold in table.thresholds:
+            probes.extend([
+                np.nextafter(threshold, 0.0),
+                threshold,
+                np.nextafter(threshold, np.inf),
+            ])
+        uplinks = np.array([probes], dtype=np.float64)  # one tick, N clients
+        assert_replays_match(analysis, uplinks, 1.0, method=method)
+
+    @pytest.mark.parametrize("method", ["auto", "intervals", "values"])
+    def test_ewma_landing_on_threshold(self, method):
+        """Estimates (not raw measurements) hitting a threshold still agree."""
+        analysis = ANALYSES["energy"]
+        table = DecisionTable.from_analysis(analysis)
+        threshold = float(table.thresholds[0])
+        # With s = 0.5 and prior == threshold, feeding the threshold twice
+        # keeps the EWMA exactly on the crossing for several ticks.
+        uplinks = np.full((4, 3), threshold, dtype=np.float64)
+        uplinks[1, 1] = np.nextafter(threshold, 0.0)
+        uplinks[2, 2] = np.nextafter(threshold, np.inf)
+        assert_replays_match(analysis, uplinks, 0.5, method=method)
+
+
+class TestDegenerateAnalyses:
+    def test_indistinguishable_options_force_exact_method(self):
+        """Near-identical cost curves: auto falls back to exact comparison."""
+        twin_a = edge_option(latency_s=0.04, energy_j=0.28)
+        twin_b = DeploymentMetrics(
+            option=DeploymentOption.split_after(3, "conv3"),
+            latency_s=0.04,
+            energy_j=0.28,
+            edge_latency_s=0.04,
+            edge_energy_j=0.28,
+            comm_latency_s=0.0,
+            comm_energy_j=0.0,
+            transferred_bytes=0.0,
+        )
+        analysis = ThresholdAnalysis(
+            options=[twin_a, twin_b],
+            power_model=WIFI,
+            round_trip_s=RTT,
+            metric="energy",
+        )
+        controller = FleetController(analysis, 4)
+        assert controller.table.degenerate
+        assert controller.method == "values"
+        uplinks = np.array([[0.5, 1.0, 5.0, 50.0]], dtype=np.float64)
+        assert_replays_match(analysis, uplinks, 1.0)
+
+
+class TestTrackerStateParity:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=500.0, allow_nan=False),
+            min_size=1, max_size=20,
+        ),
+        smoothing=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_client_estimates_bitwise_equal(self, values, smoothing):
+        scalar = ThroughputTracker(smoothing=smoothing)
+        fleet = FleetTracker(1, smoothing=smoothing)
+        for value in values:
+            expected = scalar.observe(value)
+            got = fleet.observe(np.array([value]))[0]
+            assert got == expected  # bitwise, not approx
+        assert fleet.num_observations[0] == scalar.num_observations
+
+    def test_priors_match_scalar_initial_estimate(self):
+        scalar = ThroughputTracker(smoothing=0.3, initial_mbps=4.2)
+        fleet = FleetTracker(2, smoothing=0.3, initial_mbps=[4.2, np.nan])
+        assert fleet.estimates_mbps[0] == scalar.estimate_mbps
+        assert np.isnan(fleet.estimates_mbps[1])
+        expected = scalar.observe(6.0)
+        got = fleet.observe(np.array([6.0, 6.0]))
+        assert got[0] == expected
+        assert got[1] == 6.0  # no prior: first observation wins

@@ -127,3 +127,49 @@ class TestTracker:
             ThroughputTracker(initial_mbps=-1.0)
         with pytest.raises(ValueError):
             ThroughputTracker().observe(0.0)
+
+
+class TestTrackerHistoryLimit:
+    """Regression: unbounded ``_history`` growth on long-running trackers."""
+
+    def test_default_keeps_full_history(self):
+        tracker = ThroughputTracker()
+        for value in range(1, 51):
+            tracker.observe(float(value))
+        assert len(tracker.history) == 50  # default behaviour unchanged
+
+    def test_history_limit_bounds_memory_not_estimates(self):
+        bounded = ThroughputTracker(smoothing=0.5, history_limit=4)
+        unbounded = ThroughputTracker(smoothing=0.5)
+        for value in (3.0, 7.0, 2.0, 9.0, 4.0, 6.0, 8.0):
+            bounded.observe(value)
+            unbounded.observe(value)
+        # The estimate and observation count are unaffected by eviction...
+        assert bounded.estimate_mbps == unbounded.estimate_mbps
+        assert bounded.num_observations == unbounded.num_observations == 7
+        # ...but only the most recent samples are retained.
+        assert bounded.history == unbounded.history[-4:]
+        assert len(bounded.history) == 4
+
+    def test_zero_limit_keeps_no_history(self):
+        tracker = ThroughputTracker(history_limit=0)
+        for _ in range(10):
+            tracker.observe(5.0)
+        assert tracker.history == []
+        assert tracker.num_observations == 10
+        assert tracker.estimate_mbps == 5.0
+
+    def test_reset_respects_limit(self):
+        tracker = ThroughputTracker(history_limit=2)
+        for value in (1.0, 2.0, 3.0):
+            tracker.observe(value)
+        tracker.reset()
+        assert tracker.history == []
+        assert tracker.num_observations == 0
+        for value in (4.0, 5.0, 6.0):
+            tracker.observe(value)
+        assert tracker.history == [5.0, 6.0]
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputTracker(history_limit=-1)

@@ -40,6 +40,10 @@ HEADLINE_FIELDS = (
     ("campaign_store_index", "appends_per_s", "store_appends_per_s"),
     ("campaign_distributed", "pull_worker_wall_s", "distributed_pull_wall_s"),
     ("campaign_distributed", "fingerprints_match", "distributed_parity"),
+    ("serving", "speedup", "serving_speedup"),
+    ("serving", "estimate_divergence", "serving_parity"),
+    ("serving", "decision_mismatches", "serving_decision_mismatches"),
+    ("serving", "decisions_per_s", "serving_decisions_per_s"),
 )
 
 

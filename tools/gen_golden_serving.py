@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/data/golden_serving_traces.json``.
+
+The golden file pins the *scalar* runtime path's behaviour — trace values,
+``simulate_runtime`` switch counts and cumulative metrics, and the
+per-sample decision sequence of a memoryless tracker — for one wifi, one
+lte and one 3g replay whose trace straddles the model's switching
+threshold.  ``tests/test_serving_golden.py`` then holds both the scalar
+path and the vectorized :class:`repro.serving.ServingSession` to these
+sequences, so any drift in either path (or in the trace generator) fails
+loudly.
+
+Only rerun this when the scalar runtime semantics intentionally change::
+
+    PYTHONPATH=src python tools/gen_golden_serving.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.runtime import ThresholdAnalysis, simulate_runtime  # noqa: E402
+from repro.partition.deployment import DeploymentMetrics, DeploymentOption  # noqa: E402
+from repro.utils.serialization import dump_json  # noqa: E402
+from repro.wireless.power_models import RadioPowerModel  # noqa: E402
+from repro.wireless.traces import generate_lte_trace  # noqa: E402
+
+OUTPUT = REPO_ROOT / "tests" / "data" / "golden_serving_traces.json"
+
+#: The fixed option set shared with tests/test_serving_golden.py.
+ROUND_TRIP_S = 0.01
+
+
+def build_options():
+    edge = DeploymentMetrics(
+        option=DeploymentOption.all_edge(),
+        latency_s=0.04, energy_j=0.28,
+        edge_latency_s=0.04, edge_energy_j=0.28,
+        comm_latency_s=0.0, comm_energy_j=0.0, transferred_bytes=0.0,
+    )
+    split = DeploymentMetrics(
+        option=DeploymentOption.split_after(7, "pool5"),
+        latency_s=0.0, energy_j=0.0,
+        edge_latency_s=0.015, edge_energy_j=0.16,
+        comm_latency_s=0.0, comm_energy_j=0.0, transferred_bytes=36864.0,
+    )
+    cloud = DeploymentMetrics(
+        option=DeploymentOption.all_cloud(),
+        latency_s=0.0, energy_j=0.0,
+        edge_latency_s=0.0, edge_energy_j=0.0,
+        comm_latency_s=0.0, comm_energy_j=0.0, transferred_bytes=150528.0,
+    )
+    return [edge, split, cloud]
+
+
+#: (name, technology, metric, trace seed, trace mean multiplier).  The mean
+#: is the analysis' largest pairwise threshold scaled by the multiplier, so
+#: every replay genuinely crosses thresholds.
+CASES = (
+    ("wifi", "wifi", "energy", 11, 1.0),
+    ("lte", "lte", "latency", 12, 1.0),
+    ("3g", "3g", "latency", 13, 0.8),
+)
+
+
+def main() -> int:
+    cases = []
+    for name, technology, metric, seed, mean_scale in CASES:
+        analysis = ThresholdAnalysis(
+            options=build_options(),
+            power_model=RadioPowerModel.for_technology(technology),
+            round_trip_s=ROUND_TRIP_S,
+            metric=metric,
+        )
+        crossings = [t for t in analysis.thresholds().values() if t]
+        mean_mbps = max(crossings) * mean_scale
+        trace = generate_lte_trace(
+            num_samples=40, mean_mbps=mean_mbps, seed=seed,
+            name=f"golden-{name}",
+        )
+        comparison = simulate_runtime(analysis, trace)
+        # Memoryless-tracker decision sequence: the scalar reference the
+        # vectorized ServingSession must reproduce label-for-label.
+        decisions = [
+            analysis.best_option(s.uplink_mbps).option.label for s in trace
+        ]
+        assert comparison.num_switches > 0, f"{name}: trace never switches"
+        cases.append({
+            "name": name,
+            "technology": technology,
+            "metric": metric,
+            "round_trip_s": ROUND_TRIP_S,
+            "trace_seed": seed,
+            "trace_mean_mbps": mean_mbps,
+            "uplinks_mbps": trace.uplinks_mbps.tolist(),
+            "num_switches": comparison.num_switches,
+            "cumulative": comparison.cumulative,
+            "decisions": decisions,
+        })
+        print(f"{name}: mean {mean_mbps:.3f} Mbps, "
+              f"{comparison.num_switches} switches")
+    dump_json({"schema": 1, "cases": cases}, OUTPUT)
+    print(f"golden data written to {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
