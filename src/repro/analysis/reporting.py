@@ -47,7 +47,7 @@ from repro.analysis.runtime_eval import RuntimeStudy
 from repro.api.envelopes import SearchOutcome
 from repro.core.results import CandidateEvaluation, SearchResult
 from repro.nn.spaces import DEFAULT_SEARCH_SPACE
-from repro.optim.pareto import pareto_front_mask
+from repro.optim.pareto import FrontHistory, pareto_front_mask
 
 
 def _outcome_space(outcome: SearchOutcome) -> str:
@@ -197,6 +197,41 @@ class ExperimentReport:
         )
         return self.add_text(heading, body)
 
+    def add_front_history(
+        self, history: FrontHistory, heading: str = "Hypervolume vs. iteration"
+    ) -> "ExperimentReport":
+        """Add a search run's per-evaluation hypervolume trajectory.
+
+        Renders one row per *front advance* (evaluations whose candidate
+        joined the Pareto front), so long searches stay readable: plateaus
+        collapse into the gap between consecutive rows.
+        """
+        if not history.entries:
+            return self.add_text(heading, "No evaluations recorded.")
+        rows = [
+            [
+                entry.evaluation,
+                entry.iteration,
+                entry.candidate or "-",
+                entry.front_size,
+                round(entry.hypervolume, 4),
+            ]
+            for entry in history.front_advances()
+        ]
+        body = (
+            f"Reference point (per objective "
+            f"{' / '.join(history.metrics)}): "
+            + ", ".join(f"{value:.4f}" for value in history.reference)
+            + f". Final hypervolume **{history.final_hypervolume:.4f}** with a "
+            f"front of **{history.final_front_size}** after "
+            f"**{len(history.entries)}** evaluations.\n\n"
+            + _markdown_table(
+                ["evaluation", "iteration", "joined", "front size", "hypervolume"],
+                rows,
+            )
+        )
+        return self.add_text(heading, body)
+
     def add_serving_report(
         self, report: "ServingReport", heading: Optional[str] = None
     ) -> "ExperimentReport":
@@ -263,6 +298,12 @@ class ExperimentReport:
             + "\n\n### Winners (largest combined-frontier share)\n\n"
             + _markdown_table(winner_headers, winner_rows)
         )
+        hv_headers, hv_rows = summary.hypervolume_table()
+        if hv_rows:  # only v3+ outcomes carry front telemetry
+            body += (
+                "\n\n### Final hypervolume (per-run reference boxes)\n\n"
+                + _markdown_table(hv_headers, hv_rows)
+            )
         return self.add_text(heading, body)
 
     def add_audit_summary(
@@ -312,9 +353,13 @@ class CampaignCell:
     pareto_size: int
     best: Dict[str, float]
     wall_time_s: float
+    #: Mean final hypervolume over the cell's runs that recorded a
+    #: :class:`~repro.optim.pareto.FrontHistory` (``None`` when none did —
+    #: e.g. outcomes stored before schema v3).
+    final_hypervolume: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "scenario": self.scenario,
             "search_space": self.search_space,
             "strategy": self.strategy,
@@ -325,6 +370,10 @@ class CampaignCell:
             "best": dict(self.best),
             "wall_time_s": self.wall_time_s,
         }
+        # emitted only when recorded, so pre-telemetry payloads are unchanged
+        if self.final_hypervolume is not None:
+            payload["final_hypervolume"] = self.final_hypervolume
+        return payload
 
 
 @dataclass(frozen=True)
@@ -431,6 +480,30 @@ class CampaignSummary:
                 row.append(round(cell.wall_time_s, 2))
         return headers, rows
 
+    def hypervolume_table(self) -> Tuple[List[str], List[List[Any]]]:
+        """``(headers, rows)`` of per-cell final hypervolumes.
+
+        One row per cell that recorded front telemetry — the mean over its
+        runs' final hypervolumes, each in its run's own reference box (a
+        progress signal; for a strictly shared-reference comparison
+        recompute from the pooled candidates, as ``benchmarks/bench_epdc.py``
+        does).  Empty rows when no stored outcome carries a
+        :class:`~repro.optim.pareto.FrontHistory`.
+        """
+        headers = ["scenario", "space", "strategy", "runs", "mean final hypervolume"]
+        rows = [
+            [
+                cell.scenario,
+                cell.search_space,
+                cell.strategy,
+                cell.num_runs,
+                round(cell.final_hypervolume, 4),
+            ]
+            for cell in self.cells
+            if cell.final_hypervolume is not None
+        ]
+        return headers, rows
+
     def winner_table(self) -> Tuple[List[str], List[List[Any]]]:
         """``(headers, rows)`` of the per scenario/space winner table."""
         headers = ["scenario", "space", "winner", "front share", "front size"]
@@ -524,6 +597,12 @@ def summarize_campaign(
         pooled = SearchResult(
             [c for outcome in group for c in outcome.candidates], label=strategy
         )
+        hypervolumes = [
+            outcome.front_history.final_hypervolume
+            for outcome in group
+            if getattr(outcome, "front_history", None) is not None
+            and len(outcome.front_history)
+        ]
         cells.append(
             CampaignCell(
                 scenario=scenario,
@@ -538,6 +617,9 @@ def summarize_campaign(
                 pareto_size=len(pooled.pareto_candidates(metrics)),
                 best={m: pooled.best_by(m).metric(m) for m in metrics},
                 wall_time_s=sum(outcome.wall_time_s for outcome in group),
+                final_hypervolume=(
+                    float(np.mean(hypervolumes)) if hypervolumes else None
+                ),
             )
         )
 

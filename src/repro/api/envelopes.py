@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.scenario import DEFAULT_SCENARIO, SCENARIOS, Scenario, ScenarioRegistry
 from repro.core.results import CandidateEvaluation, SearchResult
+from repro.optim.pareto import FrontHistory
 from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 from repro.utils.serialization import load_json
 from repro.utils.validation import require_positive
@@ -40,7 +41,17 @@ from repro.utils.validation import require_positive
 #:   upgrade in ``from_dict`` by defaulting to
 #:   :data:`~repro.nn.spaces.DEFAULT_SEARCH_SPACE`; their fingerprints are
 #:   unchanged (see :func:`request_fingerprint`).
-SCHEMA_VERSION = 2
+#: * **v3** — requests gained ``batch_size`` (candidates proposed per BO
+#:   iteration, default :data:`DEFAULT_BATCH_SIZE`; dropped from
+#:   fingerprints at the default so v1/v2 fingerprints are unchanged) and
+#:   outcomes gained ``front_history`` (the per-evaluation hypervolume
+#:   trajectory, :class:`repro.optim.pareto.FrontHistory`).  Older payloads
+#:   upgrade with ``batch_size=1`` and no history.
+SCHEMA_VERSION = 3
+
+#: Default candidates-per-iteration; requests at the default fingerprint
+#: identically to pre-v3 requests.
+DEFAULT_BATCH_SIZE = 1
 
 #: Request fields excluded from fingerprints: pure metadata that cannot
 #: change what a run computes.
@@ -60,12 +71,12 @@ def request_fingerprint(request: "SearchRequest") -> str:
     persisted outcomes by it to make campaigns resumable.
 
     Fields added by later schema versions are dropped from the payload while
-    they hold their upgrade default (``search_space="lens-vgg"``), so a
-    schema-v1 request keeps the exact fingerprint it had when v1 was
-    current — pinned by the golden-file tests in
+    they hold their upgrade default (``search_space="lens-vgg"``,
+    ``batch_size=1``), so a schema-v1 request keeps the exact fingerprint it
+    had when v1 was current — pinned by the golden-file tests in
     ``tests/test_envelopes_golden.py`` — and stores written before the
     upgrade still resume correctly.  Non-default values hash normally, so
-    requests targeting different spaces never collide.
+    requests targeting different spaces (or q-batch budgets) never collide.
 
     Declared content is hashed as-is: a scenario referenced *by name* is
     keyed by that name (its registry resolution may legitimately change),
@@ -78,6 +89,8 @@ def request_fingerprint(request: "SearchRequest") -> str:
         payload.pop(name, None)
     if payload.get("search_space") == DEFAULT_SEARCH_SPACE:
         payload.pop("search_space")
+    if payload.get("batch_size") == DEFAULT_BATCH_SIZE:
+        payload.pop("batch_size")
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:FINGERPRINT_LENGTH]
 
@@ -111,6 +124,11 @@ class SearchRequest:
         :data:`repro.api.registry.SEARCH_SPACES`).
     num_initial / num_iterations / candidate_pool_size / acquisition:
         Budgets and acquisition of the optimization loop (Algorithm 2).
+    batch_size:
+        Candidates proposed (and batch-evaluated) per BO iteration; the
+        total budget stays ``num_iterations`` evaluations.  ``1`` is the
+        classic one-point loop; pair ``q > 1`` with ``acquisition="epdc"``
+        for hypervolume-driven q-batch selection.
     predictor_noise_std / predictor_samples_per_type:
         Performance-predictor training settings (ignored when a pre-trained
         predictor is supplied to :func:`repro.api.session.run_search`).
@@ -128,6 +146,7 @@ class SearchRequest:
     num_iterations: int = 50
     candidate_pool_size: int = 128
     acquisition: str = "ts"
+    batch_size: int = DEFAULT_BATCH_SIZE
     predictor_noise_std: float = 0.03
     predictor_samples_per_type: int = 200
     seed: Optional[int] = 0
@@ -141,6 +160,7 @@ class SearchRequest:
                 f"num_iterations must be >= 0, got {self.num_iterations}"
             )
         require_positive(self.candidate_pool_size, "candidate_pool_size")
+        require_positive(self.batch_size, "batch_size")
 
     # ------------------------------------------------------------------ helpers
     @property
@@ -188,6 +208,7 @@ class SearchRequest:
             "num_iterations": self.num_iterations,
             "candidate_pool_size": self.candidate_pool_size,
             "acquisition": self.acquisition,
+            "batch_size": self.batch_size,
             "predictor_noise_std": self.predictor_noise_std,
             "predictor_samples_per_type": self.predictor_samples_per_type,
             "seed": seed,
@@ -216,6 +237,7 @@ class SearchRequest:
             num_iterations=int(data.get("num_iterations", 50)),
             candidate_pool_size=int(data.get("candidate_pool_size", 128)),
             acquisition=data.get("acquisition", "ts"),
+            batch_size=int(data.get("batch_size", DEFAULT_BATCH_SIZE)),
             predictor_noise_std=float(data.get("predictor_noise_std", 0.03)),
             predictor_samples_per_type=int(
                 data.get("predictor_samples_per_type", 200)
@@ -245,6 +267,11 @@ class SearchOutcome:
         Wall-clock duration of the run.
     engine_stats:
         Cache statistics of the evaluation engine that backed the run.
+    front_history:
+        Per-evaluation Pareto-front trajectory
+        (:class:`repro.optim.pareto.FrontHistory`) — hypervolume, front size
+        and the joining candidate after each evaluation.  ``None`` for
+        outcomes written before schema v3.
     """
 
     request: SearchRequest
@@ -253,6 +280,7 @@ class SearchOutcome:
     candidates: Tuple[CandidateEvaluation, ...]
     wall_time_s: float = 0.0
     engine_stats: Dict[str, int] = field(default_factory=dict)
+    front_history: Optional[FrontHistory] = None
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -297,6 +325,9 @@ class SearchOutcome:
             "candidates": [c.to_dict() for c in self.candidates],
             "wall_time_s": self.wall_time_s,
             "engine_stats": dict(self.engine_stats),
+            "front_history": (
+                None if self.front_history is None else self.front_history.to_dict()
+            ),
         }
 
     @classmethod
@@ -313,6 +344,11 @@ class SearchOutcome:
             engine_stats={
                 str(k): int(v) for k, v in data.get("engine_stats", {}).items()
             },
+            front_history=(
+                None
+                if data.get("front_history") is None
+                else FrontHistory.from_dict(data["front_history"])
+            ),
             schema_version=version,
         )
 

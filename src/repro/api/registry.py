@@ -190,6 +190,7 @@ ACQUISITIONS = Registry(
         "ucb": "lower-confidence-bound scores (mean - beta * std)",
         "mean": "posterior-mean exploitation",
         "random": "uniform-random scores (ablation baseline)",
+        "epdc": "expected Pareto distance change (front-aware, q-batch capable)",
     },
 )
 assert set(ACQUISITIONS.names()) == set(ACQUISITION_STRATEGIES)

@@ -41,6 +41,7 @@ from repro.hardware.device import DeviceProfile
 from repro.hardware.predictors import BaseLayerPredictor
 from repro.nn.spaces import SearchSpace
 from repro.optim.mobo import MultiObjectiveBayesianOptimizer, OptimizationResult
+from repro.optim.pareto import FrontHistory, compute_front_history
 from repro.partition.partitioner import PartitionAnalyzer
 from repro.utils.rng import ensure_rng
 from repro.wireless.channel import WirelessChannel
@@ -177,6 +178,7 @@ def _run_mobo(context: SearchContext, label: str) -> Tuple[SearchResult, Optimiz
         num_iterations=request.num_iterations,
         candidate_pool_size=request.candidate_pool_size,
         acquisition=request.acquisition,
+        batch_size=request.batch_size,
         neighbor_fn=context.evaluator.neighbor_fn,
         seed=request.seed,
         callback=callback,
@@ -256,6 +258,25 @@ STRATEGIES = Registry(
 
 # ---------------------------------------------------------------------- execution
 
+def _front_history_of(candidates: List[CandidateEvaluation]) -> FrontHistory:
+    """Per-evaluation front trajectory over :data:`OBJECTIVES`.
+
+    Computed post hoc from the evaluation sequence, so every strategy —
+    MOBO or random — gets the same telemetry without touching its search
+    loop (or its RNG stream).
+    """
+    objectives = np.array(
+        [[c.metric(metric) for metric in OBJECTIVES] for c in candidates],
+        dtype=float,
+    ).reshape(len(candidates), len(OBJECTIVES))
+    return compute_front_history(
+        objectives,
+        OBJECTIVES,
+        labels=[c.architecture_name for c in candidates],
+        iterations=[c.iteration for c in candidates],
+    )
+
+
 def execute_strategy(
     context: SearchContext,
 ) -> Tuple[SearchResult, Optional[OptimizationResult]]:
@@ -320,4 +341,5 @@ def run_search(
         candidates=tuple(result),
         wall_time_s=elapsed,
         engine_stats=engine.stats.since(stats_before),
+        front_history=_front_history_of(list(result)),
     )

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.api.envelopes import SearchRequest, check_schema_version
-from repro.api.registry import SEARCH_SPACES
+from repro.api.envelopes import DEFAULT_BATCH_SIZE, SearchRequest, check_schema_version
+from repro.api.registry import ACQUISITIONS, SEARCH_SPACES
 from repro.api.scenario import SCENARIOS, ScenarioRegistry
 from repro.api.session import STRATEGIES
 from repro.nn.spaces import DEFAULT_SEARCH_SPACE
@@ -45,8 +45,14 @@ class CampaignSpec:
     seeds:
         Master seeds; every scenario x space x strategy cell runs once per
         seed.
+    acquisitions:
+        Optional acquisition-strategy axis (names from
+        :data:`repro.api.registry.ACQUISITIONS`).  When set, every
+        scenario x space x strategy cell runs once per acquisition (an
+        ablation grid, e.g. ``("epdc", "ts", "random")``); when empty the
+        scalar ``acquisition`` budget applies to every cell as before.
     num_initial / num_iterations / candidate_pool_size / acquisition /
-    predictor_noise_std / predictor_samples_per_type:
+    batch_size / predictor_noise_std / predictor_samples_per_type:
         Budgets applied to every generated request (same meaning as on
         :class:`~repro.api.envelopes.SearchRequest`).
     tags:
@@ -57,10 +63,12 @@ class CampaignSpec:
     search_spaces: Tuple[str, ...] = (DEFAULT_SEARCH_SPACE,)
     strategies: Tuple[str, ...] = ("lens",)
     seeds: Tuple[Optional[int], ...] = (0,)
+    acquisitions: Tuple[str, ...] = ()
     num_initial: int = 10
     num_iterations: int = 50
     candidate_pool_size: int = 128
     acquisition: str = "ts"
+    batch_size: int = DEFAULT_BATCH_SIZE
     predictor_noise_std: float = 0.03
     predictor_samples_per_type: int = 200
     tags: Dict[str, Any] = field(default_factory=dict)
@@ -76,12 +84,22 @@ class CampaignSpec:
             "seeds",
             tuple(None if s is None else int(s) for s in self.seeds),
         )
+        object.__setattr__(
+            self, "acquisitions", tuple(str(s) for s in self.acquisitions)
+        )
         for axis in ("scenarios", "search_spaces", "strategies", "seeds"):
             values = getattr(self, axis)
             if not values:
                 raise ValueError(f"campaign {axis} must be non-empty")
             if len(set(values)) != len(values):
                 raise ValueError(f"campaign {axis} contain duplicates: {values}")
+        # the acquisitions axis is optional, but may not repeat entries
+        if len(set(self.acquisitions)) != len(self.acquisitions):
+            raise ValueError(
+                f"campaign acquisitions contain duplicates: {self.acquisitions}"
+            )
+        if self.batch_size < 1:
+            raise ValueError("campaign batch_size must be >= 1")
 
     # ------------------------------------------------------------------ expansion
     @property
@@ -91,6 +109,7 @@ class CampaignSpec:
             len(self.scenarios)
             * len(self.search_spaces)
             * len(self.strategies)
+            * len(self.acquisitions or (self.acquisition,))
             * len(self.seeds)
         )
 
@@ -100,22 +119,24 @@ class CampaignSpec:
         for scenario in self.scenarios:
             for search_space in self.search_spaces:
                 for strategy in self.strategies:
-                    for seed in self.seeds:
-                        grid.append(
-                            SearchRequest(
-                                scenario=scenario,
-                                strategy=strategy,
-                                search_space=search_space,
-                                num_initial=self.num_initial,
-                                num_iterations=self.num_iterations,
-                                candidate_pool_size=self.candidate_pool_size,
-                                acquisition=self.acquisition,
-                                predictor_noise_std=self.predictor_noise_std,
-                                predictor_samples_per_type=self.predictor_samples_per_type,
-                                seed=seed,
-                                tags=dict(self.tags),
+                    for acquisition in self.acquisitions or (self.acquisition,):
+                        for seed in self.seeds:
+                            grid.append(
+                                SearchRequest(
+                                    scenario=scenario,
+                                    strategy=strategy,
+                                    search_space=search_space,
+                                    num_initial=self.num_initial,
+                                    num_iterations=self.num_iterations,
+                                    candidate_pool_size=self.candidate_pool_size,
+                                    acquisition=acquisition,
+                                    batch_size=self.batch_size,
+                                    predictor_noise_std=self.predictor_noise_std,
+                                    predictor_samples_per_type=self.predictor_samples_per_type,
+                                    seed=seed,
+                                    tags=dict(self.tags),
+                                )
                             )
-                        )
         return grid
 
     def validate(self, scenarios: Optional[ScenarioRegistry] = None) -> "CampaignSpec":
@@ -133,11 +154,13 @@ class CampaignSpec:
             SEARCH_SPACES.get(name)
         for name in self.strategies:
             STRATEGIES.get(name)
+        for name in self.acquisitions or (self.acquisition,):
+            ACQUISITIONS.get(name)
         return self
 
     # ------------------------------------------------------------------ serialization
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema_version": 1,
             "scenarios": list(self.scenarios),
             "search_spaces": list(self.search_spaces),
@@ -151,15 +174,22 @@ class CampaignSpec:
             "predictor_samples_per_type": self.predictor_samples_per_type,
             "tags": dict(self.tags),
         }
+        # emitted only when set, so specs written before the ablation axis
+        # existed round-trip byte-identically
+        if self.acquisitions:
+            payload["acquisitions"] = list(self.acquisitions)
+        if self.batch_size != DEFAULT_BATCH_SIZE:
+            payload["batch_size"] = self.batch_size
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
         check_schema_version(data, "CampaignSpec")
         known = {
             "schema_version", "scenarios", "search_spaces", "strategies",
-            "seeds", "num_initial", "num_iterations", "candidate_pool_size",
-            "acquisition", "predictor_noise_std",
-            "predictor_samples_per_type", "tags",
+            "seeds", "acquisitions", "num_initial", "num_iterations",
+            "candidate_pool_size", "acquisition", "batch_size",
+            "predictor_noise_std", "predictor_samples_per_type", "tags",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -177,10 +207,12 @@ class CampaignSpec:
             ),
             strategies=tuple(data.get("strategies", ("lens",))),
             seeds=tuple(data.get("seeds", (0,))),
+            acquisitions=tuple(data.get("acquisitions", ())),
             num_initial=int(data.get("num_initial", 10)),
             num_iterations=int(data.get("num_iterations", 50)),
             candidate_pool_size=int(data.get("candidate_pool_size", 128)),
             acquisition=data.get("acquisition", "ts"),
+            batch_size=int(data.get("batch_size", DEFAULT_BATCH_SIZE)),
             predictor_noise_std=float(data.get("predictor_noise_std", 0.03)),
             predictor_samples_per_type=int(
                 data.get("predictor_samples_per_type", 200)

@@ -103,8 +103,20 @@ def _add_budget_arguments(
     group.add_argument("--pool-size", type=int,
                        default=None if deferred else 128,
                        help="acquisition candidate-pool size (default: 128)")
-    group.add_argument("--acquisition", default=None if deferred else "ts",
-                       help=f"acquisition strategy {ACQUISITIONS.names()} (default: ts)")
+    if deferred:
+        group.add_argument("--acquisition", default=None,
+                           help=f"acquisition strategy {ACQUISITIONS.names()} "
+                                "(default: ts)")
+    else:
+        # campaigns: repeatable, to declare an ablation axis over acquisitions
+        group.add_argument("--acquisition", action="append", default=None,
+                           metavar="NAME",
+                           help=f"acquisition strategy {ACQUISITIONS.names()} "
+                                "(default: ts); repeat to grid over several")
+    group.add_argument("--batch-size", type=int,
+                       default=None if deferred else 1,
+                       help="candidates proposed per BO iteration "
+                            "(q-batch selection, default: 1)")
     group.add_argument("--predictor-samples", type=int,
                        default=None if deferred else 200,
                        help="profiling samples per layer type (default: 200)")
@@ -401,6 +413,7 @@ def _request_from_args(args: argparse.Namespace) -> SearchRequest:
         ("num_iterations", "num_iterations"),
         ("pool_size", "candidate_pool_size"),
         ("acquisition", "acquisition"),
+        ("batch_size", "batch_size"),
         ("predictor_samples", "predictor_samples_per_type"),
     ):
         value = getattr(args, flag)
@@ -458,15 +471,19 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         raise argparse.ArgumentTypeError(
             "campaign needs --spec FILE or at least one --scenario"
         )
+    # one --acquisition sets the shared budget; several declare an ablation axis
+    acquisitions = tuple(args.acquisition or ())
     return CampaignSpec(
         scenarios=tuple(args.scenario),
         search_spaces=tuple(args.search_space or (DEFAULT_SEARCH_SPACE,)),
         strategies=tuple(args.strategy or ("lens",)),
         seeds=tuple(args.seed if args.seed is not None else (0,)),
+        acquisitions=acquisitions if len(acquisitions) > 1 else (),
         num_initial=args.num_initial,
         num_iterations=args.num_iterations,
         candidate_pool_size=args.pool_size,
-        acquisition=args.acquisition,
+        acquisition=acquisitions[0] if len(acquisitions) == 1 else "ts",
+        batch_size=args.batch_size,
         predictor_samples_per_type=args.predictor_samples,
     )
 
@@ -547,6 +564,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
             + "\n\nwinners (largest combined-frontier share):\n"
             + format_table(winner_rows, winner_headers)
         )
+        hv_headers, hv_rows = summary.hypervolume_table()
+        if hv_rows:  # only runs stored with front telemetry (schema v3+)
+            text += (
+                "\n\nfinal hypervolume (per-run reference boxes):\n"
+                + format_table(hv_rows, hv_headers)
+            )
         if audit["num_records"]:
             codes = ", ".join(
                 f"{code}={count}" for code, count in audit["by_code"].items()

@@ -93,6 +93,32 @@ class LayerSummary:
         }
 
 
+def _projection_stride(src_shape: Shape, dst_shape: Shape) -> Optional[int]:
+    """Stride of a downsampling 1x1 projection from ``src_shape`` to ``dst_shape``.
+
+    A ResNet projection shortcut reconciles a skip tensor with its merge
+    point through a "same"-padded 1x1 convolution of integer stride ``s``,
+    mapping ``(c, d1, d2, ...)`` to ``(c', ceil(d1 / s), ceil(d2 / s), ...)``
+    for any channel count ``c'``.  Returns the unique stride ``s >= 2`` that
+    maps every spatial dimension of ``src_shape`` onto ``dst_shape``, or
+    ``None`` when no such stride exists.  Channel-only mismatches at equal
+    spatial size are deliberately *not* accepted: no search space emits
+    them, so they are far more likely a wiring bug than an intended
+    projection, and rejecting them keeps the shape check a real guard.
+    """
+    if len(src_shape) != len(dst_shape) or len(src_shape) < 2:
+        return None
+    strides = set()
+    for src_dim, dst_dim in zip(src_shape[1:], dst_shape[1:]):
+        if dst_dim < 1 or src_dim <= dst_dim:
+            return None
+        stride = -(-src_dim // dst_dim)
+        if -(-src_dim // stride) != dst_dim:
+            return None
+        strides.add(stride)
+    return strides.pop() if len(strides) == 1 else None
+
+
 class Architecture:
     """An ordered stack of layers with a fixed input shape.
 
@@ -115,9 +141,13 @@ class Architecture:
         output of layer ``src`` in addition to its direct predecessor's, as
         in a residual block.  Layers are still *executed* in list order and
         shape inference stays sequential — skip tensors are merged by
-        element-wise addition, which changes neither shapes nor (to first
-        order) costs — but the partitioner uses these edges to exclude cuts
-        that would split a skip connection.
+        element-wise addition, either directly (identity shortcuts, matching
+        shapes) or after an implicit strided 1x1 projection when every
+        spatial dimension shrinks by one shared integer stride (ResNet-style
+        projection shortcuts across a downsampling).  The merge changes
+        neither the main-path shapes nor (to first order) costs, but the
+        partitioner uses these edges to exclude cuts that would split a
+        skip connection.
     """
 
     def __init__(
@@ -218,11 +248,15 @@ class Architecture:
                 src_shape = (
                     self.input_shape if src < 0 else summaries[src].output_shape
                 )
-                if src_shape != summaries[dst].output_shape:
+                dst_shape = summaries[dst].output_shape
+                if src_shape == dst_shape:
+                    continue
+                if _projection_stride(src_shape, dst_shape) is None:
                     raise ValueError(
                         f"skip edge ({src}, {dst}) joins incompatible shapes "
-                        f"{src_shape} -> {summaries[dst].output_shape}; "
-                        "element-wise merges require matching shapes"
+                        f"{src_shape} -> {dst_shape}; skip tensors merge "
+                        "element-wise, directly or through a downsampling "
+                        "projection"
                     )
             self._summaries = tuple(summaries)
         return self._summaries

@@ -43,6 +43,9 @@ DEFAULT_STAGE_WIDTHS = (24, 36, 64, 96, 128)
 DEFAULT_FC_UNITS = (256, 512, 1024, 2048)
 DEFAULT_NUM_STAGES = 4
 
+#: Supported stage-downsampling styles (see :class:`ResNetSearchSpace`).
+DOWNSAMPLE_STYLES = ("pool", "stride")
+
 
 class ResNetSearchSpace(EncodedSearchSpace):
     """Residual CNN search space whose decoded models carry skip edges.
@@ -58,6 +61,18 @@ class ResNetSearchSpace(EncodedSearchSpace):
     accuracy_input_shape / performance_input_shape:
         Input shapes for accuracy estimation and latency/energy analysis,
         matching the conventions of the ``lens-vgg`` space.
+    downsample:
+        How each stage halves the spatial size: ``"pool"`` (the default — a
+        2x2 max-pool followed by a 1x1 transition convolution) or
+        ``"stride"`` (a single stride-2 3x3 convolution doing both jobs,
+        the ResNet-paper style).
+    projection_shortcuts:
+        When true, the *first* block of every stage takes its shortcut from
+        the stage input instead of the downsampled tensor, i.e. the skip
+        edge spans the downsampling layers (a projection shortcut).  The
+        spanning edge makes cuts at the stage boundary illegal for the
+        partitioner, which changes which layers
+        :class:`~repro.partition.graph.PartitionGraph` may cut after.
     """
 
     space_name = "resnet-v1"
@@ -72,6 +87,8 @@ class ResNetSearchSpace(EncodedSearchSpace):
         num_classes: int = 10,
         accuracy_input_shape: Tuple[int, int, int] = (3, 32, 32),
         performance_input_shape: Tuple[int, int, int] = (3, 224, 224),
+        downsample: str = "pool",
+        projection_shortcuts: bool = False,
     ):
         if num_stages < 1:
             raise ValueError(f"num_stages must be >= 1, got {num_stages}")
@@ -79,6 +96,12 @@ class ResNetSearchSpace(EncodedSearchSpace):
             raise ValueError(
                 f"blocks_per_stage must be >= 1, got {tuple(blocks_per_stage)}"
             )
+        if downsample not in DOWNSAMPLE_STYLES:
+            raise ValueError(
+                f"downsample must be one of {DOWNSAMPLE_STYLES}, got {downsample!r}"
+            )
+        self.downsample = str(downsample)
+        self.projection_shortcuts = bool(projection_shortcuts)
         self.num_stages = int(num_stages)
         self.blocks_per_stage = tuple(int(v) for v in blocks_per_stage)
         self.kernel_sizes = tuple(int(v) for v in kernel_sizes)
@@ -134,18 +157,36 @@ class ResNetSearchSpace(EncodedSearchSpace):
             width = int(values[f"stage{stage}_width"])
             kernel = int(values[f"stage{stage}_kernel"])
             blocks = int(values[f"stage{stage}_blocks"])
-            layers.append(MaxPool2D(name=f"stage{stage}_pool", pool_size=2))
-            layers.append(
-                Conv2D(
-                    name=f"stage{stage}_transition",
-                    out_channels=width,
-                    kernel_size=1,
-                    padding="same",
-                    batch_norm=True,
+            stage_input = len(layers) - 1
+            if self.downsample == "stride":
+                # one stride-2 convolution downsamples and adapts channels
+                layers.append(
+                    Conv2D(
+                        name=f"stage{stage}_downsample",
+                        out_channels=width,
+                        kernel_size=3,
+                        stride=2,
+                        padding="same",
+                        batch_norm=True,
+                    )
                 )
-            )
+            else:
+                layers.append(MaxPool2D(name=f"stage{stage}_pool", pool_size=2))
+                layers.append(
+                    Conv2D(
+                        name=f"stage{stage}_transition",
+                        out_channels=width,
+                        kernel_size=1,
+                        padding="same",
+                        batch_norm=True,
+                    )
+                )
             for block in range(1, blocks + 1):
                 block_input = len(layers) - 1
+                if block == 1 and self.projection_shortcuts:
+                    # the projection shortcut spans the downsampling layers,
+                    # so the partitioner may not cut at the stage boundary
+                    block_input = stage_input
                 for half in ("a", "b"):
                     layers.append(
                         Conv2D(
@@ -173,7 +214,14 @@ class ResNetSearchSpace(EncodedSearchSpace):
             f"  kernel sizes: {list(self.kernel_sizes)}",
             f"  stage widths: {list(self.stage_widths)}",
             f"  fc units: {list(self.fc_units)}",
-            "  constraints: residual skip edges forbid cuts inside blocks",
+            f"  downsampling: {self.downsample}"
+            + (" (projection shortcuts)" if self.projection_shortcuts else ""),
+            "  constraints: residual skip edges forbid cuts inside blocks"
+            + (
+                " and at stage boundaries"
+                if self.projection_shortcuts
+                else ""
+            ),
         ]
         return "\n".join(lines)
 
@@ -188,6 +236,8 @@ class ResNetSearchSpace(EncodedSearchSpace):
             "num_classes": self.num_classes,
             "accuracy_input_shape": list(self.accuracy_input_shape),
             "performance_input_shape": list(self.performance_input_shape),
+            "downsample": self.downsample,
+            "projection_shortcuts": self.projection_shortcuts,
         }
 
     @classmethod
@@ -202,4 +252,6 @@ class ResNetSearchSpace(EncodedSearchSpace):
             num_classes=data["num_classes"],
             accuracy_input_shape=tuple(data["accuracy_input_shape"]),
             performance_input_shape=tuple(data["performance_input_shape"]),
+            downsample=data.get("downsample", "pool"),
+            projection_shortcuts=bool(data.get("projection_shortcuts", False)),
         )

@@ -20,7 +20,7 @@ half of the incremental surrogate fast path.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_non_negative
 
 #: Acquisition strategy names accepted by the optimizers.
-ACQUISITION_STRATEGIES = ("ts", "ucb", "mean", "random")
+ACQUISITION_STRATEGIES = ("ts", "ucb", "mean", "random", "epdc")
 
 #: Either a bank or a plain per-objective model sequence.
 Models = Union[Sequence[GaussianProcess], GPBank]
@@ -120,11 +120,15 @@ def acquisition_scores(
     pool_features: np.ndarray,
     rng: SeedLike = None,
     beta: float = 2.0,
+    front: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Dispatch to the requested acquisition strategy.
 
     ``"random"`` returns i.i.d. uniform scores, yielding random search with
     the same bookkeeping as the model-based strategies (useful as a baseline).
+    ``"epdc"`` (see :mod:`repro.optim.epdc`) additionally requires ``front``
+    — the current non-dominated objective vectors, in the *normalised*
+    units the surrogates were fit on.
     """
     strategy = strategy.strip().lower()
     if strategy not in ACQUISITION_STRATEGIES:
@@ -140,4 +144,13 @@ def acquisition_scores(
         return thompson_scores(models, pool_features, rng=rng)
     if strategy == "ucb":
         return lcb_scores(models, pool_features, beta=beta)
+    if strategy == "epdc":
+        from repro.optim.epdc import epdc_score_matrix  # local: avoids a cycle
+
+        if front is None:
+            raise ValueError(
+                "the 'epdc' strategy needs the current Pareto front "
+                "(pass front=...)"
+            )
+        return epdc_score_matrix(models, pool_features, front, rng=rng)
     return mean_scores(models, pool_features)

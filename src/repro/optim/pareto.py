@@ -265,16 +265,47 @@ def hypervolume_2d(points: np.ndarray, reference: Sequence[float]) -> float:
     return float(volume)
 
 
+def hypervolume_3d(points: np.ndarray, reference: Sequence[float]) -> float:
+    """Exact hypervolume dominated by a 3-D point set w.r.t. a reference.
+
+    Dimension-sweep algorithm: points inside the reference box are sorted by
+    their third objective; the dominated volume is the sum of slabs, each the
+    exact 2-D area (:func:`hypervolume_2d`) dominated by the projections of
+    every point at or below the slab, times the slab's height.  Runs in
+    O(m^2 log m) for a front of m points — exact where the old Monte-Carlo
+    path only estimated.
+    """
+    P = np.atleast_2d(np.asarray(points, dtype=float))
+    ref = np.asarray(reference, dtype=float).ravel()
+    if P.shape[1] != 3 or ref.shape != (3,):
+        raise ValueError("hypervolume_3d requires 3-D points and a 3-D reference")
+    inside = P[np.all(P <= ref, axis=1)]
+    if inside.size == 0:
+        return 0.0
+    front = inside[pareto_front_mask(inside)]
+    order = np.argsort(front[:, 2], kind="stable")
+    front = front[order]
+    volume = 0.0
+    heights = np.append(front[1:, 2], ref[2]) - front[:, 2]
+    for index, height in enumerate(heights):
+        if height <= 0.0:
+            continue
+        area = hypervolume_2d(front[: index + 1, :2], ref[:2])
+        volume += area * float(height)
+    return float(volume)
+
+
 def hypervolume(
     points: np.ndarray,
     reference: Sequence[float],
     num_samples: int = 20000,
     seed: SeedLike = 0,
 ) -> float:
-    """Hypervolume indicator for 2-D (exact) or higher dimensions (Monte Carlo).
+    """Hypervolume indicator: exact for 2-D/3-D, Monte Carlo beyond.
 
-    For three or more objectives the dominated fraction of the reference box
-    is estimated with ``num_samples`` quasi-uniform samples; the estimate is
+    Two and three objectives are computed exactly (:func:`hypervolume_2d`,
+    :func:`hypervolume_3d`); with four or more the dominated fraction of the
+    reference box is estimated with ``num_samples`` quasi-uniform samples,
     deterministic for a fixed ``seed``.
     """
     P = np.atleast_2d(np.asarray(points, dtype=float))
@@ -285,6 +316,8 @@ def hypervolume(
         )
     if P.shape[1] == 2:
         return hypervolume_2d(P, ref)
+    if P.shape[1] == 3:
+        return hypervolume_3d(P, ref)
     inside = P[np.all(P <= ref, axis=1)]
     if inside.size == 0:
         return 0.0
@@ -298,6 +331,184 @@ def hypervolume(
     for point in inside:
         dominated |= np.all(samples >= point, axis=1)
     return box_volume * float(dominated.mean())
+
+
+# ---------------------------------------------------------------------------
+# Front telemetry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FrontHistoryEntry:
+    """Front state after one evaluation of a search run."""
+
+    evaluation: int
+    iteration: int
+    front_size: int
+    hypervolume: float
+    joined_front: bool
+    candidate: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "evaluation": self.evaluation,
+            "iteration": self.iteration,
+            "front_size": self.front_size,
+            "hypervolume": self.hypervolume,
+            "joined_front": self.joined_front,
+            "candidate": self.candidate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FrontHistoryEntry":
+        return cls(
+            evaluation=int(data["evaluation"]),
+            iteration=int(data.get("iteration", data["evaluation"])),
+            front_size=int(data["front_size"]),
+            hypervolume=float(data["hypervolume"]),
+            joined_front=bool(data.get("joined_front", False)),
+            candidate=data.get("candidate"),
+        )
+
+
+@dataclass(frozen=True)
+class FrontHistory:
+    """Per-evaluation Pareto-front trajectory of one search run.
+
+    ``entries[t]`` describes the non-dominated front over the first ``t + 1``
+    evaluations: its size, its exact hypervolume w.r.t. ``reference``
+    (minimisation; exact for up to three objectives, see
+    :func:`hypervolume`), and whether evaluation ``t`` joined the
+    then-current front.  The history is a pure function of the candidate
+    sequence and the reference point, so re-deriving it from a stored
+    outcome reproduces it bit-for-bit.
+    """
+
+    metrics: Tuple[str, ...]
+    reference: Tuple[float, ...]
+    entries: Tuple[FrontHistoryEntry, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "metrics", tuple(str(m) for m in self.metrics))
+        object.__setattr__(
+            self, "reference", tuple(float(v) for v in self.reference)
+        )
+        object.__setattr__(self, "entries", tuple(self.entries))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def hypervolumes(self) -> np.ndarray:
+        """Hypervolume after each evaluation, in evaluation order."""
+        return np.array([entry.hypervolume for entry in self.entries])
+
+    @property
+    def final_hypervolume(self) -> float:
+        """Hypervolume of the completed run's front (0.0 when empty)."""
+        if not self.entries:
+            return 0.0
+        return self.entries[-1].hypervolume
+
+    @property
+    def final_front_size(self) -> int:
+        """Size of the completed run's front (0 when empty)."""
+        if not self.entries:
+            return 0
+        return self.entries[-1].front_size
+
+    def front_advances(self) -> List[FrontHistoryEntry]:
+        """The evaluations that joined the then-current front."""
+        return [entry for entry in self.entries if entry.joined_front]
+
+    def to_dict(self) -> Dict:
+        return {
+            "metrics": list(self.metrics),
+            "reference": list(self.reference),
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FrontHistory":
+        return cls(
+            metrics=tuple(data.get("metrics", ())),
+            reference=tuple(data.get("reference", ())),
+            entries=tuple(
+                FrontHistoryEntry.from_dict(entry)
+                for entry in data.get("entries", ())
+            ),
+        )
+
+
+def default_reference_point(objectives: np.ndarray) -> np.ndarray:
+    """Deterministic hypervolume reference for a run's observed objectives.
+
+    The nadir over every observation plus a 10 % margin of the observed
+    range (and a tiny absolute epsilon so degenerate columns still enclose
+    their points), matching the convention of
+    :func:`repro.analysis.pareto_metrics.compare_fronts`.
+    """
+    Y = np.atleast_2d(np.asarray(objectives, dtype=float))
+    if Y.size == 0:
+        raise ValueError("cannot derive a reference point from no objectives")
+    nadir = Y.max(axis=0)
+    ideal = Y.min(axis=0)
+    return nadir + 0.1 * (nadir - ideal) + 1e-9
+
+
+def compute_front_history(
+    objectives: np.ndarray,
+    metrics: Sequence[str] = (),
+    reference: Optional[Sequence[float]] = None,
+    labels: Optional[Sequence[Optional[str]]] = None,
+    iterations: Optional[Sequence[int]] = None,
+) -> FrontHistory:
+    """Derive the :class:`FrontHistory` of an evaluation sequence.
+
+    Parameters
+    ----------
+    objectives:
+        ``(n, k)`` matrix of observed objective vectors in evaluation order
+        (all minimised).
+    metrics:
+        Optional objective names recorded in the history.
+    reference:
+        Hypervolume reference point; defaults to
+        :func:`default_reference_point` over all observations, so the whole
+        run is scored against one fixed box.
+    labels / iterations:
+        Optional per-evaluation candidate labels and iteration numbers.
+    """
+    Y = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n = Y.shape[0]
+    if n == 0 or Y.size == 0:
+        return FrontHistory(metrics=tuple(metrics), reference=(), entries=())
+    ref = (
+        default_reference_point(Y)
+        if reference is None
+        else np.asarray(reference, dtype=float).ravel()
+    )
+    if ref.shape[0] != Y.shape[1]:
+        raise ValueError(
+            f"reference has {ref.shape[0]} objectives but points have {Y.shape[1]}"
+        )
+    entries: List[FrontHistoryEntry] = []
+    for t in range(n):
+        prefix = Y[: t + 1]
+        mask = pareto_front_mask(prefix)
+        front = prefix[mask]
+        entries.append(
+            FrontHistoryEntry(
+                evaluation=t,
+                iteration=int(iterations[t]) if iterations is not None else t,
+                front_size=int(mask.sum()),
+                hypervolume=hypervolume(front, ref),
+                joined_front=bool(mask[t]),
+                candidate=None if labels is None else labels[t],
+            )
+        )
+    return FrontHistory(
+        metrics=tuple(metrics),
+        reference=tuple(float(v) for v in ref),
+        entries=tuple(entries),
+    )
 
 
 def non_dominated_sort(objectives: np.ndarray) -> List[np.ndarray]:

@@ -1,5 +1,6 @@
 """Tests for the Markdown experiment-report builder and campaign aggregation."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.criteria import compare_criteria, paper_criteria
@@ -15,6 +16,7 @@ from repro.analysis.runtime_eval import run_runtime_study
 from repro.api.envelopes import SearchOutcome, SearchRequest
 from repro.api.scenario import scenario_by_name
 from repro.core.results import CandidateEvaluation, SearchResult
+from repro.optim.pareto import FrontHistory, compute_front_history
 from repro.partition.deployment import DeploymentOption
 from repro.wireless.traces import generate_lte_trace
 
@@ -219,6 +221,73 @@ def test_campaign_summary_section(campaign_outcomes):
     assert "**5** stored runs over **2** scenario/space contexts" in text
     assert "Winners (largest combined-frontier share)" in text
     assert "| wifi-3mbps/jetson-tx2-gpu | lens-vgg | lens |" in text
+
+
+def test_front_history_section_golden_output():
+    """The hypervolume-vs-iteration section renders byte-for-byte stably."""
+    history = compute_front_history(
+        np.array([[1.0, 3.0], [3.0, 3.0], [2.0, 2.0], [3.0, 1.0]]),
+        ("error_percent", "energy_j"),
+        reference=[4.0, 4.0],
+        labels=["m0", "m1", "m2", "m3"],
+        iterations=[0, 1, 2, 3],
+    )
+    text = ExperimentReport().add_front_history(history).render_markdown()
+    assert text == (
+        "# LENS reproduction report\n"
+        "\n"
+        "\n"
+        "\n"
+        "## Hypervolume vs. iteration\n"
+        "\n"
+        "Reference point (per objective error_percent / energy_j): "
+        "4.0000, 4.0000. Final hypervolume **6.0000** with a front of **3** "
+        "after **4** evaluations.\n"
+        "\n"
+        "| evaluation | iteration | joined | front size | hypervolume |\n"
+        "|---|---|---|---|---|\n"
+        "| 0 | 0 | m0 | 1 | 3.000 |\n"
+        "| 2 | 2 | m2 | 2 | 5.000 |\n"
+        "| 3 | 3 | m3 | 3 | 6.000 |\n"
+    )
+
+
+def test_front_history_section_with_no_entries():
+    empty = FrontHistory(metrics=("a", "b"), reference=(), entries=())
+    text = ExperimentReport().add_front_history(empty).render_markdown()
+    assert "No evaluations recorded." in text
+
+
+def test_campaign_summary_includes_hypervolume_table_when_recorded():
+    wifi = "wifi-3mbps/jetson-tx2-gpu"
+    with_history = outcome(wifi, "lens", [
+        candidate("a", 20.0, 200.0), candidate("b", 25.0, 150.0)
+    ])
+    with_history.front_history = compute_front_history(
+        np.array([[20.0, 0.2], [25.0, 0.15]]), ("error_percent", "energy_j")
+    )
+    summary = summarize_campaign([with_history])
+    cell = summary.cells[0]
+    assert cell.final_hypervolume == pytest.approx(
+        with_history.front_history.final_hypervolume
+    )
+    assert cell.to_dict()["final_hypervolume"] == cell.final_hypervolume
+    headers, rows = summary.hypervolume_table()
+    assert headers[-1] == "mean final hypervolume"
+    assert len(rows) == 1
+    text = ExperimentReport().add_campaign_summary(summary).render_markdown()
+    assert "Final hypervolume (per-run reference boxes)" in text
+
+
+def test_campaign_summary_omits_hypervolume_table_without_telemetry(
+    campaign_outcomes,
+):
+    summary = summarize_campaign(campaign_outcomes)
+    assert all(cell.final_hypervolume is None for cell in summary.cells)
+    assert summary.hypervolume_table()[1] == []
+    assert "final_hypervolume" not in summary.cells[0].to_dict()
+    text = ExperimentReport().add_campaign_summary(summary).render_markdown()
+    assert "Final hypervolume" not in text
 
 
 def test_full_report_round_trip(tmp_path, lens_result, baseline_result):

@@ -88,7 +88,7 @@ class TestBuiltinRegistries:
         assert model.technology == "wifi"
 
     def test_acquisitions(self):
-        assert set(ACQUISITIONS.names()) == {"ts", "ucb", "mean", "random"}
+        assert set(ACQUISITIONS.names()) == {"ts", "ucb", "mean", "random", "epdc"}
 
 
 class TestScenario:

@@ -70,6 +70,40 @@ class TestRunSearch:
         b = restored.result.objective_matrix(("error_percent", "energy_j"))
         assert np.allclose(a, b)
 
+    def test_front_history_tracks_every_evaluation(self, outcome):
+        history = outcome.front_history
+        assert history is not None
+        assert len(history) == len(outcome)
+        assert history.metrics == ("error_percent", "latency_s", "energy_j")
+        volumes = history.hypervolumes()
+        assert np.all(np.diff(volumes) >= -1e-12)  # prefixes only grow the front
+        assert history.final_hypervolume > 0.0
+        assert 1 <= history.final_front_size <= len(outcome)
+        # entries carry the candidates' names and iteration numbers
+        assert [e.candidate for e in history.entries] == [
+            c.architecture_name for c in outcome.candidates
+        ]
+        assert [e.iteration for e in history.entries] == [
+            c.iteration for c in outcome.candidates
+        ]
+
+    def test_front_history_round_trips_through_outcome(self, outcome):
+        restored = SearchOutcome.from_dict(outcome.to_dict())
+        assert restored.front_history == outcome.front_history
+
+    def test_batched_epdc_search_keeps_the_budget(self, small_search_space, engine):
+        batched = run_search(
+            strategy="lens",
+            search_space=small_search_space,
+            engine=engine,
+            acquisition="epdc",
+            batch_size=4,
+            **FAST,
+        )
+        assert len(batched) == FAST["num_initial"] + FAST["num_iterations"]
+        assert batched.request.batch_size == 4
+        assert batched.front_history is not None
+
     def test_accepts_request_objects_and_dicts(self, small_search_space, engine, outcome):
         request = SearchRequest(
             strategy="lens", scenario="wifi-3mbps/jetson-tx2-gpu", **FAST

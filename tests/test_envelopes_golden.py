@@ -1,4 +1,4 @@
-"""Golden-file fingerprint pinning across the v1 -> v2 schema upgrade.
+"""Golden-file fingerprint pinning across the v1 -> v2 -> v3 schema upgrades.
 
 ``tests/data/golden_requests_v1.json`` holds serialized schema-v1
 :class:`~repro.api.envelopes.SearchRequest` payloads together with the
@@ -14,7 +14,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.api.envelopes import SCHEMA_VERSION, SearchRequest, request_fingerprint
+from repro.api.envelopes import (
+    DEFAULT_BATCH_SIZE,
+    SCHEMA_VERSION,
+    SearchRequest,
+    request_fingerprint,
+)
 from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_requests_v1.json"
@@ -78,3 +83,46 @@ def test_tags_and_schema_version_stay_excluded():
     request = SearchRequest.from_dict(entry["request"])
     tagged = request.replace(tags={"note": "irrelevant"})
     assert tagged.fingerprint() == entry["fingerprint"]
+
+
+# ---------------------------------------------------------------- v2 -> v3
+
+
+def test_v1_payloads_upgrade_with_default_batch_size():
+    entry = golden_entries()[0]
+    request = SearchRequest.from_dict(entry["request"])
+    assert request.batch_size == DEFAULT_BATCH_SIZE
+
+
+def test_v2_payload_without_batch_size_upgrades_and_keeps_fingerprint():
+    entry = golden_entries()[0]
+    v2_payload = dict(entry["request"], schema_version=2)
+    request = SearchRequest.from_dict(v2_payload)
+    assert request.schema_version == SCHEMA_VERSION
+    assert request.batch_size == DEFAULT_BATCH_SIZE
+    assert request.fingerprint() == entry["fingerprint"]
+
+
+def test_explicit_default_batch_size_matches_v1_fingerprint():
+    """Writing batch_size=1 out loud is the same computation."""
+    entry = golden_entries()[0]
+    payload = dict(entry["request"])
+    payload["schema_version"] = SCHEMA_VERSION
+    payload["batch_size"] = DEFAULT_BATCH_SIZE
+    assert SearchRequest.from_dict(payload).fingerprint() == entry["fingerprint"]
+
+
+def test_non_default_batch_size_changes_the_fingerprint():
+    entry = golden_entries()[0]
+    request = SearchRequest.from_dict(entry["request"])
+    assert request.replace(batch_size=4).fingerprint() != entry["fingerprint"]
+
+
+def test_batch_size_round_trips_and_validates():
+    entry = golden_entries()[0]
+    request = SearchRequest.from_dict(entry["request"]).replace(batch_size=4)
+    rewritten = SearchRequest.from_dict(request.to_dict())
+    assert rewritten.batch_size == 4
+    assert rewritten.fingerprint() == request.fingerprint()
+    with pytest.raises(ValueError):
+        request.replace(batch_size=0)

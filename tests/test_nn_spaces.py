@@ -155,6 +155,137 @@ class TestResNetSpace:
         assert clone.decode(genotype) == space.decode(genotype)
 
 
+class TestResNetVariants:
+    def test_downsample_style_is_validated(self):
+        with pytest.raises(ValueError, match="downsample"):
+            ResNetSearchSpace(downsample="avgpool")
+
+    def test_defaults_decode_identically_to_the_plain_space(self):
+        """The new knobs at their defaults must not move decoded models."""
+        plain = ResNetSearchSpace()
+        explicit = ResNetSearchSpace(downsample="pool", projection_shortcuts=False)
+        genotype = plain.sample(ensure_rng(5))
+        assert explicit.decode(genotype) == plain.decode(genotype)
+
+    def test_stride_downsampling_replaces_pool_and_transition(self):
+        space = ResNetSearchSpace(downsample="stride")
+        architecture = space.decode_for_performance(space.sample(ensure_rng(6)))
+        names = [layer.name for layer in architecture.layers]
+        assert any(name.endswith("_downsample") for name in names)
+        assert not any(name.endswith("_pool") for name in names)
+        assert not any(name.endswith("_transition") for name in names)
+        # the strided convolutions still halve the spatial size each stage
+        summaries = architecture.summarize()
+        downsamples = [
+            i for i, layer in enumerate(architecture.layers)
+            if layer.name.endswith("_downsample")
+        ]
+        for index in downsamples:
+            before = summaries[index - 1].output_shape
+            after = summaries[index].output_shape
+            assert after[1] == -(-before[1] // 2)  # ceil(h / 2)
+
+    def test_stride_blocks_still_join_identical_shapes(self):
+        space = ResNetSearchSpace(downsample="stride")
+        architecture = space.decode_for_performance(space.sample(ensure_rng(7)))
+        summaries = architecture.summarize()
+        for src, dst in architecture.skip_edges:
+            assert summaries[src].output_shape == summaries[dst].output_shape
+
+    def test_projection_shortcuts_span_the_downsampling_layers(self):
+        space = ResNetSearchSpace(projection_shortcuts=True)
+        architecture = space.decode_for_performance(space.sample(ensure_rng(8)))
+        pools = [
+            i for i, layer in enumerate(architecture.layers)
+            if layer.name.endswith("_pool")
+        ]
+        # each stage's first skip edge starts before its pool layer
+        spanning = [
+            (src, dst)
+            for src, dst in architecture.skip_edges
+            if any(src < pool < dst for pool in pools)
+        ]
+        assert len(spanning) == space.num_stages
+
+    def test_projection_shortcuts_block_stage_boundary_cuts(self):
+        identity = ResNetSearchSpace()
+        projection = ResNetSearchSpace(projection_shortcuts=True)
+        genotype = identity.sample(ensure_rng(9))
+        id_graph = identity.decode_for_performance(genotype).partition_graph()
+        proj_arch = projection.decode_for_performance(genotype)
+        proj_graph = proj_arch.partition_graph()
+        pools = [
+            i for i, layer in enumerate(proj_arch.layers)
+            if layer.name.endswith("_pool")
+        ]
+        for pool in pools:
+            # the projection edge spans pool + transition, so cutting right
+            # after either is illegal — with identity shortcuts both are fine
+            assert id_graph.allows_cut_after(pool)
+            assert not proj_graph.allows_cut_after(pool)
+            assert id_graph.allows_cut_after(pool + 1)
+            assert not proj_graph.allows_cut_after(pool + 1)
+            # the stage input boundary itself stays legal: the cut tensor
+            # there IS the shortcut tensor
+            assert proj_graph.allows_cut_after(pool - 1)
+        assert len(proj_graph.legal_cut_indices()) < len(
+            id_graph.legal_cut_indices()
+        )
+
+    @pytest.mark.parametrize("downsample", ["pool", "stride"])
+    def test_projection_shortcut_architectures_summarize(self, downsample):
+        """Projection edges join shapes across a downsampling: shape
+        inference must accept them (a strided 1x1 projection reconciles the
+        merge) rather than reject the whole architecture — the crash class
+        that only surfaced once a search actually evaluated a candidate."""
+        space = ResNetSearchSpace(
+            downsample=downsample, projection_shortcuts=True
+        )
+        rng = ensure_rng(10)
+        for _ in range(5):
+            architecture = space.decode_for_performance(space.sample(rng))
+            summaries = architecture.summarize()
+            for src, dst in architecture.skip_edges:
+                src_shape = summaries[src].output_shape
+                dst_shape = summaries[dst].output_shape
+                if src_shape == dst_shape:
+                    continue
+                # spanning edges shrink every spatial dim by exactly 2x
+                assert all(
+                    -(-s // 2) == d
+                    for s, d in zip(src_shape[1:], dst_shape[1:])
+                ), (src_shape, dst_shape)
+
+    def test_projection_shortcut_search_runs_end_to_end(self):
+        from repro.api import EvaluationEngine, run_search
+
+        space = ResNetSearchSpace(
+            downsample="stride", projection_shortcuts=True
+        )
+        outcome = run_search(
+            strategy="lens",
+            scenario="wifi-3mbps/jetson-tx2-gpu",
+            search_space=space,
+            engine=EvaluationEngine(),
+            num_initial=4,
+            num_iterations=2,
+            candidate_pool_size=8,
+            predictor_samples_per_type=40,
+            seed=3,
+        )
+        assert outcome.candidates
+        for candidate in outcome.candidates:
+            graph = space.decode_for_performance(
+                candidate.genotype
+            ).partition_graph()
+            for option in (
+                candidate.best_latency_option,
+                candidate.best_energy_option,
+            ):
+                if option.split_index is not None:  # None = no-split option
+                    assert graph.allows_cut_after(option.split_index)
+
+
 class TestSeqConv1DSpace:
     @pytest.fixture
     def space(self):

@@ -131,7 +131,14 @@ class TestAcquisitions:
 
     def test_all_strategies_produce_finite_scores(self, fitted_models, rng):
         pool = rng.uniform(size=(6, 2))
+        front = np.array([[0.2, 0.8], [0.6, 0.3]])  # required by "epdc" only
         for strategy in ACQUISITION_STRATEGIES:
-            scores = acquisition_scores(strategy, fitted_models, pool, rng=rng)
+            scores = acquisition_scores(
+                strategy, fitted_models, pool, rng=rng, front=front
+            )
             assert scores.shape == (6, 2)
             assert np.all(np.isfinite(scores))
+
+    def test_epdc_requires_a_front(self, fitted_models, rng):
+        with pytest.raises(ValueError, match="front"):
+            acquisition_scores("epdc", fitted_models, rng.uniform(size=(3, 2)))

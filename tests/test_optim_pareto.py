@@ -5,17 +5,34 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.optim.pareto import (
+    FrontHistory,
     ParetoArchive,
     _pareto_front_mask_reference,
     combined_front_composition,
+    compute_front_history,
     coverage,
+    default_reference_point,
     dominates,
     hypervolume,
     hypervolume_2d,
+    hypervolume_3d,
     non_dominated_sort,
     pareto_front_indices,
     pareto_front_mask,
 )
+
+
+def _monte_carlo_hypervolume(points, reference, num_samples=40000, seed=0):
+    """Plain MC estimate, independent of the library's implementations."""
+    rng = np.random.default_rng(seed)
+    reference = np.asarray(reference, dtype=float)
+    ideal = np.asarray(points, dtype=float).min(axis=0)
+    box = np.prod(reference - ideal)
+    samples = rng.uniform(ideal, reference, size=(num_samples, reference.size))
+    dominated = np.zeros(num_samples, dtype=bool)
+    for point in np.asarray(points, dtype=float):
+        dominated |= np.all(point <= samples, axis=1)
+    return box * dominated.mean()
 
 
 class TestDominance:
@@ -186,6 +203,169 @@ class TestIndicators:
             hypervolume(np.array([[1.0, 2.0]]), [1.0, 2.0, 3.0])
         with pytest.raises(ValueError):
             hypervolume_2d(np.array([[1.0, 2.0, 3.0]]), [1.0, 2.0, 3.0])
+
+    def test_hypervolume_4d_still_uses_monte_carlo(self):
+        points = np.zeros((1, 4))
+        estimate = hypervolume(points, [1.0] * 4, num_samples=5000, seed=0)
+        assert estimate == pytest.approx(1.0, rel=0.05)
+
+
+class TestHypervolume3D:
+    def test_single_box(self):
+        assert hypervolume_3d(np.array([[0.0, 0.0, 0.0]]), [2.0, 3.0, 4.0]) == (
+            pytest.approx(24.0)
+        )
+
+    def test_two_disjoint_boxes(self):
+        # Boxes to (2, 2, 2): point a covers [1,2]^3 (vol 1); point b covers
+        # [0,2]x[1.5,2]x[1.5,2] (vol 0.5); overlap [1,2]x[1.5,2]x[1.5,2] = 0.25.
+        points = np.array([[1.0, 1.0, 1.0], [0.0, 1.5, 1.5]])
+        assert hypervolume_3d(points, [2.0, 2.0, 2.0]) == pytest.approx(1.25)
+
+    def test_dominated_points_add_nothing(self):
+        front = np.array([[0.0, 0.0, 0.0]])
+        padded = np.vstack([front, [[0.5, 0.5, 0.5], [0.9, 0.1, 0.3]]])
+        reference = [1.0, 1.0, 1.0]
+        assert hypervolume_3d(padded, reference) == pytest.approx(
+            hypervolume_3d(front, reference)
+        )
+
+    def test_duplicate_points_add_nothing(self):
+        points = np.array([[0.2, 0.4, 0.1], [0.6, 0.1, 0.5]])
+        doubled = np.vstack([points, points, points])
+        reference = [1.0, 1.0, 1.0]
+        assert hypervolume_3d(doubled, reference) == pytest.approx(
+            hypervolume_3d(points, reference)
+        )
+
+    def test_point_on_reference_boundary_contributes_zero(self):
+        assert hypervolume_3d(np.array([[1.0, 1.0, 1.0]]), [1.0, 1.0, 1.0]) == 0.0
+        # One coordinate at the boundary: zero thickness in that dimension.
+        assert hypervolume_3d(np.array([[0.0, 0.0, 1.0]]), [1.0, 1.0, 1.0]) == 0.0
+
+    def test_all_points_outside_reference(self):
+        points = np.array([[2.0, 0.1, 0.1], [0.1, 3.0, 0.1], [0.1, 0.1, 1.5]])
+        assert hypervolume_3d(points, [1.0, 1.0, 1.0]) == 0.0
+
+    def test_shared_z_slab_matches_2d_times_height(self):
+        """Points with one common z reduce to a 2-D staircase times a height."""
+        staircase = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+        z = 0.5
+        points = np.column_stack([staircase, np.full(len(staircase), z)])
+        reference = [4.0, 4.0, 2.0]
+        expected = hypervolume_2d(staircase, reference[:2]) * (reference[2] - z)
+        assert hypervolume_3d(points, reference) == pytest.approx(expected)
+
+    def test_dispatch_through_hypervolume(self):
+        points = np.array([[0.1, 0.7, 0.3], [0.5, 0.2, 0.6]])
+        reference = [1.0, 1.0, 1.0]
+        assert hypervolume(points, reference) == pytest.approx(
+            hypervolume_3d(points, reference)
+        )
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            hypervolume_3d(np.array([[1.0, 2.0]]), [1.0, 2.0])
+        with pytest.raises(ValueError):
+            hypervolume_3d(np.array([[1.0, 2.0, 3.0]]), [1.0, 2.0])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_monte_carlo_on_random_fronts(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        points = rng.uniform(0.0, 1.0, size=(n, 3))
+        reference = [1.1, 1.1, 1.1]
+        exact = hypervolume_3d(points, reference)
+        estimate = _monte_carlo_hypervolume(
+            points, reference, num_samples=60000, seed=seed
+        )
+        assert exact == pytest.approx(estimate, abs=0.03)
+
+
+class TestSortAndArchiveEdgeCases:
+    def test_non_dominated_sort_empty(self):
+        assert non_dominated_sort(np.empty((0, 2))) == []
+
+    def test_non_dominated_sort_single_point(self):
+        fronts = non_dominated_sort(np.array([[1.0, 2.0]]))
+        assert len(fronts) == 1
+        assert list(fronts[0]) == [0]
+
+    def test_non_dominated_sort_totally_ordered_chain(self):
+        """Each point dominates the next: n singleton fronts."""
+        Y = np.array([[i, i] for i in range(5)], dtype=float)
+        fronts = non_dominated_sort(Y)
+        assert [list(front) for front in fronts] == [[0], [1], [2], [3], [4]]
+
+    def test_empty_archive_views(self):
+        archive = ParetoArchive(2)
+        assert len(archive) == 0
+        assert list(archive) == []
+        assert archive.payloads == []
+        assert archive.entries == ()
+        assert archive.to_dict()["entries"] == []
+
+    def test_single_point_archive(self):
+        archive = ParetoArchive(3)
+        assert archive.add("only", [1.0, 2.0, 3.0])
+        assert len(archive) == 1
+        assert archive.objective_matrix().shape == (1, 3)
+
+    def test_all_dominated_pool_rejected(self):
+        archive = ParetoArchive(2)
+        archive.add("best", [0.0, 0.0])
+        accepted = archive.update_many(
+            (f"p{i}", [float(i + 1), float(i + 1)]) for i in range(10)
+        )
+        assert accepted == 0
+        assert archive.payloads == ["best"]
+
+
+class TestFrontHistory:
+    def test_hypervolume_is_monotone_and_front_sizes_consistent(self, rng):
+        Y = rng.uniform(size=(30, 3))
+        history = compute_front_history(Y, ("a", "b", "c"))
+        assert len(history) == 30
+        volumes = history.hypervolumes()
+        assert np.all(np.diff(volumes) >= -1e-12)
+        assert history.final_hypervolume == pytest.approx(volumes[-1])
+        # entry t describes the front over the first t+1 evaluations
+        for t, entry in enumerate(history.entries):
+            mask = pareto_front_mask(Y[: t + 1])
+            assert entry.front_size == mask.sum()
+            assert entry.joined_front == bool(mask[t])
+
+    def test_first_evaluation_always_joins_the_front(self, rng):
+        history = compute_front_history(rng.uniform(size=(5, 2)))
+        assert history.entries[0].joined_front
+        assert history.entries[0].front_size == 1
+
+    def test_default_reference_point_encloses_all_observations(self, rng):
+        Y = rng.uniform(10.0, 500.0, size=(40, 3))
+        reference = default_reference_point(Y)
+        assert np.all(Y < reference)
+
+    def test_round_trip(self, rng):
+        Y = rng.uniform(size=(12, 3))
+        history = compute_front_history(
+            Y,
+            ("error_percent", "latency_s", "energy_j"),
+            labels=[f"m{i}" for i in range(12)],
+            iterations=list(range(12)),
+        )
+        clone = FrontHistory.from_dict(history.to_dict())
+        assert clone == history
+
+    def test_empty_sequence(self):
+        history = compute_front_history(np.empty((0, 3)), ("a", "b", "c"))
+        assert len(history) == 0
+        assert history.final_hypervolume == 0.0
+        assert history.final_front_size == 0
+        assert history.front_advances() == []
+
+    def test_reference_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            compute_front_history(rng.uniform(size=(4, 3)), reference=[1.0, 1.0])
 
 
 @settings(max_examples=40, deadline=None)

@@ -92,12 +92,49 @@ class TestArchitectureSkipEdges:
         assert "skip_edges" not in without.to_dict()
 
     def test_mismatched_skip_shapes_raise(self):
+        # channel-only mismatch at equal spatial size: no downsampling
+        # projection explains it, so it stays a wiring error
         layers = [
             Conv2D(name="a", out_channels=8, kernel_size=3),
             Conv2D(name="b", out_channels=16, kernel_size=3),
             Conv2D(name="c", out_channels=16, kernel_size=3),
         ]
         architecture = Architecture("bad", (3, 32, 32), layers, skip_edges=((0, 2),))
+        with pytest.raises(ValueError, match="incompatible shapes"):
+            architecture.summarize()
+
+    def test_downsampling_projection_skip_is_accepted(self):
+        # a skip edge across a stride-2 layer (every spatial dim halved,
+        # channels free) models a ResNet projection shortcut and must pass
+        layers = [
+            Conv2D(name="a", out_channels=8, kernel_size=3, padding="same"),
+            Conv2D(
+                name="down",
+                out_channels=16,
+                kernel_size=3,
+                stride=2,
+                padding="same",
+            ),
+            Conv2D(name="b", out_channels=16, kernel_size=3, padding="same"),
+        ]
+        architecture = Architecture(
+            "proj", (3, 32, 32), layers, skip_edges=((0, 2),)
+        )
+        summaries = architecture.summarize()
+        assert summaries[0].output_shape == (8, 32, 32)
+        assert summaries[2].output_shape == (16, 16, 16)
+
+    def test_rank_mismatched_skip_still_raises(self):
+        # a conv feature map merged onto a flattened vector has no
+        # projection interpretation at all
+        layers = [
+            Conv2D(name="a", out_channels=8, kernel_size=3, padding="same"),
+            Flatten(name="flat"),
+            Dense(name="fc", units=16),
+        ]
+        architecture = Architecture(
+            "rank", (3, 32, 32), layers, skip_edges=((0, 2),)
+        )
         with pytest.raises(ValueError, match="incompatible shapes"):
             architecture.summarize()
 

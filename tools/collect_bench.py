@@ -40,6 +40,8 @@ HEADLINE_FIELDS = (
     ("campaign_store_index", "appends_per_s", "store_appends_per_s"),
     ("campaign_distributed", "pull_worker_wall_s", "distributed_pull_wall_s"),
     ("campaign_distributed", "fingerprints_match", "distributed_parity"),
+    ("epdc", "hv_ratio_epdc_vs_ts", "epdc_hv_ratio_vs_ts"),
+    ("epdc", "golden_parity", "epdc_golden_parity"),
     ("serving", "speedup", "serving_speedup"),
     ("serving", "estimate_divergence", "serving_parity"),
     ("serving", "decision_mismatches", "serving_decision_mismatches"),
