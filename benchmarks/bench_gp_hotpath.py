@@ -76,9 +76,9 @@ def _surrogate_stream(total: int, seed: int = 0):
     return X, Y, probe
 
 
-def _replay_bank(X: np.ndarray, Y: np.ndarray, mode: str) -> tuple:
+def _replay_bank(X: np.ndarray, Y: np.ndarray, mode: str, health=None) -> tuple:
     """Replay the per-iteration conditioning with a GPBank; returns (seconds, bank)."""
-    bank = GPBank(NUM_OBJECTIVES, kernel=_kernel(), update_mode=mode)
+    bank = GPBank(NUM_OBJECTIVES, kernel=_kernel(), update_mode=mode, health=health)
     elapsed = 0.0
     for n in range(NUM_INITIAL, X.shape[0] + 1):
         Y_norm, _, _ = normalize_objectives(Y[:n])
@@ -197,6 +197,66 @@ def test_incremental_surrogate_phase_speedup_and_parity():
         assert search_speedup is not None and search_speedup >= 5.0, (
             "surrogate phase of a 300-evaluation search should be >= 5x faster "
             f"than the legacy cold-refit path, measured {search_speedup:.1f}x"
+        )
+
+
+def test_health_instrumentation_overhead():
+    """A healthy search must pay (almost) nothing for the degradation ladder.
+
+    The resilience consult sites (``faults.active()`` checks in the
+    Cholesky/objective paths, the ``health is not None`` guards in the
+    ladder) live on the surrogate hot path, so this case replays the same
+    incremental conditioning stream twice — bare vs with a
+    :class:`~repro.resilience.health.HealthLog` attached — and bounds the
+    instrumentation overhead.  The < 2% floor is asserted on full-size runs
+    only (timings in fast/CI mode gate on the no-events invariant alone).
+    """
+    from repro.resilience.health import HealthLog
+
+    total = 60 if FAST_MODE else 200
+    repeats = 3 if FAST_MODE else 5
+    X, Y, _ = _surrogate_stream(total, seed=3)
+    log = HealthLog()
+
+    def best_of(health) -> float:
+        # min-of-N: instrumentation overhead is a floor effect, so compare
+        # best-case timings to keep scheduler noise out of the ratio
+        return min(
+            _replay_bank(X, Y, "incremental", health=health)[0]
+            for _ in range(repeats)
+        )
+
+    bare_s = best_of(None)
+    instrumented_s = best_of(log)
+    overhead = instrumented_s / bare_s - 1.0 if bare_s > 0 else 0.0
+
+    text = (
+        f"health instrumentation on the incremental surrogate path "
+        f"(n={total}, best of {repeats}): bare {bare_s * 1e3:.1f} ms, "
+        f"instrumented {instrumented_s * 1e3:.1f} ms, "
+        f"overhead {overhead * 100:+.2f}%"
+    )
+    print("\n" + text)
+    save_table(
+        "gp_resilience_overhead",
+        text,
+        {
+            "evaluations": total,
+            "repeats": repeats,
+            "bare_s": bare_s,
+            "instrumented_s": instrumented_s,
+            "overhead_fraction": overhead,
+            "health_events": len(log),
+            "fast_mode": FAST_MODE,
+        },
+    )
+    # A healthy replay must record no events — the ladder only speaks up
+    # when a rung actually fires.
+    assert len(log) == 0, f"healthy replay recorded {len(log)} health events"
+    if not FAST_MODE:
+        assert overhead <= 0.02, (
+            "health instrumentation should cost < 2% on the surrogate hot "
+            f"path, measured {overhead * 100:.2f}%"
         )
 
 

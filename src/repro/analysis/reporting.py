@@ -22,7 +22,7 @@ serial, parallel and resumed campaigns report identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -48,6 +48,7 @@ from repro.api.envelopes import SearchOutcome
 from repro.core.results import CandidateEvaluation, SearchResult
 from repro.nn.spaces import DEFAULT_SEARCH_SPACE
 from repro.optim.pareto import FrontHistory, pareto_front_mask
+from repro.resilience.health import HEALTH_CODES, summarize_health
 
 
 def _outcome_space(outcome: SearchOutcome) -> str:
@@ -306,6 +307,30 @@ class ExperimentReport:
             )
         return self.add_text(heading, body)
 
+    def add_health_summary(
+        self, health: Dict[str, int], heading: str = "Resilience health"
+    ) -> "ExperimentReport":
+        """Add a campaign's aggregated resilience counters.
+
+        ``health`` is an ``H_*`` code -> count mapping, e.g.
+        :attr:`CampaignSummary.health` or one outcome's
+        :attr:`~repro.api.envelopes.SearchOutcome.health`.  The legend for
+        each code comes from :data:`~repro.resilience.health.HEALTH_CODES`
+        (documented in ``docs/robustness.md``).
+        """
+        if not health:
+            return self.add_text(heading, "No degradation or checkpoint events.")
+        rows = [
+            [code, count, HEALTH_CODES.get(code, "(unknown code)")]
+            for code, count in sorted(health.items())
+        ]
+        total = sum(health.values())
+        body = (
+            f"**{total}** resilience event(s) across the stored runs.\n\n"
+            + _markdown_table(["health code", "events", "meaning"], rows)
+        )
+        return self.add_text(heading, body)
+
     def add_audit_summary(
         self, audit: Dict[str, Any], heading: str = "Failure audit"
     ) -> "ExperimentReport":
@@ -412,14 +437,23 @@ class CampaignSummary:
     num_runs: int
     cells: Tuple[CampaignCell, ...]
     winners: Tuple[ScenarioWinner, ...]
+    #: Aggregated resilience counters (``H_*`` code -> total) over every
+    #: stored outcome — empty when no run recorded a degradation or
+    #: checkpoint event (including outcomes stored before schema v4).
+    health: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "metrics": list(self.metrics),
             "num_runs": self.num_runs,
             "cells": [cell.to_dict() for cell in self.cells],
             "winners": [winner.to_dict() for winner in self.winners],
         }
+        # emitted only when any run recorded events, so healthy-campaign
+        # payloads are unchanged
+        if self.health:
+            payload["health"] = dict(self.health)
+        return payload
 
     def winner_for(self, scenario: str, search_space: Optional[str] = None) -> str:
         """Winning strategy of one scenario (and search space).
@@ -501,6 +535,20 @@ class CampaignSummary:
             ]
             for cell in self.cells
             if cell.final_hypervolume is not None
+        ]
+        return headers, rows
+
+    def health_table(self) -> Tuple[List[str], List[List[Any]]]:
+        """``(headers, rows)`` of aggregated resilience counters.
+
+        One row per ``H_*`` code any stored run recorded, with the code's
+        legend from :data:`~repro.resilience.health.HEALTH_CODES`.  Empty
+        rows for an all-healthy campaign.
+        """
+        headers = ["health code", "events", "meaning"]
+        rows = [
+            [code, count, HEALTH_CODES.get(code, "(unknown code)")]
+            for code, count in sorted(self.health.items())
         ]
         return headers, rows
 
@@ -654,4 +702,7 @@ def summarize_campaign(
         num_runs=len(materialised),
         cells=tuple(cells),
         winners=tuple(winners),
+        health=summarize_health(
+            getattr(outcome, "health", {}) or {} for outcome in materialised
+        ),
     )

@@ -47,7 +47,11 @@ from repro.utils.validation import require_positive
 #:   outcomes gained ``front_history`` (the per-evaluation hypervolume
 #:   trajectory, :class:`repro.optim.pareto.FrontHistory`).  Older payloads
 #:   upgrade with ``batch_size=1`` and no history.
-SCHEMA_VERSION = 3
+#: * **v4** — outcomes gained ``health`` (resilience event counters by
+#:   ``H_*`` code, see :mod:`repro.resilience.health`).  Requests are
+#:   unchanged, so every fingerprint is unchanged; older outcome payloads
+#:   upgrade with empty counters.
+SCHEMA_VERSION = 4
 
 #: Default candidates-per-iteration; requests at the default fingerprint
 #: identically to pre-v3 requests.
@@ -272,6 +276,14 @@ class SearchOutcome:
         (:class:`repro.optim.pareto.FrontHistory`) — hypervolume, front size
         and the joining candidate after each evaluation.  ``None`` for
         outcomes written before schema v3.
+    health:
+        Resilience event counters by ``H_*`` code (see
+        :mod:`repro.resilience.health`): how often the degradation ladder
+        fired, evaluations were quarantined, checkpoints were written or a
+        resume replayed history.  Empty for healthy runs and for outcomes
+        written before schema v4.  Like ``wall_time_s`` and
+        ``engine_stats``, this describes *how* the run went, not *what* it
+        computed — it never affects the request fingerprint.
     """
 
     request: SearchRequest
@@ -281,6 +293,7 @@ class SearchOutcome:
     wall_time_s: float = 0.0
     engine_stats: Dict[str, int] = field(default_factory=dict)
     front_history: Optional[FrontHistory] = None
+    health: Dict[str, int] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -328,6 +341,7 @@ class SearchOutcome:
             "front_history": (
                 None if self.front_history is None else self.front_history.to_dict()
             ),
+            "health": dict(self.health),
         }
 
     @classmethod
@@ -349,6 +363,7 @@ class SearchOutcome:
                 if data.get("front_history") is None
                 else FrontHistory.from_dict(data["front_history"])
             ),
+            health={str(k): int(v) for k, v in (data.get("health") or {}).items()},
             schema_version=version,
         )
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -43,6 +44,14 @@ from repro.nn.spaces import SearchSpace
 from repro.optim.mobo import MultiObjectiveBayesianOptimizer, OptimizationResult
 from repro.optim.pareto import FrontHistory, compute_front_history
 from repro.partition.partitioner import PartitionAnalyzer
+from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    HEALTH_LOG_FILENAME,
+    CheckpointRecorder,
+    SearchCheckpoint,
+)
+from repro.resilience.health import HealthLog
 from repro.utils.rng import ensure_rng
 from repro.wireless.channel import WirelessChannel
 
@@ -55,7 +64,16 @@ ProgressCallback = Callable[[int, CandidateEvaluation], None]
 
 @dataclass
 class SearchContext:
-    """Fully-resolved components of one search run."""
+    """Fully-resolved components of one search run.
+
+    The trailing resilience fields are optional wiring installed by
+    :func:`run_search`: a :class:`~repro.resilience.health.HealthLog`
+    collecting degradation events, an optional
+    :class:`~repro.resilience.checkpoint.CheckpointRecorder` (strategies
+    :meth:`~repro.resilience.checkpoint.CheckpointRecorder.bind_rng` their
+    generator to it), and the non-finite/retry policy forwarded to the
+    optimization loop.
+    """
 
     request: SearchRequest
     scenario: Scenario
@@ -68,6 +86,11 @@ class SearchContext:
     evaluator: PartitionAwareEvaluator
     engine: EvaluationEngine
     progress_callback: Optional[ProgressCallback] = None
+    health: Optional[HealthLog] = None
+    recorder: Optional[CheckpointRecorder] = None
+    strict_objectives: bool = False
+    objective_retries: int = 0
+    retry_backoff_s: float = 0.0
 
 
 def build_context(
@@ -182,7 +205,13 @@ def _run_mobo(context: SearchContext, label: str) -> Tuple[SearchResult, Optimiz
         neighbor_fn=context.evaluator.neighbor_fn,
         seed=request.seed,
         callback=callback,
+        strict=context.strict_objectives,
+        objective_retries=context.objective_retries,
+        retry_backoff_s=context.retry_backoff_s,
+        health=context.health,
     )
+    if context.recorder is not None:
+        context.recorder.bind_rng(optimizer._rng)
     raw = optimizer.run()
     return SearchResult(_collect_candidates(raw), label=label), raw
 
@@ -218,6 +247,8 @@ def _random_strategy(context: SearchContext) -> Tuple[SearchResult, None]:
     """
     request = context.request
     rng = ensure_rng(request.seed)
+    if context.recorder is not None:
+        context.recorder.bind_rng(rng)
     evaluator = context.evaluator
     seen = set()
     genotypes: List[np.ndarray] = []
@@ -285,6 +316,44 @@ def execute_strategy(
     return strategy(context)
 
 
+def _replay_group_sizes(request: SearchRequest, num_records: int) -> List[int]:
+    """Evaluation-group sizes of a search's first ``num_records`` evaluations.
+
+    Mirrors the strategies' batching exactly: the random strategy costs
+    pools of :data:`_RANDOM_EVAL_CHUNK`, the MOBO strategies cost one
+    ``num_initial`` batch and then ``min(batch_size, remaining)`` per step.
+    Only *complete* groups are returned (their sizes sum to at most
+    ``num_records``); records past the last group boundary are dropped by
+    the resume replay and re-evaluated live, which keeps the warmed engine
+    cache bit-identical to the original run's.
+    """
+    sizes: List[int] = []
+    if request.strategy == "random":
+        budget = request.num_evaluations
+        start = 0
+        while start < budget:
+            size = min(_RANDOM_EVAL_CHUNK, budget - start)
+            if start + size > num_records:
+                break
+            sizes.append(size)
+            start += size
+        return sizes
+    # MOBO-shaped strategies (lens, traditional)
+    if request.num_initial > num_records:
+        return sizes
+    sizes.append(request.num_initial)
+    consumed = 0
+    done = request.num_initial
+    while consumed < request.num_iterations:
+        step = min(request.batch_size, request.num_iterations - consumed)
+        if done + step > num_records:
+            break
+        sizes.append(step)
+        consumed += step
+        done += step
+    return sizes
+
+
 def run_search(
     request: Union[SearchRequest, Dict, None] = None,
     *,
@@ -294,6 +363,12 @@ def run_search(
     predictor: Optional[BaseLayerPredictor] = None,
     engine: Optional[EvaluationEngine] = None,
     progress_callback: Optional[ProgressCallback] = None,
+    checkpoint_dir: Union[str, Path, None] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = True,
+    strict_objectives: bool = False,
+    objective_retries: int = 0,
+    retry_backoff_s: float = 0.0,
     **request_fields,
 ) -> SearchOutcome:
     """Execute a declared search end to end and return its outcome.
@@ -305,9 +380,20 @@ def run_search(
     *name* is a request field like any other (recorded in the outcome and
     the fingerprint); a :class:`~repro.nn.spaces.SearchSpace` *instance* is
     a component override that bypasses the registry.  The outcome embeds
-    the request, the resolved scenario, every explored candidate and the
-    engine's cache statistics, and round-trips through
-    ``to_dict``/``from_dict``.
+    the request, the resolved scenario, every explored candidate, the
+    engine's cache statistics and the run's resilience counters, and
+    round-trips through ``to_dict``/``from_dict``.
+
+    Passing ``checkpoint_dir`` makes the run crash-safe: the evaluated
+    history is snapshotted every ``checkpoint_every`` evaluations into
+    ``<checkpoint_dir>/<fingerprint>/`` (atomic temp-write+rename), and —
+    with ``resume=True``, the default — an existing snapshot is replayed
+    through the evaluation-engine cache before the strategy runs, so a
+    resumed search produces a bitwise-identical outcome to an
+    uninterrupted one (see :mod:`repro.resilience.checkpoint` and
+    ``docs/robustness.md``).  ``strict_objectives`` / ``objective_retries``
+    / ``retry_backoff_s`` set the non-finite-quarantine and flaky-objective
+    retry policy of the optimization loop.
     """
     if isinstance(search_space, str):
         request_fields["search_space"] = search_space
@@ -319,6 +405,7 @@ def run_search(
             request = SearchRequest.from_dict(request)
         if request_fields:
             request = request.replace(**request_fields)
+    faults.install_from_env()  # no-op unless REPRO_FAULT_* is set (drills)
     engine = engine or default_engine()
     stats_before = engine.stats.snapshot()  # report per-run deltas, not lifetime totals
     context = build_context(
@@ -330,9 +417,73 @@ def run_search(
         engine=engine,
         progress_callback=progress_callback,
     )
+    health = HealthLog()
+    context.health = health
+    context.strict_objectives = bool(strict_objectives)
+    context.objective_retries = int(objective_retries)
+    context.retry_backoff_s = float(retry_backoff_s)
+    recorder = None
+    if checkpoint_dir is not None:
+        fingerprint = context.request.fingerprint()
+        cell_dir = SearchCheckpoint.cell_dir(checkpoint_dir, fingerprint)
+        health.attach(cell_dir / HEALTH_LOG_FILENAME)
+        resume_from = SearchCheckpoint.load(cell_dir, health=health) if resume else None
+        if resume_from is not None and resume_from.records:
+            # Resume is replay: warming the engine caches with the recorded
+            # candidate sequence turns every recorded evaluation of the
+            # re-run into a cache hit, so the strategy regenerates the
+            # identical search at cache speed.  The replay must reproduce
+            # the original run's evaluation *grouping* (init batch vs
+            # per-step evaluations): the vectorised and scalar costing
+            # paths agree only to float roundoff, so warming with a
+            # different grouping would seed the cache with last-ulp
+            # different values and break bitwise parity.  Records past the
+            # last complete group boundary are simply re-evaluated live.
+            genotypes = resume_from.genotypes()
+            replayed = 0
+            for size in _replay_group_sizes(context.request, len(genotypes)):
+                context.evaluator.evaluate_pool(
+                    [
+                        np.asarray(g, dtype=int)
+                        for g in genotypes[replayed : replayed + size]
+                    ]
+                )
+                replayed += size
+            if replayed:
+                health.record(
+                    "H_RESUMED",
+                    f"replayed {replayed} of {resume_from.num_evaluations} "
+                    f"recorded evaluation(s) through the engine cache",
+                    replayed=replayed,
+                )
+        recorder = CheckpointRecorder(
+            cell_dir,
+            fingerprint=fingerprint,
+            feature_fn=context.evaluator.feature_fn,
+            objectives_fn=lambda ev: [ev.metric(m) for m in OBJECTIVES],
+            every=checkpoint_every,
+            health=health,
+            resume_from=resume_from,
+        )
+        context.recorder = recorder
+    user_callback = context.progress_callback
+    if recorder is not None or user_callback is not None or faults.active() is not None:
+
+        def _on_progress(index: int, evaluation: CandidateEvaluation) -> None:
+            if recorder is not None:
+                recorder.on_evaluation(index, evaluation)
+            if user_callback is not None:
+                user_callback(index, evaluation)
+            injector = faults.active()
+            if injector is not None:
+                injector.on_evaluation_complete(index)
+
+        context.progress_callback = _on_progress
     start = time.perf_counter()
     result, _raw = execute_strategy(context)
     elapsed = time.perf_counter() - start
+    if recorder is not None:
+        recorder.finalize()
     # the context's request records any space folded in by build_context
     return SearchOutcome(
         request=context.request,
@@ -342,4 +493,5 @@ def run_search(
         wall_time_s=elapsed,
         engine_stats=engine.stats.since(stats_before),
         front_history=_front_history_of(list(result)),
+        health=health.counters(),
     )

@@ -32,16 +32,15 @@ would fail the same way — so workers mark them ``final`` on first sight.
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
-try:  # advisory locking for multi-writer audit appends (POSIX only)
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None  # type: ignore[assignment]
+# Re-exported for backwards compatibility: the atomic multi-writer append
+# now lives with the other serialization primitives (and is shared by the
+# resilience health log), see :mod:`repro.utils.serialization`.
+from repro.utils.serialization import append_jsonl_atomic  # noqa: F401
 
 #: ``code -> (description, retryable)`` — the uniform error-code scheme of
 #: the campaign service (documented in ``docs/distributed.md``).
@@ -184,32 +183,6 @@ class ErrorEnvelope:
             time_s=float(data.get("time_s", 0.0)),
             context=dict(data.get("context", {})),
         )
-
-
-def append_jsonl_atomic(path: Path, payload: Mapping[str, Any]) -> int:
-    """Append one JSON line to ``path`` safely under concurrent writers.
-
-    The whole line goes down in a single ``os.write`` on a descriptor opened
-    with ``O_APPEND`` (atomic with respect to the file offset on POSIX),
-    wrapped in an advisory ``flock`` where available so concurrent appends
-    from workers on one machine never interleave.  Returns the byte offset
-    the line was written at.
-    """
-    line = (json.dumps(payload, sort_keys=False) + "\n").encode("utf-8")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd = os.open(str(path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
-    try:
-        if fcntl is not None:
-            fcntl.flock(fd, fcntl.LOCK_EX)
-        try:
-            offset = os.lseek(fd, 0, os.SEEK_END)
-            os.write(fd, line)
-        finally:
-            if fcntl is not None:
-                fcntl.flock(fd, fcntl.LOCK_UN)
-    finally:
-        os.close(fd)
-    return offset
 
 
 class AuditLog:

@@ -363,7 +363,9 @@ class PullWorkerExecutor(CampaignExecutor):
 
     Options (via ``executor_options`` / ``repro campaign``):
     ``ttl_s`` lease expiry window, ``poll_s`` poll interval,
-    ``max_attempts`` / ``backoff_base_s`` retry policy.
+    ``max_attempts`` / ``backoff_base_s`` retry policy,
+    ``checkpoint_every`` crash-safe mid-search checkpointing
+    (``0`` disables; see ``docs/robustness.md``).
     """
 
     name = "pull-worker"
@@ -386,6 +388,7 @@ class PullWorkerExecutor(CampaignExecutor):
             max_attempts=int(options.get("max_attempts", 3)),
             backoff_base_s=float(options.get("backoff_base_s", 0.5)),
             on_error=context.on_error,
+            checkpoint_every=int(options.get("checkpoint_every", 0)),
         )
         manifest.write(store.directory)
         env = _subprocess_env()

@@ -17,6 +17,7 @@ are simply skipped by every worker.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass, field
@@ -49,6 +50,11 @@ class CampaignManifest:
     on_error:
         ``"fail"`` or ``"continue"`` — what the *orchestrator* does about
         permanently failed cells; workers always continue past failures.
+    checkpoint_every:
+        When positive, workers run each cell with crash-safe checkpointing
+        (snapshot every N evaluations under ``<store>/checkpoints/``), so a
+        reclaimed cell resumes mid-search instead of restarting from
+        evaluation zero.  ``0`` (the default) disables checkpointing.
     created_at:
         Epoch seconds the manifest was published.
     """
@@ -59,6 +65,7 @@ class CampaignManifest:
     max_attempts: int = 3
     backoff_base_s: float = 0.5
     on_error: str = "fail"
+    checkpoint_every: int = 0
     created_at: float = field(default_factory=time.time)
 
     def __post_init__(self) -> None:
@@ -71,6 +78,10 @@ class CampaignManifest:
         if self.on_error not in ("fail", "continue"):
             raise ValueError(
                 f"on_error must be 'fail' or 'continue', got {self.on_error!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
 
     @classmethod
@@ -100,6 +111,7 @@ class CampaignManifest:
             "max_attempts": self.max_attempts,
             "backoff_base_s": self.backoff_base_s,
             "on_error": self.on_error,
+            "checkpoint_every": self.checkpoint_every,
             "created_at": self.created_at,
         }
 
@@ -112,6 +124,7 @@ class CampaignManifest:
             max_attempts=int(data.get("max_attempts", 3)),
             backoff_base_s=float(data.get("backoff_base_s", 0.5)),
             on_error=str(data.get("on_error", "fail")),
+            checkpoint_every=int(data.get("checkpoint_every", 0)),
             created_at=float(data.get("created_at", 0.0)),
         )
 
@@ -136,8 +149,33 @@ class CampaignManifest:
         return cls.from_dict(json.loads(path.read_text(encoding="utf-8")))
 
 
+def backoff_jitter_factor(fingerprint: str, attempt: int) -> float:
+    """Deterministic decorrelation factor in ``[0.5, 1.5)`` for one retry.
+
+    Derived from a SHA-256 of ``fingerprint:attempt``, so every worker
+    computes the *same* jitter for the same cell and attempt (no shared
+    state, no RNG), while different cells failing at the same instant —
+    e.g. after a store outage — spread their retries instead of
+    thundering back in lockstep.
+    """
+    digest = hashlib.sha256(f"{fingerprint}:{attempt}".encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return 0.5 + unit
+
+
 def resolve_backoff(
-    last_failure_time_s: float, attempt: int, backoff_base_s: float
+    last_failure_time_s: float,
+    attempt: int,
+    backoff_base_s: float,
+    fingerprint: Union[str, None] = None,
 ) -> float:
-    """Epoch time before which a failed cell must not be retried."""
-    return last_failure_time_s + backoff_base_s * (2 ** max(0, attempt - 1))
+    """Epoch time before which a failed cell must not be retried.
+
+    With a ``fingerprint`` the exponential delay is scaled by the cell's
+    deterministic :func:`backoff_jitter_factor`; without one (the legacy
+    call shape) the delay is exact.
+    """
+    delay = backoff_base_s * (2 ** max(0, attempt - 1))
+    if fingerprint is not None:
+        delay *= backoff_jitter_factor(fingerprint, attempt)
+    return last_failure_time_s + delay

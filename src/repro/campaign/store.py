@@ -36,7 +36,6 @@ read/write interface over per-(scenario x space) shard files.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -65,17 +64,10 @@ class StoreError(RuntimeError):
     """A run store's on-disk state is inconsistent."""
 
 
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` crash-safely.
-
-    The content goes to a temp file in the same directory and is
-    ``os.replace``-d into place, so a crash mid-write leaves either the old
-    file or the new one — never a torn hybrid.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
+# Re-exported for backwards compatibility: the crash-safe temp-write+rename
+# now lives with the other serialization primitives (and is shared by the
+# search checkpoint layer), see :mod:`repro.utils.serialization`.
+from repro.utils.serialization import atomic_write_text  # noqa: E402,F401
 
 
 def _record_summary(record: Dict[str, Any]) -> Dict[str, Any]:

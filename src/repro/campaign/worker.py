@@ -41,6 +41,11 @@ from repro.campaign.leases import LEASES_DIRNAME, LeaseBoard, heartbeat
 from repro.campaign.manifest import CampaignManifest, resolve_backoff
 from repro.campaign.sharded import ShardedRunStore
 from repro.campaign.store import StoreError
+from repro.resilience.checkpoint import SearchCheckpoint
+
+#: Subdirectory of the shared store holding per-cell search checkpoints
+#: (only used when the manifest sets ``checkpoint_every > 0``).
+CHECKPOINTS_DIRNAME = "checkpoints"
 
 #: Progress callback: ``(worker_id, event, fingerprint)`` with event one of
 #: ``"executed" | "skipped" | "failed" | "reclaimed" | "waiting"``.
@@ -153,7 +158,10 @@ def run_worker(
             last = log.last(fingerprint)
             if last is not None:
                 ready_at = resolve_backoff(
-                    last.time_s, last.attempt, manifest.backoff_base_s
+                    last.time_s,
+                    last.attempt,
+                    manifest.backoff_base_s,
+                    fingerprint=fingerprint,
                 )
                 if time.time() < ready_at:
                     continue  # inside the exponential-backoff window
@@ -173,12 +181,28 @@ def run_worker(
                     note("skipped", fingerprint)
                     continue
                 attempt = log.attempts(fingerprint) + 1
+                resilience_kwargs: Dict[str, Any] = {}
+                if manifest.checkpoint_every > 0:
+                    # crash-safe mode: a reclaimed or retried cell resumes
+                    # from its last snapshot instead of evaluation zero
+                    resilience_kwargs = {
+                        "checkpoint_dir": store_dir / CHECKPOINTS_DIRNAME,
+                        "checkpoint_every": manifest.checkpoint_every,
+                        "resume": True,
+                    }
                 try:
                     with heartbeat(board, lease):
                         outcome = run_search(
-                            request, scenarios=scenarios, engine=engine
+                            request,
+                            scenarios=scenarios,
+                            engine=engine,
+                            **resilience_kwargs,
                         )
                     store.append(outcome, fingerprint=fingerprint)
+                    if manifest.checkpoint_every > 0:
+                        SearchCheckpoint.discard(
+                            store_dir / CHECKPOINTS_DIRNAME, fingerprint
+                        )
                 except StoreError:
                     # a racing peer stored the cell first — idempotent no-op
                     report.skipped += 1

@@ -164,6 +164,18 @@ def build_parser() -> argparse.ArgumentParser:
                             help="append the outcome to the run store under DIR")
     run_parser.add_argument("--tag", action="append", metavar="KEY=VALUE",
                             help="attach metadata to the request (repeatable)")
+    run_parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                            help="crash-safe mode: snapshot the evaluated "
+                                 "history under DIR/<fingerprint>/ and resume "
+                                 "a previously interrupted run bitwise-"
+                                 "identically (see docs/robustness.md)")
+    run_parser.add_argument("--checkpoint-every", type=int, default=10,
+                            metavar="N",
+                            help="evaluations between snapshots "
+                                 "(with --checkpoint-dir; default: 10)")
+    run_parser.add_argument("--fresh", action="store_true",
+                            help="ignore an existing checkpoint and restart "
+                                 "the search from evaluation zero")
     _add_budget_arguments(run_parser, deferred=True)
 
     campaign_parser = commands.add_parser(
@@ -218,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  metavar="S",
                                  help="exponential-backoff base between "
                                       "retries (pull-worker; default: 0.5s)")
+    campaign_parser.add_argument("--checkpoint-every", type=int, default=0,
+                                 metavar="N",
+                                 help="crash-safe mid-search checkpointing "
+                                      "every N evaluations (pull-worker; "
+                                      "0 = off, the default): a reclaimed "
+                                      "cell resumes instead of restarting")
     campaign_parser.add_argument("--no-resume", action="store_true",
                                  help="fail on already-stored cells instead of "
                                       "skipping them")
@@ -430,7 +448,12 @@ def _request_from_args(args: argparse.Namespace) -> SearchRequest:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     request = _request_from_args(args)
-    outcome = run_search(request)
+    outcome = run_search(
+        request,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=not args.fresh,
+    )
     front = outcome.pareto_candidates()
     print(f"scenario:    {outcome.scenario.name}")
     print(f"strategy:    {outcome.label}")
@@ -439,6 +462,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"candidates:  {len(outcome)} explored, {len(front)} Pareto-optimal "
           f"(error, energy)")
     print(f"wall time:   {outcome.wall_time_s:.2f}s")
+    degradations = {
+        code: count for code, count in outcome.health.items()
+        if code not in ("H_CHECKPOINT_SAVED", "H_RESUMED")
+    }
+    if degradations:
+        events = ", ".join(f"{c}={n}" for c, n in sorted(degradations.items()))
+        print(f"health:      degraded [{events}] — see docs/robustness.md")
+    elif outcome.health.get("H_RESUMED"):
+        print("health:      resumed from checkpoint")
     rows = []
     for label, metric in (("lowest error", "error_percent"),
                           ("lowest energy", "energy_j"),
@@ -518,6 +550,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "poll_s": args.poll,
             "max_attempts": args.max_attempts,
             "backoff_base_s": args.backoff,
+            "checkpoint_every": args.checkpoint_every,
         },
         on_error=args.on_error,
         progress=progress,
@@ -551,6 +584,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     elif args.format == "markdown":
         report = ExperimentReport(title=f"Campaign report — {store.directory}")
         report.add_campaign_summary(summary)
+        if summary.health:
+            report.add_health_summary(summary.health)
         if audit["num_records"]:
             report.add_audit_summary(audit)
         text = report.render_markdown()
@@ -569,6 +604,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
             text += (
                 "\n\nfinal hypervolume (per-run reference boxes):\n"
                 + format_table(hv_rows, hv_headers)
+            )
+        if summary.health:
+            health_headers, health_rows = summary.health_table()
+            text += (
+                "\n\nresilience health (H_* codes, docs/robustness.md):\n"
+                + format_table(health_rows, health_headers)
             )
         if audit["num_records"]:
             codes = ", ".join(

@@ -35,11 +35,74 @@ from repro.optim.kernels import (
     pairwise_distances,
     supports_distance_reuse,
 )
+from repro.resilience import faults
+from repro.resilience.health import HealthLog
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive
 
 #: Jitter added to covariance diagonals for numerical stability.
 DEFAULT_JITTER = 1e-8
+
+#: Factor the jitter escalates by after a failed factorisation.
+JITTER_ESCALATION = 10.0
+
+#: Ceiling of the jitter escalation ladder.  Features live in the unit cube
+#: and targets are standardised, so kernel diagonals are O(1): 1e-2 is the
+#: largest diagonal inflation that still leaves a meaningful posterior.
+MAX_JITTER = 1e-2
+
+
+def _checked_cholesky(matrix: np.ndarray) -> np.ndarray:
+    """``np.linalg.cholesky`` with a fault-injection consult (tests/drills)."""
+    injector = faults.active()
+    if injector is not None and injector.take_linalg_fault():
+        raise np.linalg.LinAlgError("injected factorization failure")
+    return np.linalg.cholesky(matrix)
+
+
+def escalating_cholesky(
+    matrix: np.ndarray,
+    health: Optional[HealthLog] = None,
+    site: str = "fit",
+) -> np.ndarray:
+    """Factor ``matrix``, escalating diagonal jitter x10 up to a cap on failure.
+
+    ``matrix`` must already carry its base noise/jitter diagonal; it is
+    modified in place when escalation occurs (additional jitter stacks on
+    the diagonal).  This is the first rung of the numerical degradation
+    ladder: a near-singular covariance (duplicate rows, collapsed
+    lengthscales) gets progressively regularised instead of raising, and
+    each successful recovery is recorded as an ``H_JITTER_ESCALATED``
+    health event.  Raises :class:`numpy.linalg.LinAlgError` only once the
+    :data:`MAX_JITTER` cap is exhausted — callers further up the ladder
+    (the model bank, the MOBO loop) take over from there.
+    """
+    try:
+        return _checked_cholesky(matrix)
+    except np.linalg.LinAlgError:
+        pass
+    added = 0.0
+    jitter = DEFAULT_JITTER * JITTER_ESCALATION
+    diag = np.diag_indices_from(matrix)
+    while jitter <= MAX_JITTER:
+        matrix[diag] += jitter - added
+        added = jitter
+        try:
+            factor = _checked_cholesky(matrix)
+        except np.linalg.LinAlgError:
+            jitter *= JITTER_ESCALATION
+            continue
+        if health is not None:
+            health.record(
+                "H_JITTER_ESCALATED",
+                f"{site}: factorisation recovered with jitter {added:g}",
+                site=site,
+                jitter=added,
+            )
+        return factor
+    raise np.linalg.LinAlgError(
+        f"{site}: Cholesky factorisation failed even with jitter {added:g}"
+    )
 
 try:  # pragma: no cover - exercised implicitly everywhere
     # The raw LAPACK binding skips scipy.linalg.solve_triangular's python
@@ -86,6 +149,11 @@ class GaussianProcess:
         block Cholesky append; ``"exact-refit"`` makes it fall back to a full
         :meth:`fit` on the accumulated data (numerically identical to never
         having used the incremental path).
+    health:
+        Optional :class:`~repro.resilience.health.HealthLog` receiving an
+        ``H_JITTER_ESCALATED`` event whenever a factorisation only succeeds
+        with escalated jitter.  ``None`` (the default) records nothing; the
+        healthy path is identical either way.
     """
 
     def __init__(
@@ -94,6 +162,7 @@ class GaussianProcess:
         noise_variance: float = 1e-4,
         normalize_y: bool = True,
         update_mode: str = "incremental",
+        health: Optional[HealthLog] = None,
     ):
         require_positive(noise_variance, "noise_variance")
         if update_mode not in UPDATE_MODES:
@@ -104,6 +173,7 @@ class GaussianProcess:
         self.noise_variance = float(noise_variance)
         self.normalize_y = bool(normalize_y)
         self.update_mode = update_mode
+        self.health = health
         self._X: Optional[np.ndarray] = None
         self._y_raw: Optional[np.ndarray] = None
         self._y: Optional[np.ndarray] = None
@@ -154,7 +224,7 @@ class GaussianProcess:
         self._X = X
         self._y_raw = y
         K[np.diag_indices_from(K)] += self.noise_variance + DEFAULT_JITTER
-        self._chol = np.linalg.cholesky(K)
+        self._chol = escalating_cholesky(K, health=self.health, site="fit")
         if retarget:
             self._refresh_target_normalization()
             self._recompute_alpha()
@@ -234,7 +304,7 @@ class GaussianProcess:
         L11 = self._L_buf[:n, :n]
         L21 = triangular_solve(L11, K12).T  # (m, n)
         S = K22 - L21 @ L21.T
-        L22 = np.linalg.cholesky(S)
+        L22 = escalating_cholesky(S, health=self.health, site="extend")
 
         self._X_buf[n : n + m] = x_new
         self._y_buf[n : n + m] = y_new
@@ -349,7 +419,7 @@ class GaussianProcess:
         mean, _ = self.predict(Xs, return_std=False)
         cov = self.posterior_covariance(Xs)
         cov[np.diag_indices_from(cov)] += DEFAULT_JITTER * self._y_std**2
-        chol = np.linalg.cholesky(cov)
+        chol = escalating_cholesky(cov, health=self.health, site="sample_posterior")
         normals = rng.standard_normal((num_samples, Xs.shape[0]))
         return mean[None, :] + normals @ chol.T
 

@@ -29,14 +29,24 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.optim.gp import DEFAULT_JITTER, GaussianProcess, triangular_solve
+from repro.optim.gp import (
+    DEFAULT_JITTER,
+    GaussianProcess,
+    escalating_cholesky,
+    triangular_solve,
+)
 from repro.optim.kernels import (
     Kernel,
     Matern52Kernel,
     pairwise_distances,
     supports_distance_reuse,
 )
+from repro.resilience.health import HealthLog
 from repro.utils.rng import SeedLike, ensure_rng
+
+#: Ceiling of the per-objective noise escalation in the heterogeneous
+#: fallback (targets are standardised, so noise 1.0 means "all noise").
+MAX_FALLBACK_NOISE = 1.0
 
 
 class GPBank:
@@ -56,6 +66,14 @@ class GPBank:
         appends on :meth:`update`; ``"exact-refit"`` refactorises from
         scratch every time (the numerical fallback — still sharing the one
         factorisation across objectives).
+    health:
+        Optional :class:`~repro.resilience.health.HealthLog` (shared with
+        every member model) recording degradation-ladder events:
+        ``H_JITTER_ESCALATED`` from the members' factorisations,
+        ``H_EXACT_REFIT`` when an incremental append fails and the bank
+        refits from scratch, ``H_HETEROGENEOUS_FALLBACK`` when even the
+        shared fit fails and the members are fit independently with
+        escalated noise.
     """
 
     def __init__(
@@ -65,18 +83,21 @@ class GPBank:
         noise_variance: float = 1e-4,
         normalize_y: bool = True,
         update_mode: str = "incremental",
+        health: Optional[HealthLog] = None,
     ):
         if num_objectives < 1:
             raise ValueError(f"num_objectives must be >= 1, got {num_objectives}")
         self.num_objectives = int(num_objectives)
         self.base_kernel = kernel if kernel is not None else Matern52Kernel()
         self.update_mode = update_mode
+        self.health = health
         self.models: List[GaussianProcess] = [
             GaussianProcess(
                 kernel=self.base_kernel,
                 noise_variance=noise_variance,
                 normalize_y=normalize_y,
                 update_mode=update_mode,
+                health=health,
             )
             for _ in range(self.num_objectives)
         ]
@@ -163,12 +184,22 @@ class GPBank:
             return self.fit(x_new, Y_new)
         x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
         Y_new = self._validate_targets(Y_new, x_new.shape[0])
-        if not self._homogeneous or self.update_mode == "exact-refit":
+
+        def stacked():
             X = np.vstack([self.models[0]._X, x_new])
             Y_old = np.column_stack([m._y_raw for m in self.models])
-            return self.fit(X, np.vstack([Y_old, Y_new]))
+            return X, np.vstack([Y_old, Y_new])
+
+        if not self._homogeneous or self.update_mode == "exact-refit":
+            return self._fit_resilient(*stacked())
         leader = self.models[0]
-        leader.extend(x_new, Y_new[:, 0])
+        try:
+            leader.extend(x_new, Y_new[:, 0])
+        except np.linalg.LinAlgError:
+            # The append failed before any buffer write, so the stacked
+            # history is still reconstructible from the members.
+            self._record_exact_refit("extend")
+            return self._fit_resilient(*stacked())
         for k, model in enumerate(self.models[1:], start=1):
             y = np.concatenate([model._y_raw, Y_new[:, k]])
             self._adopt_factor(model, leader, y)
@@ -210,7 +241,7 @@ class GPBank:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         Y = self._validate_targets(Y, X.shape[0])
         if not self.is_fitted:
-            return self.fit(X, Y)
+            return self._fit_resilient(X, Y)
         n_seen = self.num_observations
         X_seen = self.models[0]._X
         if (
@@ -223,16 +254,77 @@ class GPBank:
             or not np.array_equal(X[0], X_seen[0])
             or not np.array_equal(X[n_seen - 1], X_seen[n_seen - 1])
         ):
+            return self._fit_resilient(X, Y)
+        try:
+            if X.shape[0] > n_seen:
+                leader = self.models[0]
+                # retarget=False: set_targets below recomputes every alpha anyway.
+                leader.extend(X[n_seen:], Y[n_seen:, 0], retarget=False)
+                for model in self.models[1:]:
+                    # Followers only adopt the grown factor here; set_targets
+                    # below gives them their real targets and alpha.
+                    self._adopt_factor(model, leader, leader._y_raw, retarget=False)
+            return self.set_targets(Y)
+        except np.linalg.LinAlgError:
+            # Second rung of the degradation ladder: the incremental append
+            # (or its follow-up solves) failed even with escalated jitter, so
+            # refactorise the full history from scratch.
+            self._record_exact_refit("update")
+            return self._fit_resilient(X, Y)
+
+    # ------------------------------------------------------------------ degradation ladder
+    def _record_exact_refit(self, site: str) -> None:
+        if self.health is not None:
+            self.health.record(
+                "H_EXACT_REFIT",
+                f"{site}: incremental append failed; refitting from scratch",
+                site=site,
+            )
+
+    def _fit_resilient(self, X: np.ndarray, Y: np.ndarray) -> "GPBank":
+        """Cold fit, degrading to heterogeneous per-objective GPs on failure.
+
+        Third rung of the ladder: when even the from-scratch shared
+        factorisation fails (after :func:`~repro.optim.gp.escalating_cholesky`
+        exhausted its jitter cap), each member model is fit independently
+        with its own escalating noise floor — losing the shared-factor
+        speedup but keeping the search alive.  Raises only when a member
+        cannot be fit even at :data:`MAX_FALLBACK_NOISE`; the MOBO loop
+        then degrades that iteration's acquisition to random sampling.
+        """
+        try:
             return self.fit(X, Y)
-        if X.shape[0] > n_seen:
-            leader = self.models[0]
-            # retarget=False: set_targets below recomputes every alpha anyway.
-            leader.extend(X[n_seen:], Y[n_seen:, 0], retarget=False)
-            for model in self.models[1:]:
-                # Followers only adopt the grown factor here; set_targets
-                # below gives them their real targets and alpha.
-                self._adopt_factor(model, leader, leader._y_raw, retarget=False)
-        return self.set_targets(Y)
+        except np.linalg.LinAlgError as error:
+            if self.health is not None:
+                self.health.record(
+                    "H_HETEROGENEOUS_FALLBACK",
+                    f"shared fit failed ({error}); fitting members independently",
+                )
+            return self._fit_heterogeneous(X, Y)
+
+    def _fit_heterogeneous(self, X: np.ndarray, Y: np.ndarray) -> "GPBank":
+        """Fit every member on its own, escalating per-model noise x10.
+
+        The escalated ``noise_variance`` sticks to the member model — a
+        degraded run stays degraded rather than thrashing between fallback
+        and re-failure on every iteration.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = self._validate_targets(Y, X.shape[0])
+        for k, model in enumerate(self.models):
+            model.kernel = self.base_kernel
+            while True:
+                try:
+                    model.fit(X, Y[:, k].copy())
+                    break
+                except np.linalg.LinAlgError:
+                    if model.noise_variance >= MAX_FALLBACK_NOISE:
+                        raise
+                    model.noise_variance = min(
+                        model.noise_variance * 10.0, MAX_FALLBACK_NOISE
+                    )
+        self._homogeneous = False
+        return self
 
     # ------------------------------------------------------------------ model selection
     def refresh_lengthscales(
@@ -324,7 +416,7 @@ class GPBank:
         cov = leader.kernel(Xs, Xs) - v.T @ v
         cov[np.diag_indices_from(cov)] = np.maximum(np.diag(cov), 1e-12)
         cov[np.diag_indices_from(cov)] += DEFAULT_JITTER
-        chol = np.linalg.cholesky(cov)
+        chol = escalating_cholesky(cov, health=self.health, site="thompson")
         columns = []
         for model in self.models:
             mean = Ks.T @ model._alpha * model._y_std + model._y_mean

@@ -24,6 +24,7 @@ cold-refit behaviour).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -40,6 +41,8 @@ from repro.optim.scalarization import (
     normalize_objectives,
     random_weights,
 )
+from repro.resilience import faults
+from repro.resilience.health import HealthLog
 from repro.utils.rng import SeedLike, ensure_rng
 
 #: Default surrogate update mode for new optimizers (see ``gp_update``).
@@ -139,17 +142,18 @@ class OptimizationResult:
 
 
 def _normalize_objective_output(output: Any) -> Tuple[np.ndarray, Dict]:
-    """Accept ``objectives`` or ``(objectives, metadata)`` from objective functions."""
+    """Accept ``objectives`` or ``(objectives, metadata)`` from objective functions.
+
+    Shape coercion only — finite-ness is policed by the caller
+    (:meth:`MultiObjectiveBayesianOptimizer._record`), whose ``strict``
+    flag decides between raising and quarantining.
+    """
     metadata: Dict = {}
     if isinstance(output, tuple) and len(output) == 2 and isinstance(output[1], dict):
         objectives, metadata = output
     else:
         objectives = output
     objectives = np.asarray(objectives, dtype=float).ravel()
-    if objectives.size == 0:
-        raise ValueError("objective function returned no objectives")
-    if not np.all(np.isfinite(objectives)):
-        raise ValueError(f"objective function returned non-finite values: {objectives}")
     return objectives, metadata
 
 
@@ -228,6 +232,23 @@ class MultiObjectiveBayesianOptimizer:
     callback:
         Optional ``callback(evaluation_index, point, archive)`` invoked after
         every evaluation.
+    strict:
+        When ``False`` (the default) evaluations returning non-finite (or
+        empty) objective vectors are *quarantined*: recorded in
+        :attr:`quarantined` (and as an ``H_OBJECTIVE_QUARANTINED`` health
+        event) but excluded from the Pareto archive and the surrogates, and
+        the search continues.  ``strict=True`` restores the historical
+        fail-fast :class:`ValueError`.
+    objective_retries / retry_backoff_s:
+        Retry budget for flaky objective functions: a raising
+        ``objective_fn`` / ``batch_objective_fn`` call is retried up to
+        ``objective_retries`` times (default 0 — off), sleeping
+        ``retry_backoff_s * 2**(attempt-1)`` between attempts and recording
+        each retry as an ``H_OBJECTIVE_RETRY`` health event.
+    health:
+        Optional :class:`~repro.resilience.health.HealthLog` receiving the
+        degradation-ladder events of this run (shared with the surrogate
+        bank).
     """
 
     def __init__(
@@ -252,6 +273,10 @@ class MultiObjectiveBayesianOptimizer:
         key_fn: Callable[[Any], Any] = _default_key,
         seed: SeedLike = None,
         callback: Optional[CallbackFn] = None,
+        strict: bool = False,
+        objective_retries: int = 0,
+        retry_backoff_s: float = 0.0,
+        health: Optional[HealthLog] = None,
     ):
         if num_objectives < 1:
             raise ValueError(f"num_objectives must be >= 1, got {num_objectives}")
@@ -290,12 +315,28 @@ class MultiObjectiveBayesianOptimizer:
         self.ucb_beta = float(ucb_beta)
         self.optimize_lengthscale_every = int(optimize_lengthscale_every)
         self.gp_update = gp_update
+        if objective_retries < 0:
+            raise ValueError(
+                f"objective_retries must be >= 0, got {objective_retries}"
+            )
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self.neighbor_fn = neighbor_fn
         self.key_fn = key_fn
         self.callback = callback
+        self.strict = bool(strict)
+        self.objective_retries = int(objective_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.health = health
         self._rng = ensure_rng(seed)
 
         self._points: List[ObservedPoint] = []
+        #: Evaluations with non-finite objectives, kept out of the archive
+        #: and the surrogates (``strict=False`` only; see the class docs).
+        self.quarantined: List[ObservedPoint] = []
+        self._evaluation_count = 0
         self._seen: set = set()
         self.archive = ParetoArchive(self.num_objectives)
         # Growing feature/objective matrices (capacity-doubling) so surrogate
@@ -312,6 +353,19 @@ class MultiObjectiveBayesianOptimizer:
     ) -> ObservedPoint:
         """Book-keep one evaluated candidate (shared by both evaluation paths)."""
         objectives, metadata = _normalize_objective_output(output)
+        ordinal = self._evaluation_count
+        self._evaluation_count += 1
+        injector = faults.active()
+        if injector is not None and injector.take_nan_objectives(ordinal):
+            objectives = np.full(max(objectives.size, 1), np.nan)
+        if objectives.size == 0 or not np.all(np.isfinite(objectives)):
+            if self.strict:
+                if objectives.size == 0:
+                    raise ValueError("objective function returned no objectives")
+                raise ValueError(
+                    f"objective function returned non-finite values: {objectives}"
+                )
+            return self._quarantine(candidate, objectives, metadata, iteration, phase)
         if objectives.shape != (self.num_objectives,):
             raise ValueError(
                 f"objective function returned {objectives.shape[0]} objectives, "
@@ -334,14 +388,74 @@ class MultiObjectiveBayesianOptimizer:
             self.callback(len(self._points) - 1, point, self.archive)
         return point
 
+    def _quarantine(
+        self,
+        candidate: Any,
+        objectives: np.ndarray,
+        metadata: Dict,
+        iteration: int,
+        phase: str,
+    ) -> ObservedPoint:
+        """Record a non-finite evaluation without poisoning archive or GPs.
+
+        The candidate still counts against the budget and is marked seen
+        (re-evaluating it would fail the same way), but its objectives
+        enter neither the Pareto archive nor the surrogate matrices, so
+        pareto masks and kernel factors stay NaN-free.  No per-evaluation
+        callback fires: quarantined points are not replayable outcomes.
+        """
+        features = np.asarray(self.feature_fn(candidate), dtype=float).ravel()
+        point = ObservedPoint(
+            candidate=candidate,
+            features=features,
+            objectives=np.asarray(objectives, dtype=float),
+            iteration=iteration,
+            phase=phase,
+            metadata={**metadata, "quarantined": True},
+        )
+        self.quarantined.append(point)
+        self._seen.add(self.key_fn(candidate))
+        if self.health is not None:
+            self.health.record(
+                "H_OBJECTIVE_QUARANTINED",
+                f"evaluation {iteration} ({phase}) returned non-finite objectives",
+                iteration=iteration,
+                phase=phase,
+            )
+        return point
+
+    def _call_objective(self, fn: Callable[[Any], Any], argument: Any) -> Any:
+        """Call an objective function with optional retry-with-backoff."""
+        attempt = 0
+        while True:
+            try:
+                injector = faults.active()
+                if injector is not None and injector.take_objective_fault():
+                    raise RuntimeError("injected objective failure")
+                return fn(argument)
+            except Exception as error:
+                attempt += 1
+                if attempt > self.objective_retries:
+                    raise
+                if self.health is not None:
+                    self.health.record(
+                        "H_OBJECTIVE_RETRY",
+                        f"objective call failed ({error}); "
+                        f"retry {attempt}/{self.objective_retries}",
+                        attempt=attempt,
+                    )
+                if self.retry_backoff_s > 0:
+                    time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+
     def _evaluate(self, candidate: Any, iteration: int, phase: str) -> ObservedPoint:
-        return self._record(candidate, self.objective_fn(candidate), iteration, phase)
+        output = self._call_objective(self.objective_fn, candidate)
+        return self._record(candidate, output, iteration, phase)
 
     def _evaluate_batch(
         self, candidates: Sequence[Any], first_iteration: int, phase: str
     ) -> List[ObservedPoint]:
         """Evaluate a pool through ``batch_objective_fn``, book-keeping in order."""
-        outputs = self.batch_objective_fn(candidates)
+        outputs = self._call_objective(self.batch_objective_fn, candidates)
         if len(outputs) != len(candidates):
             raise ValueError(
                 f"batch objective function returned {len(outputs)} outputs "
@@ -452,6 +566,7 @@ class MultiObjectiveBayesianOptimizer:
                 noise_variance=self.gp_noise,
                 normalize_y=True,
                 update_mode=self.gp_update,
+                health=self.health,
             )
         self._bank.update(X, Y_norm)
         if refresh_lengthscale:
@@ -491,25 +606,50 @@ class MultiObjectiveBayesianOptimizer:
                 self.optimize_lengthscale_every > 0
                 and step % self.optimize_lengthscale_every == 0
             )
-            models, _, _ = self._fit_models(refresh_lengthscale=refresh)
+            # Final rung of the degradation ladder: if the surrogate stage
+            # fails despite jitter escalation, exact refits and the
+            # heterogeneous fallback (or quarantine left too few rows to fit
+            # on), this iteration's acquisition degrades to random scores —
+            # the search keeps spending its budget instead of crashing.
+            # The healthy path is byte-identical to the pre-ladder loop: the
+            # fallback draw only consumes the generator when a rung fired.
+            models = None
+            if self._num_rows > 0:
+                try:
+                    models, _, _ = self._fit_models(refresh_lengthscale=refresh)
+                except np.linalg.LinAlgError as error:
+                    self._record_random_acquisition("surrogate fit failed", error)
+            else:
+                self._record_random_acquisition(
+                    "no finite evaluations to fit surrogates on", None
+                )
             pool = self._build_pool()
             pool_features = np.vstack([self.feature_fn(c) for c in pool])
-            front = None
-            if self.acquisition == "epdc":
-                # The surrogates are fit on normalised objectives; hand the
-                # front over in the same units so EPDC distances line up
-                # with the posterior samples.
-                Y = self._objective_matrix()
-                Y_norm, _, _ = normalize_objectives(Y)
-                front = Y_norm[pareto_front_mask(Y)]
-            scores = acquisition_scores(
-                self.acquisition,
-                models,
-                pool_features,
-                rng=self._rng,
-                beta=self.ucb_beta,
-                front=front,
-            )
+            scores = None
+            if models is not None:
+                front = None
+                if self.acquisition == "epdc":
+                    # The surrogates are fit on normalised objectives; hand the
+                    # front over in the same units so EPDC distances line up
+                    # with the posterior samples.
+                    Y = self._objective_matrix()
+                    Y_norm, _, _ = normalize_objectives(Y)
+                    front = Y_norm[pareto_front_mask(Y)]
+                try:
+                    scores = acquisition_scores(
+                        self.acquisition,
+                        models,
+                        pool_features,
+                        rng=self._rng,
+                        beta=self.ucb_beta,
+                        front=front,
+                    )
+                except np.linalg.LinAlgError as error:
+                    self._record_random_acquisition("acquisition scoring failed", error)
+            if scores is None:
+                scores = self._rng.uniform(
+                    size=(pool_features.shape[0], self.num_objectives)
+                )
             scores_norm, _, _ = normalize_objectives(scores)
             weights = random_weights(self.num_objectives, self._rng)
             scalar = chebyshev_scalarize(scores_norm, weights)
@@ -536,3 +676,11 @@ class MultiObjectiveBayesianOptimizer:
             step += 1
 
         return OptimizationResult(self._points, self.num_objectives)
+
+    def _record_random_acquisition(self, reason: str, error: Optional[Exception]) -> None:
+        if self.health is not None:
+            detail = f" ({error})" if error is not None else ""
+            self.health.record(
+                "H_RANDOM_ACQUISITION",
+                f"{reason}{detail}; falling back to random candidate selection",
+            )

@@ -8,10 +8,16 @@ The helpers here normalise numpy scalars/arrays to built-in Python types.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Mapping, Union
 
 import numpy as np
+
+try:  # pragma: no cover - POSIX only; Windows falls back to O_APPEND alone
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 
 def to_jsonable(value: Any) -> Any:
@@ -53,6 +59,49 @@ def load_json(path: Union[str, Path]) -> Any:
     """Load a JSON file produced by :func:`dump_json`."""
     with Path(path).open("r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` crash-safely.
+
+    The content goes to a temp file in the same directory and is
+    ``os.replace``-d into place, so a crash mid-write leaves either the old
+    file or the new one — never a torn hybrid.  Shared by the campaign run
+    stores, the manifest writer and the search checkpoint layer.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def append_jsonl_atomic(path: Path, payload: Mapping[str, Any]) -> int:
+    """Append one JSON line to ``path`` safely under concurrent writers.
+
+    The whole line goes down in a single ``os.write`` on a descriptor opened
+    with ``O_APPEND`` (atomic with respect to the file offset on POSIX),
+    wrapped in an advisory ``flock`` where available so concurrent appends
+    from workers on one machine never interleave.  Returns the byte offset
+    the line was written at.  Used by the campaign audit log, the sharded
+    run stores and the resilience health log.
+    """
+    path = Path(path)
+    line = (json.dumps(payload, sort_keys=False) + "\n").encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            offset = os.lseek(fd, 0, os.SEEK_END)
+            os.write(fd, line)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+    return offset
 
 
 def format_table(rows: list, headers: list, precision: int = 3) -> str:

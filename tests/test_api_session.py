@@ -91,6 +91,20 @@ class TestRunSearch:
         restored = SearchOutcome.from_dict(outcome.to_dict())
         assert restored.front_history == outcome.front_history
 
+    def test_health_counters_round_trip_and_upgrade(self, outcome):
+        # a healthy run carries empty counters (schema v4)
+        assert outcome.health == {}
+        data = outcome.to_dict()
+        assert data["health"] == {}
+        # pre-v4 payloads (no health key) upgrade to empty counters
+        legacy = dict(data)
+        legacy.pop("health")
+        assert SearchOutcome.from_dict(legacy).health == {}
+        # non-empty counters survive the round trip
+        data["health"] = {"H_RESUMED": 1, "H_JITTER_ESCALATED": 3}
+        restored = SearchOutcome.from_dict(data)
+        assert restored.health == {"H_RESUMED": 1, "H_JITTER_ESCALATED": 3}
+
     def test_batched_epdc_search_keeps_the_budget(self, small_search_space, engine):
         batched = run_search(
             strategy="lens",

@@ -138,10 +138,21 @@ class TestMOBO:
         with pytest.raises(ValueError):
             bad.run()
 
-    def test_non_finite_objectives_rejected(self):
-        bad = _make_optimizer(objective_fn=lambda c: np.array([np.nan, 1.0]))
+    def test_non_finite_objectives_rejected_when_strict(self):
+        bad = _make_optimizer(
+            objective_fn=lambda c: np.array([np.nan, 1.0]), strict=True
+        )
         with pytest.raises(ValueError):
             bad.run()
+
+    def test_non_finite_objectives_quarantined_by_default(self):
+        # Every evaluation returns NaN: the search must still complete its
+        # budget, with nothing in the archive and everything quarantined.
+        bad = _make_optimizer(objective_fn=lambda c: np.array([np.nan, 1.0]))
+        result = bad.run()
+        assert len(result) == 0
+        assert len(bad.quarantined) == 18
+        assert len(bad.archive) == 0
 
     def test_to_dict_serialises_points(self):
         result = _make_optimizer(num_iterations=2).run()

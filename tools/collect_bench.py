@@ -31,6 +31,8 @@ from repro.utils.serialization import dump_json  # noqa: E402
 #: (benchmark name, payload key, headline key) triples surfaced at top level.
 HEADLINE_FIELDS = (
     ("gp_hotpath", "search300_speedup_vs_legacy", "gp_search300_speedup"),
+    ("gp_resilience_overhead", "overhead_fraction", "gp_health_overhead_fraction"),
+    ("gp_resilience_overhead", "health_events", "gp_health_events_healthy_run"),
     ("eval_batch", "speedup", "eval_batch_speedup"),
     ("eval_batch", "max_divergence", "eval_batch_parity"),
     ("eval_batch", "batched_us_per_candidate", "eval_batch_us_per_candidate"),

@@ -18,6 +18,11 @@ CI::
    record exactly once at the raw-line level, and per-cell candidate
    metrics matching the serial run (to 6 decimals — executors may differ in
    last-ulp float noise from engine-cache warm-up order).
+6. Mid-search resume drill: publish a one-cell campaign with
+   ``checkpoint_every=1`` and a worker that SIGKILLs itself mid-search
+   (``REPRO_FAULT_KILL_AT_EVAL``); a clean worker must then finish the
+   cell by **resuming from the checkpoint** — its stored outcome records
+   ``H_RESUMED``, proving it did not restart from evaluation zero.
 
 Exits non-zero with a diagnostic on any violation.
 """
@@ -56,9 +61,13 @@ TTL_S = 3.0
 TIMEOUT_S = 180.0
 
 
-def _spawn_worker(store_dir: Path, worker_id: str) -> subprocess.Popen:
+def _spawn_worker(
+    store_dir: Path, worker_id: str, extra_env: dict = None
+) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    if extra_env:
+        env.update(extra_env)
     return subprocess.Popen(
         [sys.executable, "-m", "repro", "worker",
          "--store", str(store_dir), "--worker-id", worker_id],
@@ -85,12 +94,12 @@ def main() -> int:
     base = Path(tempfile.mkdtemp(prefix="repro-distributed-smoke-"))
     print(f"workspace: {base}")
 
-    print(f"[1/5] serial reference run ({SPEC.num_cells} cells)...")
+    print(f"[1/6] serial reference run ({SPEC.num_cells} cells)...")
     serial = RunStore(base / "serial")
     result = run_campaign(SPEC, serial)
     print(f"      {len(result.executed)} cells in {result.wall_time_s:.1f}s")
 
-    print("[2/5] publishing manifest, starting 2 pull workers...")
+    print("[2/6] publishing manifest, starting 2 pull workers...")
     store_dir = base / "shared"
     ShardedRunStore(store_dir)
     CampaignManifest.from_requests(
@@ -99,7 +108,7 @@ def main() -> int:
     victim = _spawn_worker(store_dir, "victim")
     survivor = _spawn_worker(store_dir, "survivor")
 
-    print("[3/5] waiting for first stored cell, then killing one worker...")
+    print("[3/6] waiting for first stored cell, then killing one worker...")
     observer = ShardedRunStore(store_dir)
     deadline = time.time() + TIMEOUT_S
     while len(observer) == 0:
@@ -112,7 +121,7 @@ def main() -> int:
     victim.wait()
     print(f"      killed worker 'victim' with {len(observer)} cell(s) stored")
 
-    print("[4/5] waiting for the survivor to drain the manifest...")
+    print("[4/6] waiting for the survivor to drain the manifest...")
     try:
         survivor.wait(timeout=max(1.0, deadline - time.time()))
     except subprocess.TimeoutExpired:
@@ -122,7 +131,7 @@ def main() -> int:
     resume = _spawn_worker(store_dir, "resume")
     resume.wait(timeout=60.0)
 
-    print("[5/5] verifying parity with the serial run...")
+    print("[5/6] verifying parity with the serial run...")
     final = ShardedRunStore(store_dir)
     failures = []
     if set(final.fingerprints()) != set(serial.fingerprints()):
@@ -158,6 +167,69 @@ def main() -> int:
         f"{summary['num_shards']} shard(s); worker crash survived "
         f"({len(leftover_leases)} stale lease file(s), {reclaims} audited "
         f"retries); resume was a no-op"
+    )
+
+    print("[6/6] mid-search resume drill (kill inside a search, resume from "
+          "checkpoint)...")
+    chaos_dir = base / "chaos"
+    ShardedRunStore(chaos_dir)
+    chaos_spec = CampaignSpec(
+        scenarios=("wifi-3mbps/jetson-tx2-gpu",),
+        strategies=("lens",),
+        seeds=(0,),
+        num_initial=2,
+        num_iterations=4,
+        candidate_pool_size=16,
+        predictor_samples_per_type=40,
+    )
+    CampaignManifest.from_requests(
+        chaos_spec.requests(), ttl_s=TTL_S, poll_s=0.2, max_attempts=3,
+        checkpoint_every=1,
+    ).write(chaos_dir)
+    # this worker SIGKILLs itself after 3 of the cell's 6 evaluations
+    doomed = _spawn_worker(
+        chaos_dir, "doomed", extra_env={"REPRO_FAULT_KILL_AT_EVAL": "3"}
+    )
+    doomed.wait(timeout=120.0)
+    if doomed.returncode != -9:
+        print(f"FAIL: doomed worker exited {doomed.returncode}, expected "
+              "SIGKILL (-9)", file=sys.stderr)
+        return 1
+    checkpoint_files = list((chaos_dir / "checkpoints").glob("*/checkpoint.json"))
+    if not checkpoint_files:
+        print("FAIL: the killed worker left no checkpoint behind", file=sys.stderr)
+        return 1
+    finisher = _spawn_worker(chaos_dir, "finisher")
+    try:
+        finisher.wait(timeout=120.0)
+    except subprocess.TimeoutExpired:
+        finisher.kill()
+        print("FAIL: finishing worker did not drain the chaos manifest",
+              file=sys.stderr)
+        return 1
+    chaos_store = ShardedRunStore(chaos_dir)
+    if len(chaos_store) != 1:
+        print(f"FAIL: chaos store holds {len(chaos_store)} cells, expected 1",
+              file=sys.stderr)
+        return 1
+    (outcome,) = [chaos_store.get(fp) for fp in chaos_store.fingerprints()]
+    resumed_events = outcome.health.get("H_RESUMED", 0)
+    if resumed_events < 1:
+        print(f"FAIL: stored outcome records no H_RESUMED — the finisher "
+              f"restarted from evaluation zero (health: {outcome.health})",
+              file=sys.stderr)
+        return 1
+    leftover_checkpoints = list(
+        (chaos_dir / "checkpoints").glob("*/checkpoint.json")
+    )
+    if leftover_checkpoints:
+        print(f"FAIL: checkpoint not discarded after the cell was stored: "
+              f"{leftover_checkpoints}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: killed worker left a checkpoint, finisher resumed mid-search "
+        f"(H_RESUMED={resumed_events}, health: {outcome.health}) and "
+        f"discarded it after storing the cell"
     )
     return 0
 
