@@ -142,6 +142,81 @@ def test_index_persistence_scales_past_5k_records(tmp_path):
     )
 
 
+def test_supervisor_overhead_on_healthy_claims(tmp_path):
+    """Supervision must be (near) free on the healthy path.
+
+    Every pull-worker claim consults the shared circuit breaker
+    (``circuit_allows`` — a lock-free state read when closed) and reports
+    its result (``record_result`` — one flock'd read-modify-write).  This
+    benchmark measures that per-claim cost directly against the wall time
+    of one real (fast-budget) cell and asserts the healthy-path throughput
+    delta stays under 2% in full mode; FAST mode reports without
+    asserting (cells are artificially cheap there, inflating the ratio).
+    """
+    import time as _time
+
+    from repro.api.envelopes import SearchRequest
+    from repro.api.session import run_search
+    from repro.campaign import CampaignPolicy, CampaignSupervisor
+
+    claims = 200 if FAST_MODE else 1000
+    supervised = CampaignSupervisor(
+        tmp_path / "supervised",
+        CampaignPolicy(circuit_window=8, circuit_threshold=0.5),
+    )
+    disabled = CampaignSupervisor(tmp_path / "disabled", CampaignPolicy())
+    timings = {}
+    for label, supervisor in (("supervised", supervised), ("disabled", disabled)):
+        supervisor.circuit_allows()  # prime directory + state file
+        start = _time.perf_counter()
+        for _ in range(claims):
+            assert supervisor.circuit_allows()
+            supervisor.record_result(True)
+        timings[label] = _time.perf_counter() - start
+    per_claim_extra_s = max(
+        0.0, (timings["supervised"] - timings["disabled"]) / claims
+    )
+
+    cell_start = _time.perf_counter()
+    run_search(SearchRequest(
+        scenario="wifi-3mbps/jetson-tx2-gpu",
+        strategy="random",
+        num_initial=4,
+        num_iterations=2,
+        candidate_pool_size=16,
+        predictor_samples_per_type=40,
+    ))
+    cell_wall_s = _time.perf_counter() - cell_start
+    overhead_fraction = per_claim_extra_s / cell_wall_s
+
+    text = (
+        f"Campaign supervision overhead — {claims} healthy claim cycles\n"
+        f"supervised: {claims / timings['supervised']:,.0f} claims/s, "
+        f"disabled: {claims / timings['disabled']:,.0f} claims/s, "
+        f"extra per claim: {per_claim_extra_s * 1e6:.0f}us\n"
+        f"one fast-budget cell: {cell_wall_s:.3f}s -> healthy-path overhead "
+        f"{overhead_fraction:.4%} per cell"
+    )
+    print("\n" + text)
+    save_table(
+        "campaign_supervisor",
+        text,
+        {
+            "claims": claims,
+            "supervised_claims_per_s": claims / timings["supervised"],
+            "disabled_claims_per_s": claims / timings["disabled"],
+            "extra_per_claim_s": per_claim_extra_s,
+            "cell_wall_s": cell_wall_s,
+            "supervisor_overhead_fraction": overhead_fraction,
+        },
+    )
+    if not FAST_MODE:
+        assert overhead_fraction < 0.02, (
+            f"supervision costs {overhead_fraction:.2%} of a cell "
+            "(budget: 2%)"
+        )
+
+
 def test_pull_worker_sharded_matches_serial(tmp_path):
     """Distributed variant: pull workers + sharded store vs the serial path.
 

@@ -357,6 +357,12 @@ class ExperimentReport:
             listed = ", ".join(f"`{fp}`" for fp in failed[:10])
             suffix = " …" if len(failed) > 10 else ""
             lines += ["", f"Failed cells: {listed}{suffix}"]
+        if audit.get("dead_lettered"):
+            lines += [
+                "",
+                f"**{len(audit['dead_lettered'])}** poison cell(s) dead-lettered "
+                f"— `repro campaign --retry-dead` re-admits them.",
+            ]
         workers = audit.get("workers", [])
         if workers:
             lines += ["", f"Reporting workers: {', '.join(workers)}"]

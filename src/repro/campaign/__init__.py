@@ -19,6 +19,9 @@ built from (scenarios x strategies x seeds) as one restartable unit:
   ``pull-worker`` executor (``repro worker`` on the CLI);
 * :mod:`repro.campaign.errors` — :class:`ErrorEnvelope` failure records and
   per-shard audit logs;
+* :mod:`repro.campaign.supervisor` — :class:`CampaignPolicy` and the
+  supervision subsystem: enforced per-cell deadlines, poison-cell
+  dead-lettering and a shared circuit breaker (see ``docs/distributed.md``);
 * :mod:`repro.campaign.runner` — :func:`run_campaign`, which skips cells
   already in the store and hands the rest to the chosen executor.
 
@@ -58,13 +61,31 @@ from repro.campaign.runner import CampaignResult, CellFailure, run_campaign
 from repro.campaign.sharded import (
     ShardedRunStore,
     export_metrics,
+    fsck_store,
     merge_stores,
     open_store,
 )
 from repro.campaign.store import RunStore, StoreError
+from repro.campaign.supervisor import (
+    CampaignPolicy,
+    CampaignSupervisor,
+    CellTimeout,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadLetterQueue,
+    deadline,
+)
 from repro.campaign.worker import WorkerReport, run_worker
 
 __all__ = [
+    "CampaignPolicy",
+    "CampaignSupervisor",
+    "CellTimeout",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadLetterQueue",
+    "deadline",
+    "fsck_store",
     "CampaignSpec",
     "expand_requests",
     "CampaignResult",

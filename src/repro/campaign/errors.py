@@ -21,21 +21,29 @@ E_WORKER_LOST yes    a worker process died before returning a result
 E_TIMEOUT  yes       the cell exceeded its time limit
 E_SYSTEM   yes       OS-level failure (out of memory, I/O error)
 E_EXECUTION no       the search strategy raised while running
+E_POISON   no        the cell exhausted its retry budget; dead-lettered
 E_INTERNAL no        anything else — a library bug
 ========== ========= ====================================================
 
 Retryable codes describe conditions that can heal (a crashed peer, a full
 disk); non-retryable codes are deterministic — re-running the same request
 would fail the same way — so workers mark them ``final`` on first sight.
+
+Forward compatibility: audit logs written by a *newer* version of this
+package may carry ``E_*`` codes this version does not know.
+:meth:`ErrorEnvelope.from_dict` preserves such records (conservatively
+non-retryable) instead of dropping them, so ``repro report`` over a shared
+store never under-counts failures; direct construction stays strict.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
 
 # Re-exported for backwards compatibility: the atomic multi-writer append
 # now lives with the other serialization primitives (and is shared by the
@@ -52,8 +60,17 @@ ERROR_CODES: Dict[str, tuple] = {
     "E_TIMEOUT": ("cell exceeded its time limit", True),
     "E_SYSTEM": ("OS-level failure (memory, I/O)", True),
     "E_EXECUTION": ("search strategy raised while running", False),
+    "E_POISON": (
+        "cell exhausted its retry budget or repeatedly killed workers; "
+        "dead-lettered",
+        False,
+    ),
     "E_INTERNAL": ("unexpected library failure", False),
 }
+
+#: Shape of a plausible future error code — see the forward-compatibility
+#: note in the module docstring.
+_FUTURE_CODE = re.compile(r"^E_[A-Z][A-Z0-9_]*$")
 
 
 def classify_error(error: BaseException) -> str:
@@ -172,8 +189,9 @@ class ErrorEnvelope:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ErrorEnvelope":
-        return cls(
-            code=str(data["code"]),
+        code = str(data["code"])
+        fields = dict(
+            code=code,
             message=str(data.get("message", "")),
             retryable=bool(data.get("retryable", False)),
             attempt=int(data.get("attempt", 1)),
@@ -183,6 +201,15 @@ class ErrorEnvelope:
             time_s=float(data.get("time_s", 0.0)),
             context=dict(data.get("context", {})),
         )
+        if code not in ERROR_CODES and _FUTURE_CODE.match(code):
+            # a record written by a newer version: preserve it rather than
+            # rejecting it, but never trust an unknown code to be retryable
+            fields["retryable"] = False
+            envelope = object.__new__(cls)
+            for name, value in fields.items():
+                object.__setattr__(envelope, name, value)
+            return envelope
+        return cls(**fields)
 
 
 class AuditLog:
@@ -199,35 +226,59 @@ class AuditLog:
         """Persist one failure record."""
         append_jsonl_atomic(self.path, envelope.to_dict())
 
-    def records(self) -> List[ErrorEnvelope]:
-        """Every intact record, in append order."""
+    def iter_records(self) -> Iterator[ErrorEnvelope]:
+        """Stream every intact record in append order, one at a time.
+
+        This is the memory-bounded path: a million-record audit log is
+        never materialised as a list, so ``repro report`` and
+        :func:`summarize_audit` read it in O(1) memory.
+        """
         if not self.path.exists():
-            return []
-        out: List[ErrorEnvelope] = []
+            return
         with self.path.open("rb") as handle:
             for raw in handle:
                 if not raw.endswith(b"\n"):
                     break  # torn tail — a writer is (or was) mid-append
                 try:
-                    out.append(ErrorEnvelope.from_dict(json.loads(raw)))
+                    yield ErrorEnvelope.from_dict(json.loads(raw))
                 except (ValueError, KeyError):
                     continue  # interleave casualty; compaction removes it
-        return out
 
-    def attempts(self, fingerprint: str) -> int:
-        """Number of recorded failures of one cell."""
-        return sum(1 for r in self.records() if r.fingerprint == fingerprint)
+    def records(self) -> List[ErrorEnvelope]:
+        """Every intact record, in append order (see :meth:`iter_records`)."""
+        return list(self.iter_records())
 
-    def last(self, fingerprint: str) -> Optional[ErrorEnvelope]:
+    def attempts(self, fingerprint: str, since: Optional[float] = None) -> int:
+        """Number of recorded failures of one cell.
+
+        ``since`` ignores records at or before that epoch time — the
+        baseline a re-admitted dead-letter cell restarts its retry budget
+        from.
+        """
+        return sum(1 for _ in self.history(fingerprint, since=since))
+
+    def history(
+        self, fingerprint: str, since: Optional[float] = None
+    ) -> Iterator[ErrorEnvelope]:
+        """Stream one cell's failure records, optionally after ``since``."""
+        for record in self.iter_records():
+            if record.fingerprint != fingerprint:
+                continue
+            if since is not None and record.time_s <= since:
+                continue
+            yield record
+
+    def last(
+        self, fingerprint: str, since: Optional[float] = None
+    ) -> Optional[ErrorEnvelope]:
         """Most recent failure record of one cell, if any."""
         match = None
-        for record in self.records():
-            if record.fingerprint == fingerprint:
-                match = record
+        for record in self.history(fingerprint, since=since):
+            match = record
         return match
 
     def __len__(self) -> int:
-        return len(self.records())
+        return sum(1 for _ in self.iter_records())
 
 
 def summarize_audit(records: Iterable[ErrorEnvelope]) -> Dict[str, Any]:
@@ -235,26 +286,37 @@ def summarize_audit(records: Iterable[ErrorEnvelope]) -> Dict[str, Any]:
 
     Returns ``num_records``, per-``code`` counts, the fingerprints of
     permanently failed cells, how many records were retries
-    (``attempt > 1``) and which workers reported failures.
+    (``attempt > 1``), which workers reported failures, and how many cells
+    were dead-lettered (records whose ``context`` carries
+    ``dead_letter=True``).  Single-pass and streaming: ``records`` may be a
+    generator (e.g. :meth:`AuditLog.iter_records`) and is never
+    materialised, so arbitrarily long audit logs summarise in O(1) memory.
     """
-    records = list(records)
+    num_records = 0
     by_code: Dict[str, int] = {}
     failed: List[str] = []
+    failed_seen = set()
+    dead_lettered = set()
     workers = set()
     retries = 0
     for record in records:
+        num_records += 1
         by_code[record.code] = by_code.get(record.code, 0) + 1
         if record.final and record.fingerprint:
-            if record.fingerprint not in failed:
+            if record.fingerprint not in failed_seen:
+                failed_seen.add(record.fingerprint)
                 failed.append(record.fingerprint)
+        if record.fingerprint and record.context.get("dead_letter"):
+            dead_lettered.add(record.fingerprint)
         if record.attempt > 1:
             retries += 1
         if record.worker:
             workers.add(record.worker)
     return {
-        "num_records": len(records),
+        "num_records": num_records,
         "by_code": dict(sorted(by_code.items())),
         "failed_cells": sorted(failed),
         "retries": retries,
         "workers": sorted(workers),
+        "dead_lettered": sorted(dead_lettered),
     }

@@ -55,7 +55,26 @@ from repro.campaign.errors import ErrorEnvelope
 from repro.campaign.manifest import CampaignManifest
 from repro.campaign.sharded import ShardedRunStore
 from repro.campaign.store import StoreError
+from repro.campaign.supervisor import (
+    CIRCUIT_OPEN,
+    CampaignPolicy,
+    CampaignSupervisor,
+    CircuitOpenError,
+    deadline,
+)
 from repro.utils.serialization import to_jsonable
+
+
+def _policy_from_options(context: "ExecutionContext") -> CampaignPolicy:
+    """The campaign's :class:`CampaignPolicy`, resolved from the context.
+
+    ``executor_options`` carries the policy fields flat (the runner merges
+    ``policy.to_dict()`` in); unknown extra options are ignored and the
+    context's ``on_error`` always wins.
+    """
+    data = dict(context.options)
+    data["on_error"] = context.on_error
+    return CampaignPolicy.from_dict(data)
 
 
 def _request_context(request: SearchRequest) -> Dict[str, str]:
@@ -131,16 +150,26 @@ class CampaignExecutor:
 
 
 class SerialExecutor(CampaignExecutor):
-    """In-process loop sharing one engine across cells."""
+    """In-process loop sharing one engine across cells.
+
+    Honours the policy's ``cell_timeout_s``: each cell runs under
+    :func:`~repro.campaign.supervisor.deadline`, so an overrun raises
+    :class:`~repro.campaign.supervisor.CellTimeout` and is enveloped as
+    ``E_TIMEOUT`` like any other failure.
+    """
 
     name = "serial"
 
     def run(self, context: ExecutionContext) -> None:
+        cell_timeout_s = _policy_from_options(context).cell_timeout_s
         for fingerprint, request in context.pending:
             try:
-                outcome = run_search(
-                    request, scenarios=context.scenarios, engine=context.engine
-                )
+                with deadline(cell_timeout_s):
+                    outcome = run_search(
+                        request,
+                        scenarios=context.scenarios,
+                        engine=context.engine,
+                    )
             except Exception as error:  # noqa: BLE001 - enveloped
                 context.fail(
                     fingerprint,
@@ -180,6 +209,10 @@ class ProcessPoolCampaignExecutor(CampaignExecutor):
     cell never discards finished work: successes are stored as they
     complete, and under ``on_error="fail"`` not-yet-started cells are
     cancelled while in-flight ones drain.
+
+    ``cell_timeout_s`` is **not** enforced here (a pool worker cannot be
+    killed per-cell without losing its warm engine); use the ``asyncio``
+    or ``pull-worker`` executor when deadlines matter.
     """
 
     name = "process-pool"
@@ -256,6 +289,7 @@ class AsyncioSubprocessExecutor(CampaignExecutor):
         semaphore = asyncio.Semaphore(max(1, context.workers))
         stop = asyncio.Event()
         env = _subprocess_env()
+        cell_timeout_s = _policy_from_options(context).cell_timeout_s
 
         async def run_cell(fingerprint: str, request: SearchRequest) -> None:
             async with semaphore:
@@ -271,9 +305,38 @@ class AsyncioSubprocessExecutor(CampaignExecutor):
                     stderr=asyncio.subprocess.PIPE,
                     env=env,
                 )
-                stdout, stderr = await process.communicate(
-                    json.dumps(request.to_dict()).encode("utf-8")
-                )
+                try:
+                    stdout, stderr = await asyncio.wait_for(
+                        process.communicate(
+                            json.dumps(request.to_dict()).encode("utf-8")
+                        ),
+                        timeout=cell_timeout_s if cell_timeout_s > 0 else None,
+                    )
+                except asyncio.TimeoutError:
+                    # deadline enforcement: kill the overrunning subprocess
+                    # and audit a real E_TIMEOUT
+                    process.kill()
+                    await process.wait()
+                    self._failure(
+                        context,
+                        fingerprint,
+                        request,
+                        stop,
+                        ErrorEnvelope(
+                            code="E_TIMEOUT",
+                            message=(
+                                f"cell exceeded its {cell_timeout_s:g}s "
+                                f"deadline; subprocess killed"
+                            ),
+                            retryable=True,
+                            final=True,
+                            fingerprint=fingerprint,
+                            worker=self.name,
+                            time_s=time.time(),
+                            context=_request_context(request),
+                        ),
+                    )
+                    return
             if process.returncode == 0:
                 try:
                     outcome = SearchOutcome.from_dict(
@@ -361,11 +424,16 @@ class PullWorkerExecutor(CampaignExecutor):
     reclaim their leases; the campaign only fails if **all** workers exit
     with cells still unresolved.
 
-    Options (via ``executor_options`` / ``repro campaign``):
-    ``ttl_s`` lease expiry window, ``poll_s`` poll interval,
-    ``max_attempts`` / ``backoff_base_s`` retry policy,
-    ``checkpoint_every`` crash-safe mid-search checkpointing
-    (``0`` disables; see ``docs/robustness.md``).
+    Options (via ``executor_options`` / ``repro campaign``) are the flat
+    :class:`~repro.campaign.supervisor.CampaignPolicy` fields: ``ttl_s``
+    lease expiry window, ``poll_s`` poll interval, ``max_attempts`` /
+    ``backoff_base_s`` / ``max_backoff_s`` retry policy, ``cell_timeout_s``
+    enforced per-cell deadline, ``checkpoint_every`` crash-safe mid-search
+    checkpointing (``0`` disables; see ``docs/robustness.md``), and the
+    ``circuit_*`` breaker knobs.  If the shared breaker opens mid-campaign
+    the observer raises
+    :class:`~repro.campaign.supervisor.CircuitOpenError` (CLI exit code 4)
+    after shutting the workers down.
     """
 
     name = "pull-worker"
@@ -380,15 +448,9 @@ class PullWorkerExecutor(CampaignExecutor):
             )
         if not context.pending:
             return
-        options = context.options
         manifest = CampaignManifest.from_requests(
             [request for _, request in context.pending],
-            ttl_s=float(options.get("ttl_s", 30.0)),
-            poll_s=float(options.get("poll_s", 0.5)),
-            max_attempts=int(options.get("max_attempts", 3)),
-            backoff_base_s=float(options.get("backoff_base_s", 0.5)),
-            on_error=context.on_error,
-            checkpoint_every=int(options.get("checkpoint_every", 0)),
+            policy=_policy_from_options(context),
         )
         manifest.write(store.directory)
         env = _subprocess_env()
@@ -412,6 +474,13 @@ class PullWorkerExecutor(CampaignExecutor):
         ]
         try:
             self._observe(context, store, manifest, workers)
+        except CircuitOpenError:
+            # paused workers never exit on their own — tell them to stop
+            # before the finally block waits on them
+            for process in workers:
+                if process.poll() is None:
+                    process.terminate()
+            raise
         finally:
             for process in workers:
                 if process.poll() is None:
@@ -449,11 +518,26 @@ class PullWorkerExecutor(CampaignExecutor):
                     context.fail(fingerprint, last, persisted=True)
                     del unresolved[fingerprint]
 
+        policy = manifest.policy
+        supervisor = CampaignSupervisor(store.directory, policy)
         unresolved = dict(context.pending)
         while unresolved:
             sweep(unresolved)
             if not unresolved:
                 break
+            if (
+                policy.circuit_enabled
+                and supervisor.circuit_state() == CIRCUIT_OPEN
+            ):
+                # the shared breaker tripped: abort the campaign instead of
+                # burning the remaining grid (workers are shut down by the
+                # caller's finally block; the store keeps what finished)
+                raise CircuitOpenError(
+                    f"campaign circuit breaker is open (failure rate over "
+                    f"the last {policy.circuit_window} cells reached "
+                    f"{policy.circuit_threshold:g}); {len(unresolved)} "
+                    f"cell(s) left unexecuted"
+                )
             if all(process.poll() is not None for process in workers):
                 # one final sweep so results stored right before the last
                 # worker exited are not missed

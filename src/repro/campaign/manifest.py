@@ -3,16 +3,19 @@
 The ``pull-worker`` executor does not *push* cells to workers; it writes a
 ``manifest.json`` into the shared store directory describing the whole
 campaign — every cell keyed by its request fingerprint (the idempotency
-key), plus the lease/retry policy — and workers *pull* from it: claim a
-lease on an unresolved fingerprint, execute, append, release, repeat.  The
-manifest is the only coordination artifact besides the store itself, so a
-worker needs nothing but the store directory path to join a campaign (from
-any machine sharing the filesystem).
+key), plus the lease/retry/supervision policy — and workers *pull* from it:
+claim a lease on an unresolved fingerprint, execute, append, release,
+repeat.  The manifest is the only coordination artifact besides the store
+itself, so a worker needs nothing but the store directory path to join a
+campaign (from any machine sharing the filesystem).
 
-The file is written atomically (temp + ``os.replace``), so workers always
-read a complete manifest, and re-writing the same campaign is idempotent —
-cells are keyed by fingerprint, and fingerprints of already-stored cells
-are simply skipped by every worker.
+The policy travels as a :class:`~repro.campaign.supervisor.CampaignPolicy`
+(schema v2 nests it under ``"policy"``; the legacy flat v1 keys are still
+written *and* read, so old workers and old manifests interoperate both
+ways).  The file is written atomically (temp + ``os.replace``), so workers
+always read a complete manifest, and re-writing the same campaign is
+idempotent — cells are keyed by fingerprint, and fingerprints of
+already-stored cells are simply skipped by every worker.
 """
 
 from __future__ import annotations
@@ -22,10 +25,11 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, Mapping, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
 from repro.api.envelopes import SearchRequest, request_fingerprint
 from repro.campaign.store import atomic_write_text
+from repro.campaign.supervisor import CampaignPolicy
 
 #: Name of the manifest file inside a shared store directory.
 MANIFEST_FILENAME = "manifest.json"
@@ -41,58 +45,77 @@ class CampaignManifest:
         ``fingerprint -> serialized SearchRequest`` for every cell of the
         expanded grid (including already-finished ones — workers skip
         stored fingerprints, which is what makes re-publishing idempotent).
-    ttl_s / poll_s:
-        Lease expiry window and idle-poll interval of the worker loop.
-    max_attempts / backoff_base_s:
-        Bounded-retry policy: a cell is retried while its audit trail shows
-        fewer than ``max_attempts`` retryable failures, after an
-        exponential backoff of ``backoff_base_s * 2**(attempt-1)`` seconds.
-    on_error:
-        ``"fail"`` or ``"continue"`` — what the *orchestrator* does about
-        permanently failed cells; workers always continue past failures.
-    checkpoint_every:
-        When positive, workers run each cell with crash-safe checkpointing
-        (snapshot every N evaluations under ``<store>/checkpoints/``), so a
-        reclaimed cell resumes mid-search instead of restarting from
-        evaluation zero.  ``0`` (the default) disables checkpointing.
+    policy:
+        The campaign's :class:`~repro.campaign.supervisor.CampaignPolicy`
+        (leases, bounded retry, deadlines, circuit breaker).  The policy
+        fields are also readable directly on the manifest (``manifest.ttl_s``
+        etc.) for backward compatibility with the flat v1 layout.
     created_at:
         Epoch seconds the manifest was published.
     """
 
     cells: Dict[str, Dict[str, Any]]
-    ttl_s: float = 30.0
-    poll_s: float = 0.5
-    max_attempts: int = 3
-    backoff_base_s: float = 0.5
-    on_error: str = "fail"
-    checkpoint_every: int = 0
+    policy: CampaignPolicy = field(default_factory=CampaignPolicy)
     created_at: float = field(default_factory=time.time)
 
-    def __post_init__(self) -> None:
-        if self.ttl_s <= 0 or self.poll_s <= 0:
-            raise ValueError(
-                f"ttl_s/poll_s must be positive, got {self.ttl_s}/{self.poll_s}"
-            )
-        if self.max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
-        if self.on_error not in ("fail", "continue"):
-            raise ValueError(
-                f"on_error must be 'fail' or 'continue', got {self.on_error!r}"
-            )
-        if self.checkpoint_every < 0:
-            raise ValueError(
-                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
-            )
+    # ------------------------------------------------------------------ policy views
+    @property
+    def ttl_s(self) -> float:
+        return self.policy.ttl_s
+
+    @property
+    def poll_s(self) -> float:
+        return self.policy.poll_s
+
+    @property
+    def max_attempts(self) -> int:
+        return self.policy.max_attempts
+
+    @property
+    def backoff_base_s(self) -> float:
+        return self.policy.backoff_base_s
+
+    @property
+    def max_backoff_s(self) -> float:
+        return self.policy.max_backoff_s
+
+    @property
+    def cell_timeout_s(self) -> float:
+        return self.policy.cell_timeout_s
+
+    @property
+    def on_error(self) -> str:
+        return self.policy.on_error
+
+    @property
+    def checkpoint_every(self) -> int:
+        return self.policy.checkpoint_every
 
     @classmethod
     def from_requests(
-        cls, requests: Iterable[SearchRequest], **policy: Any
+        cls,
+        requests: Iterable[SearchRequest],
+        policy: Optional[CampaignPolicy] = None,
+        **overrides: Any,
     ) -> "CampaignManifest":
-        """Build a manifest from expanded grid requests."""
+        """Build a manifest from expanded grid requests.
+
+        Policy settings come either as a ready
+        :class:`~repro.campaign.supervisor.CampaignPolicy` or as flat
+        keyword overrides (``ttl_s=10.0, max_attempts=5`` — the historical
+        call shape); both at once applies the overrides on top.
+        """
         cells = {
             request_fingerprint(request): request.to_dict() for request in requests
         }
-        return cls(cells=cells, **policy)
+        created_at = overrides.pop("created_at", None)
+        resolved = policy or CampaignPolicy()
+        if overrides:
+            resolved = resolved.replace(**overrides)
+        kwargs: Dict[str, Any] = {"cells": cells, "policy": resolved}
+        if created_at is not None:
+            kwargs["created_at"] = float(created_at)
+        return cls(**kwargs)
 
     def requests(self) -> Dict[str, SearchRequest]:
         """Deserialized ``fingerprint -> SearchRequest`` mapping."""
@@ -103,28 +126,36 @@ class CampaignManifest:
 
     # ------------------------------------------------------------------ serialization
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "schema_version": 1,
+        # schema v2: the policy is nested, but the v1 flat keys are written
+        # too so a pre-supervision worker can still join this campaign
+        payload = {
+            "schema_version": 2,
             "cells": dict(self.cells),
-            "ttl_s": self.ttl_s,
-            "poll_s": self.poll_s,
-            "max_attempts": self.max_attempts,
-            "backoff_base_s": self.backoff_base_s,
-            "on_error": self.on_error,
-            "checkpoint_every": self.checkpoint_every,
+            "policy": self.policy.to_dict(),
             "created_at": self.created_at,
         }
+        for legacy_key in (
+            "ttl_s",
+            "poll_s",
+            "max_attempts",
+            "backoff_base_s",
+            "on_error",
+            "checkpoint_every",
+        ):
+            payload[legacy_key] = payload["policy"][legacy_key]
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignManifest":
+        if isinstance(data.get("policy"), Mapping):
+            policy = CampaignPolicy.from_dict(data["policy"])
+        else:
+            # v1 manifest: reconstruct the policy from the flat keys (the
+            # supervision fields simply take their off-by-default values)
+            policy = CampaignPolicy.from_dict(data)
         return cls(
             cells={str(k): dict(v) for k, v in dict(data.get("cells", {})).items()},
-            ttl_s=float(data.get("ttl_s", 30.0)),
-            poll_s=float(data.get("poll_s", 0.5)),
-            max_attempts=int(data.get("max_attempts", 3)),
-            backoff_base_s=float(data.get("backoff_base_s", 0.5)),
-            on_error=str(data.get("on_error", "fail")),
-            checkpoint_every=int(data.get("checkpoint_every", 0)),
+            policy=policy,
             created_at=float(data.get("created_at", 0.0)),
         )
 
@@ -168,14 +199,19 @@ def resolve_backoff(
     attempt: int,
     backoff_base_s: float,
     fingerprint: Union[str, None] = None,
+    max_backoff_s: Union[float, None] = None,
 ) -> float:
     """Epoch time before which a failed cell must not be retried.
 
     With a ``fingerprint`` the exponential delay is scaled by the cell's
     deterministic :func:`backoff_jitter_factor`; without one (the legacy
-    call shape) the delay is exact.
+    call shape) the delay is exact.  ``max_backoff_s`` caps the final delay
+    (after jitter), so high attempt counts wait at most the cap instead of
+    growing without bound; ``None`` keeps the historical uncapped shape.
     """
     delay = backoff_base_s * (2 ** max(0, attempt - 1))
     if fingerprint is not None:
         delay *= backoff_jitter_factor(fingerprint, attempt)
+    if max_backoff_s is not None:
+        delay = min(delay, float(max_backoff_s))
     return last_failure_time_s + delay

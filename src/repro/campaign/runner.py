@@ -60,6 +60,13 @@ from repro.campaign.executors import (
 from repro.campaign.gridspec import CampaignSpec, expand_requests
 from repro.campaign.sharded import AnyRunStore, open_store
 from repro.campaign.store import RunStore, StoreError
+from repro.campaign.supervisor import (
+    CIRCUIT_OPEN,
+    CampaignPolicy,
+    CampaignSupervisor,
+    CircuitBreaker,
+    CircuitOpenError,
+)
 
 #: Optional ``callback(done_count, total_count, fingerprint, outcome)`` fired
 #: after each cell is stored (and once per skipped cell, with ``outcome=None``).
@@ -94,6 +101,13 @@ class CampaignResult:
         non-empty under ``on_error="continue"``).
     workers / executor / wall_time_s:
         Execution settings and total duration of the call.
+    timeout_kills / dead_lettered / circuit_state / circuit_transitions:
+        Supervision telemetry (see :mod:`repro.campaign.supervisor`):
+        cells killed at their enforced deadline, cells moved to the
+        dead-letter queue, and the circuit breaker's final state plus its
+        ``(time, from, to)`` transition history.  ``circuit_state`` is
+        ``"disabled"`` when the policy never enables the breaker, so an
+        unsupervised campaign's summary keys are stable.
     """
 
     store: AnyRunStore
@@ -103,6 +117,10 @@ class CampaignResult:
     workers: int = 1
     executor: str = "serial"
     wall_time_s: float = 0.0
+    timeout_kills: int = 0
+    dead_lettered: int = 0
+    circuit_state: str = "disabled"
+    circuit_transitions: Tuple[Any, ...] = ()
 
     @property
     def total_cells(self) -> int:
@@ -121,6 +139,12 @@ class CampaignResult:
             "workers": self.workers,
             "executor": self.executor,
             "wall_time_s": self.wall_time_s,
+            "timeout_kills": self.timeout_kills,
+            "dead_lettered": self.dead_lettered,
+            "circuit_state": self.circuit_state,
+            "circuit_transitions": [
+                list(t) for t in self.circuit_transitions
+            ],
         }
 
 
@@ -159,6 +183,7 @@ def run_campaign(
     resume: bool = True,
     executor: Optional[Union[str, CampaignExecutor]] = None,
     executor_options: Optional[Dict[str, Any]] = None,
+    policy: Optional[CampaignPolicy] = None,
     on_error: str = "fail",
     scenarios: Optional[ScenarioRegistry] = None,
     engine: Optional[EvaluationEngine] = None,
@@ -188,6 +213,17 @@ def run_campaign(
     executor_options:
         Executor-specific settings (e.g. ``ttl_s`` / ``poll_s`` /
         ``max_attempts`` / ``backoff_base_s`` for ``pull-worker``).
+    policy:
+        Optional :class:`~repro.campaign.supervisor.CampaignPolicy`
+        carrying the supervision knobs (enforced cell deadline, retry and
+        backoff limits, circuit breaker).  Its fields merge *under* any
+        flat ``executor_options`` (explicit options win).  With the
+        breaker enabled, a campaign whose sliding-window failure rate
+        trips the threshold aborts with
+        :class:`~repro.campaign.supervisor.CircuitOpenError` (CLI exit
+        code 4); out-of-process supervision (dead-lettering, shared
+        breaker state) applies on the ``pull-worker`` executor, while
+        in-process executors track the breaker in memory.
     on_error:
         ``"fail"`` (default) stops on the first failed cell and raises
         after draining in-flight work — finished cells stay stored.
@@ -224,6 +260,31 @@ def run_campaign(
     executed: List[str] = []
     failures: List[CellFailure] = []
 
+    # in-process circuit breaker: pull workers share the file-backed one
+    # (via the manifest policy); every other executor feeds this in-memory
+    # breaker through the record/fail callbacks below
+    breaker: Optional[CircuitBreaker] = None
+    if (
+        policy is not None
+        and policy.circuit_enabled
+        and resolved.name != "pull-worker"
+    ):
+        breaker = CircuitBreaker(
+            window=policy.circuit_window,
+            threshold=policy.circuit_threshold,
+            cooldown_s=policy.circuit_cooldown_s,
+            probes=policy.circuit_probes,
+        )
+
+    def _trip(success: bool) -> None:
+        if breaker is None:
+            return
+        if breaker.record(success) == CIRCUIT_OPEN:
+            raise CircuitOpenError(
+                f"campaign circuit breaker is open (failure rate over the "
+                f"last {breaker.window} cells reached {breaker.threshold:g})"
+            )
+
     def _record(
         fingerprint: str, outcome: SearchOutcome, persisted: bool = False
     ) -> None:
@@ -234,6 +295,7 @@ def run_campaign(
         done += 1
         if progress is not None:
             progress(done, total, fingerprint, outcome)
+        _trip(True)
 
     def _fail(
         fingerprint: str, envelope: ErrorEnvelope, persisted: bool = False
@@ -243,23 +305,28 @@ def run_campaign(
             store.record_error(envelope, **envelope.context)
         failures.append(CellFailure(fingerprint, envelope))
         done += 1
+        _trip(False)
 
-    if pending:
-        resolved.run(
-            ExecutionContext(
-                pending=pending,
-                store=store,
-                workers=max(1, int(workers)),
-                on_error=on_error,
-                scenarios=scenarios,
-                engine=engine,
-                record=_record,
-                fail=_fail,
-                options=dict(executor_options or {}),
+    options = dict(policy.to_dict()) if policy is not None else {}
+    options.update(executor_options or {})
+    try:
+        if pending:
+            resolved.run(
+                ExecutionContext(
+                    pending=pending,
+                    store=store,
+                    workers=max(1, int(workers)),
+                    on_error=on_error,
+                    scenarios=scenarios,
+                    engine=engine,
+                    record=_record,
+                    fail=_fail,
+                    options=options,
+                )
             )
-        )
-    if hasattr(store, "flush"):
-        store.flush()
+    finally:
+        if hasattr(store, "flush"):
+            store.flush()
     if failures and on_error == "fail":
         first = failures[0]
         raise RuntimeError(
@@ -267,6 +334,30 @@ def run_campaign(
             f"cells were stored; resume re-runs only the rest): "
             f"{first.envelope.message}"
         )
+
+    # supervision telemetry: the pull-worker path persists it next to the
+    # store; in-process paths derive it from the failures and the breaker
+    if resolved.name == "pull-worker":
+        supervision = CampaignSupervisor(
+            store.directory, policy or CampaignPolicy()
+        ).summary()
+        timeout_kills = supervision["timeout_kills"]
+        dead_lettered = supervision["dead_lettered"]
+        circuit_state = supervision["circuit_state"]
+        circuit_transitions = tuple(
+            tuple(t) for t in supervision["circuit_transitions"]
+        )
+    else:
+        timeout_kills = sum(
+            1 for failure in failures if failure.envelope.code == "E_TIMEOUT"
+        )
+        dead_lettered = 0
+        if breaker is not None:
+            circuit_state = breaker.state
+            circuit_transitions = tuple(breaker.transitions)
+        else:
+            circuit_state = "disabled"
+            circuit_transitions = ()
 
     return CampaignResult(
         store=store,
@@ -276,4 +367,8 @@ def run_campaign(
         workers=max(1, int(workers)),
         executor=resolved.name,
         wall_time_s=time.perf_counter() - start,
+        timeout_kills=timeout_kills,
+        dead_lettered=dead_lettered,
+        circuit_state=circuit_state,
+        circuit_transitions=circuit_transitions,
     )

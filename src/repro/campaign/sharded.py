@@ -51,10 +51,13 @@ from repro.campaign.errors import (
 )
 from repro.campaign.store import (
     INDEX_FILENAME,
+    RUNS_FILENAME,
     RunStore,
     StoreError,
     _record_summary,
     atomic_write_text,
+    record_crc,
+    verify_record_crc,
 )
 from repro.utils.serialization import to_jsonable
 
@@ -66,6 +69,9 @@ AUDIT_DIRNAME = "audit"
 
 #: Marker file identifying a directory as a sharded store.
 MARKER_FILENAME = "store.json"
+
+#: Subdirectory where :func:`fsck_store --repair` banishes bad lines.
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Hex digits of the shard-key hash suffix (collision guard for slugs).
 _SHARD_HASH_LENGTH = 8
@@ -97,6 +103,9 @@ class _Shard:
     good_end: int = 0
     #: Unparseable lines skipped by the tolerant scanner.
     corrupt_lines: int = 0
+    #: Lines that parsed but failed their CRC32 check (disk rot) — counted,
+    #: never indexed, never served; ``fsck_store`` quarantines them.
+    crc_mismatches: int = 0
     #: ``fingerprint -> (offset, summary)`` in append order (dict ordering).
     entries: Dict[str, Tuple[int, Dict[str, Any]]] = field(default_factory=dict)
     #: Records replaced by a later append of the same fingerprint.
@@ -160,6 +169,7 @@ class ShardedRunStore:
                 # compacted (or truncated) behind our back — rescan it
                 shard.good_end = 0
                 shard.corrupt_lines = 0
+                shard.crc_mismatches = 0
                 shard.superseded = 0
                 for fingerprint in list(shard.entries):
                     self._routing.pop(fingerprint, None)
@@ -184,6 +194,14 @@ class ShardedRunStore:
                     # (compact() drops the dead bytes) but keep scanning —
                     # later records are intact
                     shard.corrupt_lines += 1
+                    offset += len(raw)
+                    shard.good_end = offset
+                    continue
+                if not verify_record_crc(record):
+                    # parses but the checksum disagrees: disk rot.  Count it
+                    # and refuse to index it — a rotten record must never be
+                    # served — but keep scanning; fsck quarantines the line.
+                    shard.crc_mismatches += 1
                     offset += len(raw)
                     shard.good_end = offset
                     continue
@@ -233,6 +251,7 @@ class ShardedRunStore:
                 f"fingerprint {fingerprint!r} is already stored in {self.directory}"
             )
         record = {"fingerprint": fingerprint, "outcome": to_jsonable(outcome.to_dict())}
+        record["crc32"] = record_crc(record)
         summary = _record_summary(record)
         key = shard_key(summary["scenario"], summary["search_space"])
         shard = self._shards.get(key)
@@ -272,6 +291,7 @@ class ShardedRunStore:
                     "path": f"{SHARDS_DIRNAME}/{shard.key}.jsonl",
                     "records": len(shard.entries),
                     "corrupt_lines": shard.corrupt_lines,
+                    "crc_mismatches": shard.crc_mismatches,
                     "superseded": shard.superseded,
                 }
                 for shard in self._shards.values()
@@ -388,6 +408,10 @@ class ShardedRunStore:
             "total_wall_time_s": sum(r["wall_time_s"] for r in records.values()),
             "superseded": sum(s.superseded for s in self._shards.values()),
             "corrupt_lines": sum(s.corrupt_lines for s in self._shards.values()),
+            "crc_mismatches": sum(
+                s.crc_mismatches for s in self._shards.values()
+            ),
+            "dead_letter": _dead_letter_count(self.directory),
             "audit": audit,
         }
 
@@ -426,6 +450,17 @@ class ShardedRunStore:
             records.extend(AuditLog(path).records())
         return records
 
+    def iter_audit_records(self) -> Iterator[ErrorEnvelope]:
+        """Stream failure envelopes across all shard audit logs.
+
+        One record is in memory at a time, so ``repro report`` stays flat
+        even over campaigns whose audit logs hold thousands of retries.
+        """
+        if not self.audit_dir.is_dir():
+            return
+        for path in sorted(self.audit_dir.glob("*.jsonl")):
+            yield from AuditLog(path).iter_records()
+
     # ------------------------------------------------------------------ maintenance
     def compact(self) -> Dict[str, Any]:
         """Rewrite every shard, dropping torn tails and superseded records.
@@ -439,11 +474,13 @@ class ShardedRunStore:
         kept = 0
         dropped_superseded = 0
         dropped_corrupt = 0
+        dropped_crc = 0
         torn_bytes = 0
         for key in sorted(self._shards):
             shard = self._shards[key]
             dropped_superseded += shard.superseded
             dropped_corrupt += shard.corrupt_lines
+            dropped_crc += shard.crc_mismatches
             try:
                 size = shard.path.stat().st_size
             except OSError:
@@ -468,6 +505,7 @@ class ShardedRunStore:
             "kept": kept,
             "dropped_superseded": dropped_superseded,
             "dropped_corrupt_lines": dropped_corrupt,
+            "dropped_crc_mismatches": dropped_crc,
             "dropped_torn_bytes": torn_bytes,
         }
 
@@ -526,6 +564,149 @@ def open_store(
             f"(use 'repro store merge' to convert)"
         )
     return ShardedRunStore(directory) if sharded else RunStore(directory)
+
+
+def _dead_letter_count(directory: Union[str, Path]) -> int:
+    """Cells currently buried in the store's dead-letter queue."""
+    from repro.campaign.supervisor import DeadLetterQueue
+
+    return len(DeadLetterQueue(directory))
+
+
+def _fsck_file(path: Path) -> Dict[str, Any]:
+    """Classify every line of one store data file at the raw-byte level.
+
+    Returns the original raw bytes of each *keepable* line (``intact`` —
+    CRC verified — and ``legacy`` — pre-CRC records with nothing to verify)
+    plus the bytes to quarantine (``corrupt`` unparseable lines,
+    ``crc_mismatch`` rotten records, and a torn unterminated tail).
+    Keepable bytes are returned exactly as read, so a repair rewrite is
+    byte-identical for every record it preserves.
+    """
+    counts = {
+        "intact": 0,
+        "legacy": 0,
+        "crc_mismatch": 0,
+        "corrupt": 0,
+        "torn_bytes": 0,
+    }
+    keep: List[bytes] = []
+    quarantine: List[bytes] = []
+    data = path.read_bytes()
+    offset = 0
+    end = len(data)
+    while offset < end:
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            # unterminated tail: a writer died mid-append (or the write was
+            # torn by the kernel).  Offline — which is when fsck runs — that
+            # is damage, not work in progress.
+            counts["torn_bytes"] = end - offset
+            quarantine.append(data[offset:end])
+            break
+        raw = data[offset : newline + 1]
+        offset = newline + 1
+        try:
+            record = json.loads(raw.decode("utf-8"))
+            record["fingerprint"]
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            counts["corrupt"] += 1
+            quarantine.append(raw)
+            continue
+        if "crc32" not in record:
+            counts["legacy"] += 1
+            keep.append(raw)
+        elif verify_record_crc(record):
+            counts["intact"] += 1
+            keep.append(raw)
+        else:
+            counts["crc_mismatch"] += 1
+            quarantine.append(raw)
+    return {"counts": counts, "keep": keep, "quarantine": quarantine}
+
+
+def fsck_store(
+    directory: Union[str, Path], repair: bool = False
+) -> Dict[str, Any]:
+    """Verify (and optionally repair) the integrity of a store on disk.
+
+    Scans ``runs.jsonl`` and every ``shards/*.jsonl`` file raw, classifying
+    each line as *intact* (CRC verified), *legacy* (pre-CRC, nothing to
+    verify), *crc_mismatch* (parses, checksum disagrees — disk rot),
+    *corrupt* (unparseable) or a *torn* unterminated tail.  ``repro store
+    fsck`` is the CLI face of this function.
+
+    With ``repair=True`` every bad line is appended to a sidecar under
+    ``quarantine/`` (named after its source file, so nothing is ever
+    destroyed), each damaged file is atomically rewritten keeping the
+    **original raw bytes** of its intact and legacy lines — byte-identical
+    preservation — and the merged index is rebuilt from the repaired files.
+    **Single-writer only**: repair while no workers are appending.
+
+    Returns a report with per-file and total counts, ``clean`` (no issues
+    found), ``repaired`` and ``quarantined_lines``.
+    """
+    directory = Path(directory)
+    targets: List[Path] = []
+    runs_path = directory / RUNS_FILENAME
+    if runs_path.exists():
+        targets.append(runs_path)
+    shards_dir = directory / SHARDS_DIRNAME
+    if shards_dir.is_dir():
+        targets.extend(sorted(shards_dir.glob("*.jsonl")))
+    totals = {
+        "intact": 0,
+        "legacy": 0,
+        "crc_mismatch": 0,
+        "corrupt": 0,
+        "torn_bytes": 0,
+    }
+    report: Dict[str, Any] = {
+        "directory": str(directory),
+        "files": {},
+        "repaired": False,
+        "quarantined_lines": 0,
+    }
+    damaged: List[Tuple[Path, Dict[str, Any]]] = []
+    for path in targets:
+        result = _fsck_file(path)
+        relative = path.relative_to(directory).as_posix()
+        report["files"][relative] = result["counts"]
+        for name in totals:
+            totals[name] += result["counts"][name]
+        if result["quarantine"]:
+            damaged.append((path, result))
+    report.update(totals)
+    report["clean"] = (
+        totals["crc_mismatch"] == 0
+        and totals["corrupt"] == 0
+        and totals["torn_bytes"] == 0
+    )
+    if not repair or not damaged:
+        return report
+    quarantine_dir = directory / QUARANTINE_DIRNAME
+    quarantine_dir.mkdir(parents=True, exist_ok=True)
+    for path, result in damaged:
+        relative = path.relative_to(directory).as_posix()
+        sidecar = quarantine_dir / relative.replace("/", "__")
+        with sidecar.open("ab") as handle:
+            for raw in result["quarantine"]:
+                # terminate the torn fragment so the sidecar stays
+                # line-oriented across repeated fsck runs
+                handle.write(raw if raw.endswith(b"\n") else raw + b"\n")
+                report["quarantined_lines"] += 1
+        tmp = path.with_name(path.name + f".fsck.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            handle.writelines(result["keep"])
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    report["repaired"] = True
+    report["quarantine_dir"] = str(quarantine_dir)
+    # rebuild the merged index from the repaired files
+    store = open_store(directory)
+    store._write_index()
+    return report
 
 
 def merge_stores(

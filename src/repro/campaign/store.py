@@ -16,6 +16,13 @@ the record being written.  A torn trailing line (the process died inside a
 corrupt line in the *middle* of the file raises — that is disk damage, not
 an interrupted append, and silently dropping finished runs would be worse.
 
+Every record appended since the integrity layer landed carries a ``crc32``
+field (see :func:`record_crc`) checked on every scan: a line that still
+parses but whose checksum disagrees is disk rot and raises rather than
+being silently served.  Records from older stores (no ``crc32`` field)
+keep reading unchanged.  ``repro store fsck`` verifies, quarantines and
+repairs damaged stores (:func:`repro.campaign.sharded.fsck_store`).
+
 The store expects a single writer (the campaign runner appends from the
 parent process only).  Concurrent readers are safe because records are
 immutable once written and opening a store for reading never writes: the
@@ -36,6 +43,7 @@ read/write interface over per-(scenario x space) shard files.
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -68,6 +76,39 @@ class StoreError(RuntimeError):
 # now lives with the other serialization primitives (and is shared by the
 # search checkpoint layer), see :mod:`repro.utils.serialization`.
 from repro.utils.serialization import atomic_write_text  # noqa: E402,F401
+
+
+def record_crc(record: Dict[str, Any]) -> int:
+    """CRC32 of one store record, over a canonical serialization.
+
+    The checksum covers every field except ``crc32`` itself, serialized
+    with sorted keys and tight separators — independent of the key order
+    and whitespace of the line actually on disk, so a compacted or merged
+    record verifies identically.  New records carry the result as a
+    ``crc32`` field; records written before the field existed verify
+    vacuously (there is nothing to check them against).
+    """
+    payload = {key: value for key, value in record.items() if key != "crc32"}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def verify_record_crc(record: Dict[str, Any]) -> bool:
+    """Whether a record's stored ``crc32`` matches its content.
+
+    Records without the field (pre-CRC stores) pass — old stores keep
+    reading — but a present-and-wrong checksum means the bytes rotted on
+    disk (or were tampered with) and the record must never be served.
+    """
+    stored = record.get("crc32")
+    if stored is None:
+        return True
+    try:
+        return int(stored) == record_crc(record)
+    except (TypeError, ValueError):
+        return False
 
 
 def _record_summary(record: Dict[str, Any]) -> Dict[str, Any]:
@@ -142,8 +183,18 @@ class RunStore:
                 except (ValueError, KeyError, UnicodeDecodeError) as error:
                     raise StoreError(
                         f"{self.runs_path}:{line_number}: corrupt record "
-                        f"({error}); the store needs manual repair"
+                        f"({error}); run 'repro store fsck --store "
+                        f"{self.directory} --repair' to quarantine it"
                     ) from error
+                if not verify_record_crc(record):
+                    # disk rot: the line parses but its checksum disagrees —
+                    # refuse to serve it rather than hand back silently
+                    # corrupted search results
+                    raise StoreError(
+                        f"{self.runs_path}:{line_number}: CRC mismatch on "
+                        f"record {fingerprint!r}; run 'repro store fsck "
+                        f"--store {self.directory} --repair' to quarantine it"
+                    )
                 if fingerprint in self._index:
                     raise StoreError(
                         f"{self.runs_path}:{line_number}: duplicate fingerprint "
@@ -224,6 +275,7 @@ class RunStore:
                 f"fingerprint {fingerprint!r} is already stored in {self.directory}"
             )
         record = {"fingerprint": fingerprint, "outcome": to_jsonable(outcome.to_dict())}
+        record["crc32"] = record_crc(record)
         # binary mode end to end: byte offsets stay exact on every platform
         line = (json.dumps(record, sort_keys=False) + "\n").encode("utf-8")
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -336,6 +388,10 @@ class RunStore:
     def audit_records(self) -> List[ErrorEnvelope]:
         """Every recorded failure envelope, in append order."""
         return self.audit.records()
+
+    def iter_audit_records(self) -> Iterator[ErrorEnvelope]:
+        """Stream failure envelopes without materialising the full list."""
+        return self.audit.iter_records()
 
     def __repr__(self) -> str:
         return f"RunStore({str(self.directory)!r}, runs={len(self)})"

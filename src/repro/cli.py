@@ -15,8 +15,9 @@ The subcommands mirror the library's layers (also reachable as
   shared sharded store directory (the ``pull-worker`` protocol; start any
   number, on any machine sharing the filesystem);
 * ``repro store`` — maintenance: ``compact`` (drop torn tails and
-  superseded records), ``export`` (columnar per-candidate metrics) and
-  ``merge`` (consolidate stores by fingerprint);
+  superseded records), ``export`` (columnar per-candidate metrics),
+  ``merge`` (consolidate stores by fingerprint) and ``fsck`` (verify
+  per-record checksums; ``--repair`` quarantines damaged lines);
 * ``repro report`` — aggregate a store into per-scenario winner and Pareto
   summaries (text, Markdown or JSON), including audit/error summaries;
 * ``repro serve`` — replay a campaign-produced Pareto winner against a
@@ -52,10 +53,14 @@ from repro.api.scenario import SCENARIOS
 from repro.api.session import STRATEGIES, run_search
 from repro.campaign import (
     EXECUTORS,
+    CampaignPolicy,
     CampaignSpec,
+    CircuitOpenError,
+    DeadLetterQueue,
     ErrorEnvelope,
     RunStore,
     StoreError,
+    fsck_store,
     merge_stores,
     open_store,
     run_campaign,
@@ -230,6 +235,40 @@ def build_parser() -> argparse.ArgumentParser:
                                  metavar="S",
                                  help="exponential-backoff base between "
                                       "retries (pull-worker; default: 0.5s)")
+    campaign_parser.add_argument("--max-backoff", type=float, default=60.0,
+                                 metavar="S",
+                                 help="cap on any single retry delay "
+                                      "(pull-worker; default: 60s)")
+    campaign_parser.add_argument("--cell-timeout", type=float, default=0.0,
+                                 metavar="S",
+                                 help="per-cell deadline: a cell still running "
+                                      "after S seconds is killed and audited "
+                                      "as E_TIMEOUT (0 = no deadline, the "
+                                      "default)")
+    campaign_parser.add_argument("--circuit-threshold", type=float, default=0.0,
+                                 metavar="F",
+                                 help="open the campaign circuit breaker when "
+                                      "the failure rate over the last "
+                                      "--circuit-window cells reaches F in "
+                                      "(0, 1]; exits with code 4 "
+                                      "(0 = disabled, the default)")
+    campaign_parser.add_argument("--circuit-window", type=int, default=8,
+                                 metavar="N",
+                                 help="sliding window of recent cell results "
+                                      "the failure rate is computed over "
+                                      "(default: 8)")
+    campaign_parser.add_argument("--circuit-cooldown", type=float, default=5.0,
+                                 metavar="S",
+                                 help="seconds an open circuit waits before "
+                                      "half-opening to probe (default: 5s)")
+    campaign_parser.add_argument("--circuit-probes", type=int, default=1,
+                                 metavar="N",
+                                 help="probe cells allowed through a "
+                                      "half-open circuit (default: 1)")
+    campaign_parser.add_argument("--retry-dead", action="store_true",
+                                 help="re-admit every dead-lettered cell in "
+                                      "--store with a fresh retry budget "
+                                      "before (or without) running the grid")
     campaign_parser.add_argument("--checkpoint-every", type=int, default=0,
                                  metavar="N",
                                  help="crash-safe mid-search checkpointing "
@@ -290,6 +329,21 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("--out", metavar="FILE",
                                help="write the export to FILE instead of "
                                     "stdout")
+    fsck_parser = store_commands.add_parser(
+        "fsck",
+        help="verify per-record checksums; --repair quarantines bad lines",
+        description="Scan every line of a store's run files, verifying the "
+                    "per-record CRC32 each append embeds. Without --repair, "
+                    "report what was found and exit 1 if anything is damaged. "
+                    "With --repair, move damaged lines to a quarantine "
+                    "sidecar, rewrite the files keeping intact records "
+                    "byte-identical, and rebuild the index. Run only while "
+                    "no workers are active.",
+    )
+    fsck_parser.add_argument("--store", required=True, metavar="DIR")
+    fsck_parser.add_argument("--repair", action="store_true",
+                             help="quarantine damaged lines and rewrite the "
+                                  "store (default: verify only)")
     merge_parser = store_commands.add_parser(
         "merge",
         help="copy missing records between stores by fingerprint",
@@ -521,6 +575,12 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.retry_dead:
+        readmitted = DeadLetterQueue(args.store).readmit_all()
+        print(f"retry-dead: {len(readmitted)} dead-lettered cell(s) "
+              f"re-admitted with a fresh retry budget")
+        if not args.spec and not args.scenario:
+            return 0  # re-admit only; a later campaign/worker picks them up
     spec = _spec_from_args(args)
     if args.executor == "pull-worker" and not args.sharded:
         args.sharded = True  # pull workers need the multi-writer format
@@ -540,18 +600,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     f"({outcome.wall_time_s:.2f}s)")
         print(f"[{done}/{total}] {fingerprint}  {what}")
 
+    policy = CampaignPolicy(
+        ttl_s=args.ttl,
+        poll_s=args.poll,
+        max_attempts=args.max_attempts,
+        backoff_base_s=args.backoff,
+        max_backoff_s=args.max_backoff,
+        cell_timeout_s=args.cell_timeout,
+        on_error=args.on_error,
+        checkpoint_every=args.checkpoint_every,
+        circuit_window=args.circuit_window,
+        circuit_threshold=args.circuit_threshold,
+        circuit_cooldown_s=args.circuit_cooldown,
+        circuit_probes=args.circuit_probes,
+    )
     result = run_campaign(
         spec, store,
         workers=args.workers,
         resume=not args.no_resume,
         executor=args.executor,
-        executor_options={
-            "ttl_s": args.ttl,
-            "poll_s": args.poll,
-            "max_attempts": args.max_attempts,
-            "backoff_base_s": args.backoff,
-            "checkpoint_every": args.checkpoint_every,
-        },
+        policy=policy,
         on_error=args.on_error,
         progress=progress,
     )
@@ -563,6 +631,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"failed cells: {summary['failed']} "
               f"({', '.join(summary['failed_cells'][:5])}) — "
               f"see the store's audit log; 'repro campaign' again retries them")
+    if summary.get("timeout_kills"):
+        print(f"deadlines: {summary['timeout_kills']} cell(s) killed at the "
+              f"{policy.cell_timeout_s:g}s deadline (E_TIMEOUT)")
+    if summary.get("dead_lettered"):
+        print(f"dead-letter: {summary['dead_lettered']} poison cell(s) "
+              f"buried — 'repro campaign --store {args.store} --retry-dead' "
+              f"re-admits them")
+    if summary.get("circuit_state") not in (None, "disabled", "closed"):
+        print(f"circuit breaker: {summary['circuit_state']} "
+              f"({len(summary.get('circuit_transitions', []))} transition(s))")
     print(f"store: {store.directory} ({len(store)} runs total)")
     return 1 if summary["failed"] else 0
 
@@ -574,7 +652,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"store {store.directory} holds no runs", file=sys.stderr)
         return 1
     summary = summarize_campaign(store.outcomes(), metrics=metrics)
-    audit = summarize_audit(store.audit_records())
+    # stream the audit log: one envelope in memory at a time, however many
+    # retries a long campaign accumulated
+    audit = summarize_audit(store.iter_audit_records())
 
     if args.format == "json":
         payload = summary.to_dict()
@@ -620,6 +700,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 f"[{codes}], {len(audit['failed_cells'])} cell(s) "
                 f"permanently failed, {audit['retries']} retries"
             )
+            if audit.get("dead_lettered"):
+                text += (
+                    f"\ndead-letter: {len(audit['dead_lettered'])} poison cell(s) "
+                    f"buried (repro campaign --retry-dead re-admits them)"
+                )
     print(text)
     if args.out:
         path = Path(args.out)
@@ -768,14 +853,40 @@ def _cmd_worker(args: argparse.Namespace) -> int:
           f"{summary['skipped']} skipped, {summary['failed']} failed, "
           f"{summary['reclaimed']} leases reclaimed, "
           f"{summary['wall_time_s']:.2f}s")
+    if summary.get("timeout_kills"):
+        print(f"deadlines: {summary['timeout_kills']} cell(s) killed at the "
+              f"deadline (E_TIMEOUT)")
+    if summary.get("dead_lettered"):
+        print(f"dead-letter: {summary['dead_lettered']} poison cell(s) buried "
+              f"(repro campaign --retry-dead re-admits them)")
     return 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
     if args.store_command is None:
-        print("repro store: choose an operation: compact, export or merge",
+        print("repro store: choose an operation: compact, export, merge "
+              "or fsck",
               file=sys.stderr)
         return 2
+    if args.store_command == "fsck":
+        report = fsck_store(args.store, repair=args.repair)
+        damaged = (report["crc_mismatch"] + report["corrupt"]
+                   + report["torn_bytes"])
+        print(f"fsck {report['directory']}: {report['intact']} intact, "
+              f"{report['legacy']} legacy (pre-checksum), "
+              f"{report['crc_mismatch']} checksum mismatch(es), "
+              f"{report['corrupt']} corrupt line(s), "
+              f"{report['torn_bytes']} torn byte(s)")
+        if report["repaired"]:
+            print(f"repaired: {report['quarantined_lines']} damaged line(s) "
+                  f"quarantined under {report['quarantine_dir']}, files "
+                  f"rewritten, index rebuilt")
+            return 0
+        if not report["clean"]:
+            print("store is damaged; re-run with --repair to quarantine the "
+                  "bad lines and rebuild the index", file=sys.stderr)
+            return 1
+        return 0
     if args.store_command == "compact":
         store = open_store(args.store)
         if not isinstance(store, ShardedRunStore):
@@ -848,6 +959,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"repro {args.command}: {error}", file=sys.stderr)
         return 2
+    except CircuitOpenError as error:
+        # checked before RuntimeError (its base class): the campaign circuit
+        # breaker tripped — stored cells are safe, the grid is resumable once
+        # the underlying fault is fixed
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 4
     except RuntimeError as error:
         # a campaign stopped by on_error="fail" — finished cells are stored
         print(f"repro {args.command}: {error}", file=sys.stderr)

@@ -27,12 +27,26 @@ search by :func:`install_from_env`):
 ``REPRO_FAULT_KILL_AT_EVAL``
     int — SIGKILL the process after N evaluations complete (checkpoints
     already flushed for them survive; that is the point).
+``REPRO_FAULT_HANG_AT_EVAL`` / ``REPRO_FAULT_HANG_SECONDS``
+    int / float — wedge the process (a long ``time.sleep``) after N
+    evaluations complete, for ``REPRO_FAULT_HANG_SECONDS`` seconds
+    (default 3600).  This is how ``tools/campaign_chaos.py`` manufactures
+    the cell a :func:`~repro.campaign.supervisor.deadline` watchdog must
+    kill.
+``REPRO_FAULT_TORN_WRITE``
+    int — the next N store/audit appends write only half their line and
+    then die (:class:`KilledByFault`), leaving a torn record for the
+    tolerant scanner and ``repro store fsck`` to deal with.
+``REPRO_FAULT_ENOSPC``
+    int — the next N appends fail with ``OSError(ENOSPC)`` before writing
+    a byte, as if the disk filled up.
 """
 
 from __future__ import annotations
 
 import os
 import signal
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence, Set
 
@@ -41,6 +55,10 @@ ENV_LINALG = "REPRO_FAULT_LINALG"
 ENV_NAN_EVALS = "REPRO_FAULT_NAN_EVALS"
 ENV_OBJECTIVE = "REPRO_FAULT_OBJECTIVE"
 ENV_KILL_AT_EVAL = "REPRO_FAULT_KILL_AT_EVAL"
+ENV_HANG_AT_EVAL = "REPRO_FAULT_HANG_AT_EVAL"
+ENV_HANG_SECONDS = "REPRO_FAULT_HANG_SECONDS"
+ENV_TORN_WRITE = "REPRO_FAULT_TORN_WRITE"
+ENV_ENOSPC = "REPRO_FAULT_ENOSPC"
 
 #: Accepted kill behaviours: ``"sigkill"`` is a real crash (for subprocess
 #: drills), ``"raise"`` throws :class:`KilledByFault` (for in-process tests).
@@ -75,6 +93,16 @@ class FaultInjector:
         (i.e. right after evaluation index ``kill_at_evaluation - 1``).
     kill_mode:
         ``"sigkill"`` (default) or ``"raise"``; see :data:`KILL_MODES`.
+    hang_at_evaluation / hang_seconds:
+        Wedge the process (``time.sleep(hang_seconds)``) after this many
+        evaluations complete — the overrunning cell a campaign deadline
+        watchdog must kill.  Checked before the kill switch.
+    torn_appends:
+        Number of upcoming store/audit appends to tear: half the line is
+        written, then the writer dies with :class:`KilledByFault`.
+    enospc_appends:
+        Number of upcoming appends to fail with ``OSError(ENOSPC)``
+        before a byte is written.
     """
 
     def __init__(
@@ -84,6 +112,10 @@ class FaultInjector:
         objective_failures: int = 0,
         kill_at_evaluation: Optional[int] = None,
         kill_mode: str = "sigkill",
+        hang_at_evaluation: Optional[int] = None,
+        hang_seconds: float = 3600.0,
+        torn_appends: int = 0,
+        enospc_appends: int = 0,
     ):
         if kill_mode not in KILL_MODES:
             raise ValueError(f"kill_mode must be one of {KILL_MODES}, got {kill_mode!r}")
@@ -94,6 +126,12 @@ class FaultInjector:
             None if kill_at_evaluation is None else int(kill_at_evaluation)
         )
         self.kill_mode = kill_mode
+        self.hang_at_evaluation = (
+            None if hang_at_evaluation is None else int(hang_at_evaluation)
+        )
+        self.hang_seconds = float(hang_seconds)
+        self.torn_appends = int(torn_appends)
+        self.enospc_appends = int(enospc_appends)
 
     # ------------------------------------------------------------- consults
     def take_linalg_fault(self) -> bool:
@@ -114,8 +152,30 @@ class FaultInjector:
             return True
         return False
 
+    def take_torn_append(self) -> bool:
+        """Whether the next append should tear (half-write, then die)."""
+        if self.torn_appends > 0:
+            self.torn_appends -= 1
+            return True
+        return False
+
+    def take_enospc(self) -> bool:
+        """Whether the next append should fail as if the disk filled up."""
+        if self.enospc_appends > 0:
+            self.enospc_appends -= 1
+            return True
+        return False
+
     def on_evaluation_complete(self, evaluation_index: int) -> None:
         """Kill switch: called after each evaluation (checkpoint included)."""
+        if (
+            self.hang_at_evaluation is not None
+            and int(evaluation_index) + 1 >= self.hang_at_evaluation
+        ):
+            # wedge, do not die: the point is to overrun a deadline.  The
+            # sleep is a blocking system call, so the SIGALRM watchdog
+            # interrupts it immediately.
+            time.sleep(self.hang_seconds)
         if (
             self.kill_at_evaluation is not None
             and int(evaluation_index) + 1 >= self.kill_at_evaluation
@@ -168,7 +228,20 @@ def install_from_env(environ=os.environ) -> Optional[FaultInjector]:
     nans = [int(part) for part in raw_nans.split(",") if part.strip()]
     raw_kill = environ.get(ENV_KILL_AT_EVAL, "")
     kill_at = int(raw_kill) if raw_kill.strip() else None
-    if not (linalg or objective or nans or kill_at is not None):
+    raw_hang = environ.get(ENV_HANG_AT_EVAL, "")
+    hang_at = int(raw_hang) if raw_hang.strip() else None
+    hang_seconds = float(environ.get(ENV_HANG_SECONDS, "3600") or "3600")
+    torn = int(environ.get(ENV_TORN_WRITE, "0") or "0")
+    enospc = int(environ.get(ENV_ENOSPC, "0") or "0")
+    if not (
+        linalg
+        or objective
+        or nans
+        or kill_at is not None
+        or hang_at is not None
+        or torn
+        or enospc
+    ):
         return None
     injector = FaultInjector(
         linalg_failures=linalg,
@@ -176,6 +249,10 @@ def install_from_env(environ=os.environ) -> Optional[FaultInjector]:
         objective_failures=objective,
         kill_at_evaluation=kill_at,
         kill_mode="sigkill",
+        hang_at_evaluation=hang_at,
+        hang_seconds=hang_seconds,
+        torn_appends=torn,
+        enospc_appends=enospc,
     )
     install(injector)
     return injector

@@ -76,6 +76,32 @@ def atomic_write_text(path: Path, text: str) -> None:
     os.replace(tmp, path)
 
 
+def _maybe_inject_append_fault(fd: int, path: Path, line: bytes) -> None:
+    """Chaos hook: consult the fault injector before an append's write.
+
+    Imported lazily so the hot path costs one ``sys.modules`` lookup and
+    production (no injector installed) returns immediately.  Torn-write
+    injection half-writes the line and dies with ``KilledByFault``
+    (simulating a writer killed mid-``write``); ENOSPC injection raises
+    ``OSError(ENOSPC)`` before a byte lands.  The caller's ``finally``
+    blocks unlock and close ``fd`` on both paths.
+    """
+    from repro.resilience import faults
+
+    injector = faults.active()
+    if injector is None:
+        return
+    if injector.take_enospc():
+        import errno
+
+        raise OSError(
+            errno.ENOSPC, "injected fault: no space left on device", str(path)
+        )
+    if injector.take_torn_append():
+        os.write(fd, line[: max(1, len(line) // 2)])
+        raise faults.KilledByFault(f"injected torn append to {path}")
+
+
 def append_jsonl_atomic(path: Path, payload: Mapping[str, Any]) -> int:
     """Append one JSON line to ``path`` safely under concurrent writers.
 
@@ -95,6 +121,7 @@ def append_jsonl_atomic(path: Path, payload: Mapping[str, Any]) -> int:
             fcntl.flock(fd, fcntl.LOCK_EX)
         try:
             offset = os.lseek(fd, 0, os.SEEK_END)
+            _maybe_inject_append_fault(fd, path, line)
             os.write(fd, line)
         finally:
             if fcntl is not None:

@@ -336,7 +336,7 @@ def test_store_compact_rejects_single_file_store(tmp_path, capsys):
 
 def test_store_without_operation_is_a_usage_error(capsys):
     assert main(["store"]) == 2
-    assert "compact, export or merge" in capsys.readouterr().err
+    assert "compact, export, merge or fsck" in capsys.readouterr().err
 
 
 def test_campaign_on_error_continue_reports_failures(tmp_path, capsys):

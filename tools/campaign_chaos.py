@@ -1,0 +1,385 @@
+#!/usr/bin/env python
+"""Campaign supervision chaos drills: deadlines, dead-letter, circuit, fsck.
+
+The acceptance drill of the supervision subsystem (PR 10), runnable locally
+and in CI::
+
+    PYTHONPATH=src python tools/campaign_chaos.py
+
+1. **Deadline + dead-letter**: a worker whose search wedges forever
+   (``REPRO_FAULT_HANG_AT_EVAL``) must be killed at the enforced per-cell
+   deadline, audited as ``E_TIMEOUT``, retried, and — once the retry budget
+   is exhausted — buried in ``dead-letter.jsonl``.  A fresh worker must
+   refuse to claim the buried cell; ``repro campaign --retry-dead`` must
+   re-admit it, after which a clean worker finishes it.
+2. **Store integrity**: an injected ENOSPC append leaves the store
+   byte-identical; an injected torn append and a simulated bit-flip are
+   detected by the CRC layer (counted, never served), reported by
+   ``repro store fsck``, quarantined by ``--repair``, and the repaired
+   store keeps every intact record byte-identical.
+3. **Circuit breaker, end to end**: ``repro campaign --executor
+   pull-worker`` over cells that time out on every attempt must trip the
+   sliding-window breaker, stop the workers claiming, and exit with
+   code 4.
+4. **Healthy parity**: a supervised campaign over healthy cells stores
+   record-identical contents (modulo per-run wall time, and the checksum
+   that covers it) and summaries as an unsupervised one.
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.envelopes import request_fingerprint  # noqa: E402
+from repro.campaign import (  # noqa: E402
+    CampaignPolicy,
+    CampaignSpec,
+    CircuitOpenError,
+    DeadLetterQueue,
+    ShardedRunStore,
+    fsck_store,
+    run_campaign,
+)
+from repro.campaign.manifest import CampaignManifest  # noqa: E402
+from repro.campaign.supervisor import SUPERVISOR_FILENAME  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.resilience import faults  # noqa: E402
+
+SCENARIO = "wifi-3mbps/jetson-tx2-gpu"
+
+#: Budgets small enough that one healthy cell is a second or two.
+FAST = dict(
+    num_initial=2,
+    num_iterations=1,
+    candidate_pool_size=16,
+    predictor_samples_per_type=40,
+)
+
+TIMEOUT_S = 180.0
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _spawn_worker(
+    store_dir: Path, worker_id: str, extra_env: dict = None
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    for name in (
+        faults.ENV_HANG_AT_EVAL, faults.ENV_HANG_SECONDS,
+        faults.ENV_KILL_AT_EVAL,
+    ):
+        env.pop(name, None)
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--store", str(store_dir), "--worker-id", worker_id],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _shard_records(store_dir: Path) -> dict:
+    """fingerprint -> outcome dict with volatile fields stripped."""
+    records = {}
+    for path in sorted((store_dir / "shards").glob("*.jsonl")):
+        for line in path.read_bytes().splitlines():
+            record = json.loads(line)
+            outcome = dict(record["outcome"])
+            outcome.pop("wall_time_s", None)
+            records[record["fingerprint"]] = outcome
+    return records
+
+
+def drill_deadline_and_dead_letter(base: Path) -> int:
+    print("[1/4] deadline + dead-letter drill...")
+    store_dir = base / "deadline"
+    ShardedRunStore(store_dir)
+    request = CampaignSpec(
+        scenarios=(SCENARIO,), strategies=("random",), seeds=(0,), **FAST
+    ).requests()[0]
+    fingerprint = request_fingerprint(request)
+    policy = CampaignPolicy(
+        ttl_s=15.0, poll_s=0.2, max_attempts=2, backoff_base_s=0.2,
+        max_backoff_s=1.0, cell_timeout_s=6.0,
+    )
+    CampaignManifest.from_requests([request], policy=policy).write(store_dir)
+
+    # this worker's search wedges forever at evaluation 1; only the deadline
+    # watchdog can get the cell back
+    hung = _spawn_worker(store_dir, "hung", extra_env={
+        faults.ENV_HANG_AT_EVAL: "1", faults.ENV_HANG_SECONDS: "600",
+    })
+    try:
+        hung.wait(timeout=TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        hung.kill()
+        return _fail("hung worker was not released by the deadline watchdog")
+    if hung.returncode != 0:
+        return _fail(f"hung worker exited {hung.returncode}, expected 0 "
+                     "(bury the cell and finish)")
+
+    store = ShardedRunStore(store_dir)
+    if len(store) != 0:
+        return _fail("a wedged cell still produced a stored outcome")
+    timeouts = [e for e in store.audit_records() if e.code == "E_TIMEOUT"]
+    if len(timeouts) != policy.max_attempts:
+        return _fail(f"expected {policy.max_attempts} E_TIMEOUT audit "
+                     f"records, found {len(timeouts)}")
+    dead_letters = DeadLetterQueue(store_dir)
+    if not dead_letters.is_dead(fingerprint):
+        return _fail("the poison cell was not dead-lettered")
+    chain = dead_letters.envelopes(fingerprint)
+    if not chain or not all(e.code == "E_TIMEOUT" for e in chain):
+        return _fail(f"dead-letter chain should be E_TIMEOUT envelopes, "
+                     f"got {[e.code for e in chain]}")
+    print(f"      killed at the {policy.cell_timeout_s:g}s deadline twice, "
+          f"buried with a {len(chain)}-envelope chain")
+
+    # a fresh worker must refuse the buried cell and exit with nothing to do
+    scavenger = _spawn_worker(store_dir, "scavenger")
+    scavenger.wait(timeout=60.0)
+    store.refresh()
+    if len(store) != 0 or not dead_letters.is_dead(fingerprint):
+        return _fail("a fresh worker re-claimed a dead-lettered cell")
+    print("      fresh worker refused the buried cell")
+
+    # explicit re-admission, then a clean worker finishes the cell
+    code = cli_main(["campaign", "--store", str(store_dir), "--retry-dead"])
+    if code != 0:
+        return _fail(f"repro campaign --retry-dead exited {code}")
+    if dead_letters.is_dead(fingerprint):
+        return _fail("--retry-dead did not re-admit the buried cell")
+    finisher = _spawn_worker(store_dir, "finisher")
+    try:
+        finisher.wait(timeout=TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        finisher.kill()
+        return _fail("clean worker did not finish the re-admitted cell")
+    store.refresh()
+    if sorted(store.fingerprints()) != [fingerprint]:
+        return _fail("re-admitted cell was not executed by the clean worker")
+    print("      --retry-dead re-admitted it; clean worker stored the cell")
+    return 0
+
+
+def drill_store_integrity(base: Path) -> int:
+    print("[2/4] store-integrity drill (ENOSPC, torn write, bit-flip, fsck)...")
+    store_dir = base / "integrity"
+    store = ShardedRunStore(store_dir)
+    spec = CampaignSpec(
+        scenarios=(SCENARIO,), strategies=("random",), seeds=(0, 1), **FAST
+    )
+    run_campaign(spec, store)
+    (shard_path,) = sorted((store_dir / "shards").glob("*.jsonl"))
+    pristine = shard_path.read_bytes()
+    original_lines = pristine.splitlines(keepends=True)
+    if any(b'"crc32"' not in line for line in original_lines):
+        return _fail("new sharded records do not carry a crc32 field")
+    donor = store.get(sorted(store.fingerprints())[0])
+
+    # ENOSPC: the append fails before a byte lands; the store is untouched
+    try:
+        with faults.inject(faults.FaultInjector(enospc_appends=1)):
+            store.append(donor, fingerprint="chaos-enospc")
+        return _fail("injected ENOSPC append did not raise")
+    except OSError as error:
+        if error.errno != errno.ENOSPC:
+            return _fail(f"expected ENOSPC, got {error!r}")
+    if shard_path.read_bytes() != pristine:
+        return _fail("ENOSPC append modified the shard file")
+    print("      ENOSPC append raised; shard byte-identical")
+
+    # torn write: the writer dies half way through its line
+    try:
+        with faults.inject(faults.FaultInjector(torn_appends=1)):
+            store.append(donor, fingerprint="chaos-torn")
+        return _fail("injected torn append did not kill the writer")
+    except faults.KilledByFault:
+        pass
+    torn_tail = len(shard_path.read_bytes()) - len(pristine)
+    if torn_tail <= 0:
+        return _fail("torn append left no partial line behind")
+
+    # bit-flip: corrupt one digit of the first record's checksum field so
+    # the line still parses but the CRC disagrees (simulated disk rot)
+    flipped = bytearray(original_lines[0])
+    anchor = flipped.index(b'"crc32":') + len(b'"crc32":')
+    while not chr(flipped[anchor]).isdigit():
+        anchor += 1
+    while chr(flipped[anchor]).isdigit():
+        anchor += 1
+    anchor -= 1  # last digit: a leading zero would be invalid JSON instead
+    flipped[anchor] = ord("1") if flipped[anchor] == ord("0") else ord("0")
+    shard_path.write_bytes(bytes(flipped) + b"".join(original_lines[1:])
+                           + shard_path.read_bytes()[len(pristine):])
+
+    reopened = ShardedRunStore(store_dir)
+    if len(reopened) != 1:
+        return _fail(f"store served {len(reopened)} records; the rotten one "
+                     "must be skipped")
+    if reopened.summary()["crc_mismatches"] != 1:
+        return _fail("the scan did not count the CRC mismatch")
+
+    report = fsck_store(store_dir)
+    if report["clean"] or report["crc_mismatch"] != 1 or \
+            report["torn_bytes"] != torn_tail or report["intact"] != 1:
+        return _fail(f"fsck verify misclassified the damage: {report}")
+    print(f"      fsck: {report['intact']} intact, 1 checksum mismatch, "
+          f"{report['torn_bytes']} torn byte(s) detected")
+
+    report = fsck_store(store_dir, repair=True)
+    if not report["repaired"] or report["quarantined_lines"] != 2:
+        return _fail(f"fsck --repair did not quarantine both bad lines: "
+                     f"{report}")
+    if shard_path.read_bytes() != original_lines[1]:
+        return _fail("repair did not keep the intact record byte-identical")
+    quarantined = list((store_dir / "quarantine").iterdir())
+    if not quarantined:
+        return _fail("repair left no quarantine sidecar behind")
+    after = fsck_store(store_dir)
+    if not after["clean"]:
+        return _fail(f"store still unclean after repair: {after}")
+    repaired = ShardedRunStore(store_dir)
+    if len(repaired) != 1 or repaired.summary()["crc_mismatches"] != 0:
+        return _fail("repaired store does not scan clean")
+    print(f"      repair quarantined 2 line(s) into "
+          f"{quarantined[0].name}; intact record byte-identical")
+    return 0
+
+
+def drill_circuit_breaker(base: Path) -> int:
+    print("[3/4] circuit-breaker drill (campaign CLI must exit 4)...")
+    store_dir = base / "circuit"
+
+    # in-process first: a request batch that fails on every cell must trip
+    # the in-memory breaker of the serial executor
+    from repro.api.scenario import Scenario
+    good = CampaignSpec(
+        scenarios=(SCENARIO,), strategies=("random",), seeds=(0, 1, 2, 3),
+        **FAST,
+    ).requests()
+    ghosts = [
+        request.replace(
+            scenario=Scenario(name="ghost/nowhere", device="ghost-device")
+        )
+        for request in good
+    ]
+    policy = CampaignPolicy(circuit_window=2, circuit_threshold=1.0,
+                            circuit_cooldown_s=60.0, on_error="continue")
+    try:
+        run_campaign(ghosts, ShardedRunStore(store_dir / "serial"),
+                     on_error="continue", policy=policy)
+        return _fail("serial campaign over failing cells did not trip the "
+                     "breaker")
+    except CircuitOpenError as error:
+        print(f"      serial executor tripped in-memory: {error}")
+
+    # end to end: every pull-worker attempt times out (wedged search +
+    # 3s deadline); two failures fill the window, the shared breaker opens,
+    # and the campaign CLI must exit with code 4
+    cli_dir = store_dir / "pull"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env[faults.ENV_HANG_AT_EVAL] = "1"
+    env[faults.ENV_HANG_SECONDS] = "600"
+    campaign = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign",
+         "--store", str(cli_dir), "--scenario", SCENARIO,
+         "--strategy", "random", "--seed", "0", "--seed", "1",
+         "--executor", "pull-worker", "--workers", "2", "--sharded",
+         "--cell-timeout", "3", "--circuit-threshold", "1.0",
+         "--circuit-window", "2", "--circuit-cooldown", "60",
+         "--max-attempts", "3", "--on-error", "continue",
+         "--ttl", "15", "--poll", "0.2", "--backoff", "0.2",
+         "--num-initial", "2", "--num-iterations", "1",
+         "--pool-size", "16", "--predictor-samples", "40", "--quiet"],
+        env=env, capture_output=True, text=True, timeout=TIMEOUT_S,
+    )
+    if campaign.returncode != 4:
+        return _fail(f"campaign CLI exited {campaign.returncode}, expected "
+                     f"4 (circuit open)\nstderr: {campaign.stderr}")
+    state = json.loads((cli_dir / SUPERVISOR_FILENAME).read_text())
+    if state["circuit"]["state"] != "open":
+        return _fail(f"supervisor.json records circuit state "
+                     f"{state['circuit']['state']!r}, expected 'open'")
+    transitions = state["circuit"].get("transitions", [])
+    print(f"      pull-worker campaign exited 4; shared breaker open after "
+          f"{state.get('timeout_kills', 0)} timeout kill(s), "
+          f"transitions: {[t[-1] for t in transitions]}")
+    return 0
+
+
+def drill_healthy_parity(base: Path) -> int:
+    print("[4/4] healthy-parity drill (supervision must be inert)...")
+    spec = CampaignSpec(
+        scenarios=(SCENARIO,), strategies=("random",), seeds=(0, 1), **FAST
+    )
+    plain_dir, supervised_dir = base / "plain", base / "supervised"
+    plain = run_campaign(spec, ShardedRunStore(plain_dir))
+    policy = CampaignPolicy(cell_timeout_s=120.0, circuit_window=4,
+                            circuit_threshold=1.0)
+    supervised = run_campaign(
+        spec, ShardedRunStore(supervised_dir), policy=policy
+    )
+    if supervised.summary()["failed"] or plain.summary()["failed"]:
+        return _fail("healthy campaign reported failures")
+    if _shard_records(plain_dir) != _shard_records(supervised_dir):
+        return _fail("supervised store contents diverge from unsupervised "
+                     "(beyond wall time)")
+    volatile = {"total_wall_time_s", "directory"}
+    plain_summary = {k: v for k, v in ShardedRunStore(plain_dir).summary().items()
+                     if k not in volatile}
+    supervised_summary = {
+        k: v for k, v in ShardedRunStore(supervised_dir).summary().items()
+        if k not in volatile
+    }
+    if plain_summary != supervised_summary:
+        return _fail(f"store summaries diverge:\n{plain_summary}\n"
+                     f"{supervised_summary}")
+    if supervised.summary()["circuit_state"] not in ("closed", "disabled"):
+        return _fail("healthy supervised campaign did not keep the breaker "
+                     "closed")
+    if supervised.summary()["timeout_kills"] or supervised.summary()["dead_lettered"]:
+        return _fail("healthy supervised campaign recorded supervision events")
+    print("      supervised and unsupervised stores identical "
+          "(modulo wall time); breaker stayed closed")
+    return 0
+
+
+def main() -> int:
+    base = Path(tempfile.mkdtemp(prefix="repro-campaign-chaos-"))
+    print(f"workspace: {base}")
+    for drill in (
+        drill_deadline_and_dead_letter,
+        drill_store_integrity,
+        drill_circuit_breaker,
+        drill_healthy_parity,
+    ):
+        code = drill(base)
+        if code:
+            return code
+    print("OK: deadlines enforced, poison cells dead-lettered and "
+          "re-admittable, circuit breaker trips to exit 4, store rot "
+          "detected/quarantined/repaired, healthy supervision inert")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,10 @@ HEADLINE_FIELDS = (
     ("campaign_store_index", "appends_per_s", "store_appends_per_s"),
     ("campaign_distributed", "pull_worker_wall_s", "distributed_pull_wall_s"),
     ("campaign_distributed", "fingerprints_match", "distributed_parity"),
+    ("campaign_supervisor", "supervisor_overhead_fraction",
+     "campaign_supervisor_overhead"),
+    ("campaign_supervisor", "supervised_claims_per_s",
+     "campaign_supervised_claims_per_s"),
     ("epdc", "hv_ratio_epdc_vs_ts", "epdc_hv_ratio_vs_ts"),
     ("epdc", "golden_parity", "epdc_golden_parity"),
     ("serving", "speedup", "serving_speedup"),
